@@ -1,0 +1,65 @@
+// Ablation of the IRS design choices (the paper's §6.1 comparison against
+// naïve techniques, plus the priority rules of §5.4):
+//   full ITask        — staged release + priority rules;
+//   naive restart     — interrupted tasks are killed and their partitions
+//                       reprocessed from scratch (no staged release);
+//   random victims    — interrupt victims picked at random instead of by the
+//                       MITask-first / finish-line / speed rules.
+//
+// Expected shape (paper): full ITask clearly fastest; naive restart worst
+// (the paper reports up to 5x slower).
+#include <cstdio>
+
+#include "apps/hyracks_apps.h"
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+using namespace itask;
+
+namespace {
+
+apps::AppResult RunVariant(const std::string& app, bool naive, bool random) {
+  // A deliberately tight heap: the ablation is only meaningful when the
+  // interrupt machinery actually fires.
+  cluster::Cluster cl(bench::PaperCluster(4 << 20));
+  apps::AppConfig config = bench::ConfigForApp(app, /*size_index=*/app == "II" ? 2 : 3);
+  config.naive_restart = naive;
+  config.random_victims = random;
+  config.deadline_ms = 120'000;  // Naive restart can ping-pong; bound it.
+  return apps::RunHyracksApp(app, cl, config, apps::Mode::kITask);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Policy ablation: full ITask vs naive restart vs random victims ===\n\n");
+  common::TablePrinter table({"App", "Variant", "Status", "Total", "GC", "Interrupts",
+                              "Reactivations", "Spilled", "vs full"});
+  for (const std::string& app : {std::string("WC"), std::string("II")}) {
+    const apps::AppResult full = RunVariant(app, false, false);
+    const apps::AppResult naive = RunVariant(app, true, false);
+    const apps::AppResult random = RunVariant(app, false, true);
+    auto add = [&](const char* variant, const apps::AppResult& r) {
+      table.AddRow({app, variant, bench::StatusOf(r.metrics),
+                    common::FormatMs(r.metrics.wall_ms), common::FormatMs(r.metrics.gc_ms),
+                    std::to_string(r.metrics.interrupts),
+                    std::to_string(r.metrics.reactivations),
+                    common::FormatBytes(r.metrics.spilled_bytes),
+                    r.metrics.succeeded && full.metrics.succeeded
+                        ? common::FormatRatio(r.metrics.wall_ms / full.metrics.wall_ms)
+                        : "-"});
+    };
+    add("full ITask", full);
+    add("naive restart", naive);
+    add("random victims", random);
+    if (full.metrics.succeeded && naive.metrics.succeeded && full.checksum != naive.checksum) {
+      std::printf("!! %s: naive variant checksum mismatch\n", app.c_str());
+    }
+    if (full.metrics.succeeded && random.metrics.succeeded &&
+        full.checksum != random.checksum) {
+      std::printf("!! %s: random variant checksum mismatch\n", app.c_str());
+    }
+  }
+  table.Print();
+  return 0;
+}

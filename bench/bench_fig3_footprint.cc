@@ -1,0 +1,94 @@
+// Figure 3: memory footprint over time, with and without ITasks.
+//
+// Expected shape: the regular execution's footprint climbs to the heap limit,
+// suffers long useless GCs, and dies with an OME; the ITask execution is
+// interrupted at the first LUGC, reclaims memory, and oscillates inside the
+// safe zone until it finishes.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "apps/hyracks_apps.h"
+#include "bench/bench_util.h"
+
+using namespace itask;
+
+namespace {
+
+struct Sample {
+  double t_ms;
+  std::uint64_t used;
+  std::uint64_t lugc;
+  std::uint64_t ome;
+};
+
+// Samples node-0 heap usage every 2ms while |run| executes.
+std::vector<Sample> Profile(cluster::Cluster& cl, const std::function<void()>& run) {
+  std::vector<Sample> samples;
+  std::atomic<bool> done{false};
+  std::thread sampler([&] {
+    common::Stopwatch watch;
+    while (!done.load(std::memory_order_relaxed)) {
+      const auto stats = cl.node(0).heap().Stats();
+      samples.push_back(
+          {watch.ElapsedMs(), stats.live_bytes + stats.garbage_bytes, stats.lugc_count,
+           stats.ome_count});
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  run();
+  done.store(true);
+  sampler.join();
+  return samples;
+}
+
+void PrintSeries(const char* label, const std::vector<Sample>& samples,
+                 std::uint64_t capacity) {
+  std::printf("--- %s (heap capacity %s) ---\n", label,
+              common::FormatBytes(capacity).c_str());
+  const std::size_t step = samples.size() / 48 + 1;
+  for (std::size_t i = 0; i < samples.size(); i += step) {
+    const auto& s = samples[i];
+    const int bar = static_cast<int>(60.0 * static_cast<double>(s.used) /
+                                     static_cast<double>(capacity));
+    std::printf("  t=%7.1fms %7.2fMB |%.*s%*s| lugc=%llu%s\n", s.t_ms,
+                static_cast<double>(s.used) / (1024.0 * 1024.0), bar,
+                "############################################################", 60 - bar, "",
+                static_cast<unsigned long long>(s.lugc), s.ome > 0 ? " OME!" : "");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 3: memory footprint with vs without ITasks (WC, one node) ===\n\n");
+  apps::AppConfig config;
+  config.dataset_bytes = bench::HyracksSizesBytes()[2];
+  config.threads = 8;
+
+  {
+    cluster::Cluster cl(bench::PaperCluster(8 << 20, /*num_nodes=*/1));
+    apps::AppResult result;
+    const auto samples =
+        Profile(cl, [&] { result = apps::RunWordCount(cl, config, apps::Mode::kRegular); });
+    PrintSeries(result.metrics.out_of_memory ? "regular execution (crashed with OME)"
+                                             : "regular execution",
+                samples, cl.config().heap.capacity_bytes);
+  }
+  {
+    cluster::Cluster cl(bench::PaperCluster(8 << 20, /*num_nodes=*/1));
+    apps::AppResult result;
+    const auto samples =
+        Profile(cl, [&] { result = apps::RunWordCount(cl, config, apps::Mode::kITask); });
+    std::printf("ITask run: %s; interrupts=%llu reactivations=%llu spilled=%s\n",
+                bench::StatusOf(result.metrics).c_str(),
+                static_cast<unsigned long long>(result.metrics.interrupts),
+                static_cast<unsigned long long>(result.metrics.reactivations),
+                common::FormatBytes(result.metrics.spilled_bytes).c_str());
+    PrintSeries("ITask execution (survives in the safe zone)", samples,
+                cl.config().heap.capacity_bytes);
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 9 (a-e): execution time of the ORIGINAL (regular) Hyracks programs
+// as the number of threads varies, with GC/computation breakdown. OME
+// configurations are reported (the paper omits them from the bars).
+//
+// Expected shape (paper §6.2): more threads does not always help; GC share
+// grows with dataset size; each program stops scaling at some input size
+// (II earliest, HJ latest).
+#include <cstdio>
+
+#include "apps/hyracks_apps.h"
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+using namespace itask;
+
+int main() {
+  const std::vector<std::string> apps_list = {"WC", "HS", "II", "HJ", "GR"};
+  const std::vector<int> thread_counts = {1, 2, 4, 6, 8};
+
+  std::printf("=== Figure 9: regular programs, time vs #threads (GC | compute) ===\n");
+  std::printf("(cluster: %d nodes x %s heap; task granularity 32KB)\n\n", 4, "8MB");
+
+  for (const std::string& app : apps_list) {
+    common::TablePrinter table(
+        {"Dataset", "Threads", "Status", "Total", "GC", "Compute", "GC%"});
+    for (std::size_t size = 0; size < 6; ++size) {
+      for (int threads : thread_counts) {
+        cluster::Cluster cl(bench::PaperCluster());
+        apps::AppConfig config = bench::ConfigForApp(app, size);
+        config.threads = threads;
+        const apps::AppResult r = apps::RunHyracksApp(app, cl, config, apps::Mode::kRegular);
+        const double gc_share =
+            r.metrics.wall_ms > 0 ? r.metrics.gc_ms / r.metrics.wall_ms : 0.0;
+        table.AddRow({bench::SizeLabel(app, size), std::to_string(threads),
+                      bench::StatusOf(r.metrics), common::FormatMs(r.metrics.wall_ms),
+                      common::FormatMs(r.metrics.gc_ms), common::FormatMs(r.metrics.ComputeMs()),
+                      common::FormatPct(gc_share)});
+      }
+    }
+    std::printf("--- Figure 9: %s ---\n", app.c_str());
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

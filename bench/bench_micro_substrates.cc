@@ -1,0 +1,135 @@
+// Micro-benchmarks of the substrates (google-benchmark): managed-heap
+// accounting, serde round-trips, spill I/O, and partition operations. These
+// establish that the bookkeeping the IRS adds per tuple is small relative to
+// real task work (the paper's claim that ITask overhead is negligible except
+// when no parallelism is exploitable).
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "itask/typed_partition.h"
+#include "memsim/managed_heap.h"
+#include "serde/serializer.h"
+#include "serde/spill_manager.h"
+
+namespace {
+
+using namespace itask;
+
+memsim::HeapConfig QuietHeap() {
+  memsim::HeapConfig config;
+  config.capacity_bytes = 256ULL << 20;
+  config.real_pauses = false;
+  return config;
+}
+
+void BM_HeapAllocateFree(benchmark::State& state) {
+  memsim::ManagedHeap heap(QuietHeap());
+  for (auto _ : state) {
+    heap.Allocate(64);
+    heap.Free(64);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeapAllocateFree);
+
+void BM_HeapCollect(benchmark::State& state) {
+  memsim::ManagedHeap heap(QuietHeap());
+  heap.Allocate(static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    heap.Free(1024);
+    heap.Allocate(1024);
+    benchmark::DoNotOptimize(heap.Collect());
+  }
+}
+BENCHMARK(BM_HeapCollect)->Arg(1 << 20)->Arg(16 << 20);
+
+void BM_VarintRoundTrip(benchmark::State& state) {
+  common::ByteBuffer buf;
+  serde::Writer writer(&buf);
+  common::Rng rng(7);
+  std::vector<std::uint64_t> values(1024);
+  for (auto& v : values) {
+    v = rng.NextU64() >> (rng.NextBelow(60));
+  }
+  for (auto _ : state) {
+    buf.Clear();
+    for (std::uint64_t v : values) {
+      writer.WriteVarint(v);
+    }
+    buf.ResetCursor();
+    serde::Reader reader(&buf);
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      sum += reader.ReadVarint();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_VarintRoundTrip);
+
+struct U64Traits {
+  using Tuple = std::uint64_t;
+  static std::uint64_t SizeOf(const Tuple&) { return 16; }
+  static void Write(serde::Writer& w, const Tuple& t) { w.WriteVarint(t); }
+  static Tuple Read(serde::Reader& r) { return r.ReadVarint(); }
+};
+
+void BM_PartitionSpillLoad(benchmark::State& state) {
+  memsim::ManagedHeap heap(QuietHeap());
+  serde::SpillManager spill(std::filesystem::temp_directory_path(), "bench");
+  core::VectorPartition<U64Traits> part(core::TypeIds::Get("bench.u64"), &heap, &spill);
+  for (int i = 0; i < state.range(0); ++i) {
+    part.Append(static_cast<std::uint64_t>(i));
+  }
+  for (auto _ : state) {
+    part.Spill();
+    part.EnsureResident();
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 16);
+}
+BENCHMARK(BM_PartitionSpillLoad)->Arg(1024)->Arg(16384);
+
+struct CountKv {
+  using Key = std::uint64_t;
+  using Value = std::uint64_t;
+  static std::uint64_t EntryOverhead() { return 48; }
+  static std::uint64_t KeyBytes(const Key&) { return 8; }
+  static std::uint64_t ValueBytes(const Value&) { return 8; }
+  static void WriteEntry(serde::Writer& w, const Key& k, const Value& v) {
+    w.WriteVarint(k);
+    w.WriteVarint(v);
+  }
+  static std::pair<Key, Value> ReadEntry(serde::Reader& r) {
+    Key k = r.ReadVarint();
+    Value v = r.ReadVarint();
+    return {k, v};
+  }
+};
+
+void BM_HashAggMergeEntry(benchmark::State& state) {
+  memsim::ManagedHeap heap(QuietHeap());
+  serde::SpillManager spill(std::filesystem::temp_directory_path(), "benchagg");
+  common::Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::HashAggPartition<CountKv> agg(core::TypeIds::Get("bench.counts"), &heap, &spill);
+    state.ResumeTiming();
+    for (int i = 0; i < 4096; ++i) {
+      agg.MergeEntry(rng.NextBelow(512), 1,
+                     [](std::uint64_t& into, const std::uint64_t& from) {
+                       into += from;
+                       return 0;
+                     });
+    }
+    benchmark::DoNotOptimize(agg.TupleCount());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_HashAggMergeEntry);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Tables 3 and 4: the evaluation inputs.
+//   Table 3 — the Yahoo Webmap and subgraphs (vertices/edges per size),
+//             reproduced by the power-law graph generator at scaled sizes.
+//   Table 4 — TPC-H tables (customers/orders/lineitems per scale factor).
+//
+// Expected shape: edge/vertex ratio ~5.7 across sizes (the Webmap's ratio);
+// TPC-H rows at exactly 1:10:40.
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "workloads/graph.h"
+#include "workloads/tpch.h"
+
+using namespace itask;
+
+int main() {
+  std::printf("=== Table 3: webmap inputs (scaled stand-in for the Yahoo Webmap) ===\n\n");
+  {
+    common::TablePrinter table({"Size(paper)", "Size(here)", "#Vertices", "#Edges",
+                                "Edges/Vertex"});
+    const auto sizes = bench::HyracksSizesBytes();
+    const auto labels = bench::HyracksSizeLabels();
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const workloads::GraphConfig gc = workloads::GraphForBytes(sizes[i]);
+      // Count distinct vertices actually appearing (src or dst).
+      std::unordered_set<std::uint64_t> seen;
+      std::uint64_t edges = 0;
+      workloads::ForEachEdge(gc, [&](const workloads::Edge& e) {
+        seen.insert(e.src);
+        seen.insert(e.dst);
+        ++edges;
+      });
+      table.AddRow({labels[i], common::FormatBytes(sizes[i]), std::to_string(seen.size()),
+                    std::to_string(edges),
+                    common::FormatRatio(static_cast<double>(edges) /
+                                        static_cast<double>(seen.size()))});
+    }
+    table.Print();
+  }
+
+  std::printf("\n=== Table 4: TPC-H inputs ===\n\n");
+  {
+    common::TablePrinter table({"Scale(paper)", "Scale(here)", "#Customer", "#Order",
+                                "#LineItem", "Bytes"});
+    const auto scales = bench::TpchScales();
+    const auto labels = bench::TpchScaleLabels();
+    for (std::size_t i = 0; i < scales.size(); ++i) {
+      workloads::TpchConfig tc;
+      tc.scale = scales[i];
+      std::uint64_t bytes = 0;
+      std::uint64_t customers = 0;
+      std::uint64_t orders = 0;
+      std::uint64_t lineitems = 0;
+      bytes += workloads::ForEachCustomer(tc, [&](const workloads::Customer&) { ++customers; });
+      bytes += workloads::ForEachOrder(tc, [&](const workloads::Order&) { ++orders; });
+      bytes += workloads::ForEachLineItem(tc, [&](const workloads::LineItem&) { ++lineitems; });
+      char scale_buf[32];
+      std::snprintf(scale_buf, sizeof(scale_buf), "%.1f", scales[i]);
+      table.AddRow({labels[i], scale_buf, std::to_string(customers), std::to_string(orders),
+                    std::to_string(lineitems), common::FormatBytes(bytes)});
+    }
+    table.Print();
+  }
+  return 0;
+}

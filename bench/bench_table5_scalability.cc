@@ -1,0 +1,71 @@
+// Table 5: scalability of the ORIGINAL (regular) programs — the largest
+// dataset each scales to under the fixed heap, and the thread count / task
+// granularity that achieved the best time on that dataset.
+//
+// Expected shape (paper): II scales worst (smallest dataset), HJ best; best
+// thread count is not always the maximum.
+#include <cstdio>
+
+#include "apps/hyracks_apps.h"
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+using namespace itask;
+
+int main() {
+  const std::vector<std::string> apps_list = {"WC", "HS", "II", "HJ", "GR"};
+  const std::vector<int> thread_counts = {2, 4, 6, 8};
+  const std::vector<std::uint64_t> granularities = {16 << 10, 32 << 10};
+
+  std::printf("=== Table 5: scalability of the original programs (8MB heap) ===\n\n");
+  common::TablePrinter table({"Name", "DS (largest ok)", "#K (threads)", "#T (granularity)",
+                              "Best time"});
+
+  for (const std::string& app : apps_list) {
+    int best_size = -1;
+    int best_threads = 0;
+    std::uint64_t best_gran = 0;
+    double best_ms = 0.0;
+    // Walk sizes upward; remember the largest size with any success.
+    for (std::size_t size = 0; size < 6; ++size) {
+      bool any_ok = false;
+      double size_best_ms = -1.0;
+      int size_best_threads = 0;
+      std::uint64_t size_best_gran = 0;
+      for (int threads : thread_counts) {
+        for (std::uint64_t gran : granularities) {
+          cluster::Cluster cl(bench::PaperCluster());
+          apps::AppConfig config = bench::ConfigForApp(app, size);
+          config.threads = threads;
+          config.granularity_bytes = gran;
+          const apps::AppResult r = apps::RunHyracksApp(app, cl, config, apps::Mode::kRegular);
+          if (r.metrics.succeeded) {
+            any_ok = true;
+            if (size_best_ms < 0 || r.metrics.wall_ms < size_best_ms) {
+              size_best_ms = r.metrics.wall_ms;
+              size_best_threads = threads;
+              size_best_gran = gran;
+            }
+          }
+        }
+      }
+      if (any_ok) {
+        best_size = static_cast<int>(size);
+        best_threads = size_best_threads;
+        best_gran = size_best_gran;
+        best_ms = size_best_ms;
+      } else {
+        break;  // Sizes are ascending; larger ones will also fail.
+      }
+    }
+    if (best_size < 0) {
+      table.AddRow({app, "none", "-", "-", "-"});
+    } else {
+      table.AddRow({app, bench::SizeLabel(app, static_cast<std::size_t>(best_size)),
+                    std::to_string(best_threads),
+                    std::to_string(best_gran >> 10) + "KB", common::FormatMs(best_ms)});
+    }
+  }
+  table.Print();
+  return 0;
+}

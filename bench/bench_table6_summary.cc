@@ -1,0 +1,106 @@
+// Table 6: summary of ITask improvements over the original programs.
+//   #TS / %TS  — executions where ITask is faster / mean time reduction on
+//                inputs both versions completed.
+//   #HS / %HS  — executions where ITask used less peak heap / mean reduction.
+//   Scalability — ratio of the largest dataset each version completes.
+//
+// Expected shape (paper): ITask faster in most executions, ~45% average time
+// reduction, modest heap reduction, and a multi-x scalability ratio (II
+// largest, since the original II fails earliest).
+#include <cmath>
+#include <cstdio>
+
+#include "apps/hyracks_apps.h"
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+using namespace itask;
+
+int main() {
+  const std::vector<std::string> apps_list = {"WC", "HS", "II", "HJ", "GR"};
+
+  std::printf("=== Table 6: summary of ITask improvements ===\n\n");
+  common::TablePrinter table({"Name", "#TS", "%TS", "#HS", "%HS", "Scalability"});
+
+  int total_runs = 0;
+  int total_ts = 0;
+  int total_hs = 0;
+  double sum_ts = 0.0;
+  int n_ts = 0;
+  double sum_hs = 0.0;
+  int n_hs = 0;
+  double scal_product = 1.0;
+
+  for (const std::string& app : apps_list) {
+    int ts = 0;
+    int hs = 0;
+    double app_ts_sum = 0.0;
+    int app_ts_n = 0;
+    double app_hs_sum = 0.0;
+    int app_hs_n = 0;
+    int reg_largest = -1;
+    int itask_largest = -1;
+    for (std::size_t size = 0; size < 6; ++size) {
+      cluster::Cluster reg_cl(bench::PaperCluster());
+      apps::AppConfig config = bench::ConfigForApp(app, size);
+      const apps::AppResult reg = apps::RunHyracksApp(app, reg_cl, config, apps::Mode::kRegular);
+      cluster::Cluster it_cl(bench::PaperCluster());
+      const apps::AppResult it = apps::RunHyracksApp(app, it_cl, config, apps::Mode::kITask);
+
+      ++total_runs;
+      if (reg.metrics.succeeded) {
+        reg_largest = static_cast<int>(size);
+      }
+      if (it.metrics.succeeded) {
+        itask_largest = static_cast<int>(size);
+      }
+      const bool itask_faster = !reg.metrics.succeeded ||
+                                (it.metrics.succeeded && it.metrics.wall_ms < reg.metrics.wall_ms);
+      if (itask_faster) {
+        ++ts;
+        ++total_ts;
+      }
+      const bool itask_leaner = it.metrics.peak_heap_bytes < reg.metrics.peak_heap_bytes;
+      if (itask_leaner) {
+        ++hs;
+        ++total_hs;
+      }
+      if (reg.metrics.succeeded && it.metrics.succeeded) {
+        const double t_red = 1.0 - it.metrics.wall_ms / reg.metrics.wall_ms;
+        app_ts_sum += t_red;
+        ++app_ts_n;
+        sum_ts += t_red;
+        ++n_ts;
+        const double h_red = 1.0 - static_cast<double>(it.metrics.peak_heap_bytes) /
+                                       static_cast<double>(reg.metrics.peak_heap_bytes);
+        app_hs_sum += h_red;
+        ++app_hs_n;
+        sum_hs += h_red;
+        ++n_hs;
+      }
+    }
+    // Scalability: sizes are roughly geometric; report the ratio of the axis
+    // values at the largest completed indices.
+    double ratio = 1.0;
+    if (itask_largest >= 0 && reg_largest >= 0) {
+      const std::vector<double> axis = {1, 3.33, 4.67, 9, 14.67, 24};
+      ratio = axis[static_cast<std::size_t>(itask_largest)] /
+              axis[static_cast<std::size_t>(reg_largest)];
+    } else if (itask_largest >= 0) {
+      ratio = 24.0;
+    }
+    scal_product *= ratio;
+    table.AddRow({app, std::to_string(ts) + "/6",
+                  app_ts_n > 0 ? common::FormatPct(app_ts_sum / app_ts_n) : "-",
+                  std::to_string(hs) + "/6",
+                  app_hs_n > 0 ? common::FormatPct(app_hs_sum / app_hs_n) : "-",
+                  common::FormatRatio(ratio)});
+  }
+  table.AddRow({"Overall", std::to_string(total_ts) + "/" + std::to_string(total_runs),
+                n_ts > 0 ? common::FormatPct(sum_ts / n_ts) : "-",
+                std::to_string(total_hs) + "/" + std::to_string(total_runs),
+                n_hs > 0 ? common::FormatPct(sum_hs / n_hs) : "-",
+                common::FormatRatio(std::pow(scal_product, 1.0 / 5.0))});
+  table.Print();
+  return 0;
+}

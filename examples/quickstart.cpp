@@ -1,0 +1,207 @@
+// Quickstart: turn a task into an interruptible task (ITask) and run it on
+// the IRS — a minimal word-count that survives a heap 10x smaller than its
+// working set.
+//
+// The walkthrough mirrors the paper's programming model (§4):
+//   1. wrap your data in DataPartition objects (here: VectorPartition);
+//   2. derive from ITask/MITask and implement Initialize / Process /
+//      Interrupt / Cleanup;
+//   3. declare the input->output wiring (TaskSpec) and feed partitions;
+//   4. the runtime interrupts your tasks under memory pressure and resumes
+//      them when it subsides — your job just finishes.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "cluster/itask_job.h"
+#include "itask/typed_partition.h"
+#include "workloads/text.h"
+
+using namespace itask;
+
+// ---- Step 1: describe your tuples and aggregates -------------------------
+
+// Input tuples are words; SizeOf models per-object memory (including the
+// header/bloat overhead managed runtimes pay).
+struct WordTraits {
+  using Tuple = std::string;
+  static std::uint64_t SizeOf(const Tuple& t) { return t.size() + 48; }
+  static void Write(serde::Writer& w, const Tuple& t) { w.WriteString(t); }
+  static Tuple Read(serde::Reader& r) { return r.ReadString(); }
+};
+using WordsPartition = core::VectorPartition<WordTraits>;
+
+// The aggregate: word -> count, held in a HashAggPartition.
+struct CountKv {
+  using Key = std::string;
+  using Value = std::uint64_t;
+  static std::uint64_t EntryOverhead() { return 48; }
+  static std::uint64_t KeyBytes(const Key& k) { return k.size(); }
+  static std::uint64_t ValueBytes(const Value&) { return 8; }
+  static void WriteEntry(serde::Writer& w, const Key& k, const Value& v) {
+    w.WriteString(k);
+    w.WriteVarint(v);
+  }
+  static std::pair<Key, Value> ReadEntry(serde::Reader& r) {
+    Key k = r.ReadString();
+    Value v = r.ReadVarint();
+    return {std::move(k), v};
+  }
+};
+using CountsPartition = core::HashAggPartition<CountKv>;
+
+// ---- Step 2: implement the four ITask methods -----------------------------
+
+class CountTask : public core::ITask<WordsPartition> {
+ public:
+  explicit CountTask(core::TypeId out_type) : out_type_(out_type) {}
+
+  // Create local state / the output partition.
+  void Initialize(core::TaskContext& ctx) override {
+    output_ = std::make_shared<CountsPartition>(out_type_, ctx.heap(), ctx.spill());
+  }
+
+  // Process exactly one tuple; must be side-effect-free w.r.t. external
+  // state so a partially processed partition can resume from its cursor.
+  void Process(core::TaskContext& /*ctx*/, const std::string& word) override {
+    output_->MergeEntry(word, 1, [](std::uint64_t& into, const std::uint64_t& from) {
+      into += from;
+      return 0;
+    });
+  }
+
+  // Memory pressure! Push the partial counts out (they are tagged so the
+  // merge task can aggregate all partials of the same group later).
+  void Interrupt(core::TaskContext& ctx) override {
+    output_->set_tag(0);
+    ctx.Emit(std::move(output_));
+  }
+
+  // Normal end of the partition: same emission.
+  void Cleanup(core::TaskContext& ctx) override {
+    output_->set_tag(0);
+    ctx.Emit(std::move(output_));
+  }
+
+ private:
+  core::TypeId out_type_;
+  std::shared_ptr<CountsPartition> output_;
+};
+
+// A merge task (MITask) combines all same-tagged partials — including partials
+// of itself produced by earlier interrupts.
+class MergeCounts : public core::MITask<CountsPartition> {
+ public:
+  explicit MergeCounts(core::TypeId out_type) : out_type_(out_type) {}
+
+  void Initialize(core::TaskContext& ctx) override {
+    output_ = std::make_shared<CountsPartition>(out_type_, ctx.heap(), ctx.spill());
+  }
+  void Process(core::TaskContext& /*ctx*/,
+               const std::pair<std::string, std::uint64_t>& e) override {
+    output_->MergeEntry(e.first, e.second, [](std::uint64_t& into, const std::uint64_t& from) {
+      into += from;
+      return 0;
+    });
+  }
+  void Interrupt(core::TaskContext& ctx) override {
+    output_->set_tag(ctx.group_tag);  // Partial merge: becomes its own input.
+    ctx.Emit(std::move(output_));
+  }
+  void Cleanup(core::TaskContext& ctx) override {
+    ctx.EmitToSink(std::move(output_));  // Final result -> job sink.
+  }
+
+ private:
+  core::TypeId out_type_;
+  std::shared_ptr<CountsPartition> output_;
+};
+
+int main() {
+  // A one-node "cluster" with a deliberately tiny 1MB heap.
+  cluster::ClusterConfig cc;
+  cc.num_nodes = 1;
+  cc.heap.capacity_bytes = 1 << 20;
+  cluster::Cluster cl(cc);
+
+  core::IrsConfig irs;
+  irs.max_workers = 4;
+  cluster::ItaskJob job(cl, irs);
+
+  // ---- Step 3: wire the dataflow -----------------------------------------
+  const core::TypeId words_t = core::TypeIds::Get("quickstart.words");
+  const core::TypeId counts_t = core::TypeIds::Get("quickstart.counts");
+
+  job.RegisterTaskPerNode([&](int) {
+    core::TaskSpec spec;
+    spec.name = "count";
+    spec.input_type = words_t;
+    spec.output_type = counts_t;
+    spec.factory = [counts_t] { return std::make_unique<CountTask>(counts_t); };
+    return spec;
+  });
+  job.RegisterTaskPerNode([&](int) {
+    core::TaskSpec spec;
+    spec.name = "merge";
+    spec.input_type = counts_t;
+    spec.output_type = counts_t;
+    spec.is_merge = true;
+    spec.factory = [counts_t] { return std::make_unique<MergeCounts>(counts_t); };
+    return spec;
+  });
+
+  std::map<std::string, std::uint64_t> result;
+  std::mutex result_mu;
+  job.SetSinkPerNode([&](int) {
+    return [&](core::PartitionPtr out) {
+      auto* counts = static_cast<CountsPartition*>(out.get());
+      std::lock_guard lock(result_mu);
+      for (std::size_t i = 0; i < counts->TupleCount(); ++i) {
+        result[counts->At(i).first] += counts->At(i).second;
+      }
+      out->DropPayload();
+    };
+  });
+
+  // ---- Step 4: feed ~4MB of words through the 1MB heap --------------------
+  const bool ok = job.Run([&] {
+    workloads::TextConfig tc;
+    tc.target_bytes = 4 << 20;
+    tc.vocabulary = 5'000;
+    auto part = std::make_shared<WordsPartition>(words_t, &cl.node(0).heap(),
+                                                 &cl.node(0).spill());
+    workloads::ForEachWord(tc, [&](const std::string& word) {
+      part->Append(word);
+      if (part->PayloadBytes() >= 32 << 10) {
+        part->Spill();  // Inputs live on disk, like HDFS blocks.
+        job.runtime(0).Push(std::move(part));
+        part = std::make_shared<WordsPartition>(words_t, &cl.node(0).heap(),
+                                                &cl.node(0).spill());
+      }
+    });
+    if (part->TupleCount() > 0) {
+      part->Spill();
+      job.runtime(0).Push(std::move(part));
+    }
+  });
+
+  const auto metrics = job.Metrics();
+  std::printf("job %s in %.1fms\n", ok ? "succeeded" : "FAILED", metrics.wall_ms);
+  std::printf("  distinct words: %zu\n", result.size());
+  std::printf("  interrupts: %llu, re-activations: %llu\n",
+              static_cast<unsigned long long>(metrics.interrupts),
+              static_cast<unsigned long long>(metrics.reactivations));
+  std::printf("  GC: %llu collections (%llu useless), %.1fms total pause\n",
+              static_cast<unsigned long long>(metrics.gc_count),
+              static_cast<unsigned long long>(metrics.lugc_count), metrics.gc_ms);
+  std::printf("  spilled %.2fMB to disk, loaded %.2fMB back\n",
+              static_cast<double>(metrics.spilled_bytes) / (1 << 20),
+              static_cast<double>(metrics.loaded_bytes) / (1 << 20));
+  std::printf("  peak heap: %.2fMB (budget 1MB; ~4MB of data flowed through)\n",
+              static_cast<double>(metrics.peak_heap_bytes) / (1 << 20));
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+// The paper's CRP scenario (§2): preprocessing customer reviews with a
+// third-party lemmatizer whose dynamic-programming temporaries need about
+// three orders of magnitude more memory than the sentence being processed.
+// The developer can neither predict nor control that consumption — and a few
+// pathologically long reviews exceed what several parallel workers can share.
+//
+// This example runs the pipeline twice: as a regular fixed-parallelism job
+// (which crashes) and as an ITask job (which automatically serializes around
+// the long reviews and finishes).
+//
+// Build & run:  ./build/examples/review_pipeline
+#include <cstdio>
+
+#include "apps/hadoop_problems.h"
+#include "cluster/cluster.h"
+
+using namespace itask;
+
+namespace {
+
+cluster::Cluster MakeCluster() {
+  cluster::ClusterConfig cc;
+  cc.num_nodes = 1;
+  cc.heap.capacity_bytes = 16 << 20;
+  return cluster::Cluster(cc);
+}
+
+}  // namespace
+
+int main() {
+  apps::HadoopProblemConfig config;
+  config.dataset_bytes = 2 << 20;
+  config.threads = 6;        // Hadoop's default parallel map slots.
+  config.max_workers = 6;
+  config.crp_amplification = 600;  // The lemmatizer's memory blow-up factor.
+
+  std::printf("CRP: lemmatizing 2MB of reviews; the longest review alone needs\n");
+  std::printf("~8MB of library temporaries inside a 16MB heap shared by 6 workers.\n\n");
+
+  {
+    auto cl = MakeCluster();
+    const apps::AppResult r = apps::RunHadoopProblem("CRP", cl, config, apps::Mode::kRegular);
+    std::printf("regular (6 fixed workers): %s after %.1fms",
+                r.metrics.succeeded ? "finished" : "CRASHED with OME", r.metrics.wall_ms);
+    std::printf("  [GC: %llu runs, %.1fms]\n",
+                static_cast<unsigned long long>(r.metrics.gc_count), r.metrics.gc_ms);
+  }
+  {
+    auto cl = MakeCluster();
+    const apps::AppResult r = apps::RunHadoopProblem("CRP", cl, config, apps::Mode::kITask);
+    std::printf("ITask  (adaptive 1..6):    %s after %.1fms",
+                r.metrics.succeeded ? "finished" : "FAILED", r.metrics.wall_ms);
+    std::printf("  [interrupts: %llu, re-activations: %llu]\n",
+                static_cast<unsigned long long>(r.metrics.interrupts),
+                static_cast<unsigned long long>(r.metrics.reactivations));
+    std::printf("  lemma types counted: %llu\n",
+                static_cast<unsigned long long>(r.records));
+    if (!r.metrics.succeeded) {
+      return 1;
+    }
+  }
+  std::printf("\nNo configuration change, no skew fixing: the runtime treated the\n");
+  std::printf("allocation spikes as interrupts and re-activated work when they passed.\n");
+  return 0;
+}

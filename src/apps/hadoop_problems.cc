@@ -1,0 +1,367 @@
+#include "apps/hadoop_problems.h"
+
+#include <atomic>
+#include <unordered_map>
+
+#include "apps/agg_app.h"
+#include "workloads/posts.h"
+#include "workloads/reviews.h"
+#include "workloads/text.h"
+
+namespace itask::apps {
+namespace {
+
+constexpr std::uint64_t kTupleOverhead = 48;
+
+// Per-run knobs that the static App policies cannot carry (set at Run entry;
+// benches run one problem at a time).
+std::atomic<std::uint64_t> g_msa_table_bytes{0};
+std::atomic<std::uint32_t> g_crp_amplification{1'000};
+std::atomic<bool> g_crp_break_sentences{false};
+
+struct SentenceTraits {
+  using Tuple = std::string;
+  static std::uint64_t SizeOf(const Tuple& t) { return t.size() + kTupleOverhead; }
+  static void Write(serde::Writer& w, const Tuple& t) { w.WriteString(t); }
+  static Tuple Read(serde::Reader& r) { return r.ReadString(); }
+};
+
+struct CountKv {
+  using Key = std::string;
+  using Value = std::uint64_t;
+  static std::uint64_t EntryOverhead() { return kTupleOverhead; }
+  static std::uint64_t KeyBytes(const Key& k) { return k.size(); }
+  static std::uint64_t ValueBytes(const Value&) { return 8; }
+  static void WriteEntry(serde::Writer& w, const Key& k, const Value& v) {
+    w.WriteString(k);
+    w.WriteVarint(v);
+  }
+  static std::pair<Key, Value> ReadEntry(serde::Reader& r) {
+    Key k = r.ReadString();
+    Value v = r.ReadVarint();
+    return {std::move(k), v};
+  }
+};
+
+template <typename Fn>
+void ForEachWordIn(const std::string& text, const Fn& fn) {
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find(' ', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    if (end > start) {
+      fn(text.substr(start, end - start));
+    }
+    start = end + 1;
+  }
+}
+
+std::int64_t CountInsertDelta(std::uint64_t& v) { return (v == 0) ? 8 : 0; }
+
+struct CountAppBase {
+  using InTraits = SentenceTraits;
+  using KVTraits = CountKv;
+  static std::int64_t MergeValue(std::uint64_t& into, const std::uint64_t& from) {
+    const std::int64_t delta = CountInsertDelta(into);
+    into += from;
+    return delta;
+  }
+  static std::uint64_t HashKey(const std::string& k) { return HashString(k); }
+  static std::uint64_t FingerprintEntry(const std::string& k, const std::uint64_t& v) {
+    return MixU64(HashString(k) ^ MixU64(v));
+  }
+};
+
+// ---- MSA: map-side aggregation with a per-instance side table ----
+
+struct MsaApp : CountAppBase {
+  static constexpr const char* kName = "msa";
+  using Agg = core::HashAggPartition<CountKv>;
+
+  static std::uint64_t InstanceOverheadBytes() { return g_msa_table_bytes.load(); }
+  template <typename Out>
+  static void MapTuple(Out& out, const std::string& doc, memsim::ManagedHeap* heap) {
+    memsim::HeapCharge temporaries(heap, doc.size() * 4);  // Tokenizer churn.
+    ForEachWordIn(doc, [&](std::string word) {
+      out.Upsert(word, [](std::uint64_t& v) {
+        const std::int64_t d = CountInsertDelta(v);
+        ++v;
+        return d;
+      });
+    });
+  }
+  static void FillInput(cluster::Cluster&, const AppConfig& config,
+                        PartitionFeeder<core::VectorPartition<SentenceTraits>>& feeder) {
+    workloads::TextConfig tc;
+    tc.seed = config.seed;
+    tc.target_bytes = config.dataset_bytes;
+    tc.vocabulary = 30'000;
+    workloads::ForEachDocument(tc, [&](const std::string& doc) {
+      feeder.Add(doc, SentenceTraits::SizeOf(doc));
+    });
+  }
+};
+
+// ---- IMC: in-map combiner with high key cardinality ----
+
+struct ImcApp : CountAppBase {
+  static constexpr const char* kName = "imc";
+  using Agg = core::HashAggPartition<CountKv>;
+
+  static std::uint64_t InstanceOverheadBytes() { return 0; }
+  template <typename Out>
+  static void MapTuple(Out& out, const std::string& doc, memsim::ManagedHeap* heap) {
+    memsim::HeapCharge temporaries(heap, doc.size() * 4);  // Tokenizer churn.
+    ForEachWordIn(doc, [&](std::string word) {
+      out.Upsert(word, [](std::uint64_t& v) {
+        const std::int64_t d = CountInsertDelta(v);
+        ++v;
+        return d;
+      });
+    });
+  }
+  static void FillInput(cluster::Cluster&, const AppConfig& config,
+                        PartitionFeeder<core::VectorPartition<SentenceTraits>>& feeder) {
+    workloads::TextConfig tc;
+    tc.seed = config.seed;
+    tc.target_bytes = config.dataset_bytes;
+    // High key cardinality: every in-map combiner map grows toward ~50k
+    // entries, far more than one mapper's share of the heap.
+    tc.vocabulary = 50'000;
+    tc.zipf_theta = 0.7;
+    workloads::ForEachDocument(tc, [&](const std::string& doc) {
+      feeder.Add(doc, SentenceTraits::SizeOf(doc));
+    });
+  }
+};
+
+// ---- IIB: inverted-index building ----
+
+struct PostingsKv {
+  using Key = std::string;
+  using Value = std::vector<std::uint64_t>;
+  static std::uint64_t EntryOverhead() { return kTupleOverhead; }
+  static std::uint64_t KeyBytes(const Key& k) { return k.size(); }
+  static std::uint64_t ValueBytes(const Value& v) { return 8 * v.size(); }
+  static void WriteEntry(serde::Writer& w, const Key& k, const Value& v) {
+    w.WriteString(k);
+    w.WriteVarint(v.size());
+    for (std::uint64_t id : v) {
+      w.WriteVarint(id);
+    }
+  }
+  static std::pair<Key, Value> ReadEntry(serde::Reader& r) {
+    Key k = r.ReadString();
+    Value v(r.ReadVarint());
+    for (auto& id : v) {
+      id = r.ReadVarint();
+    }
+    return {std::move(k), std::move(v)};
+  }
+};
+
+struct IibApp {
+  static constexpr const char* kName = "iib";
+  using InTraits = SentenceTraits;
+  using KVTraits = PostingsKv;
+  using Agg = core::HashAggPartition<PostingsKv>;
+
+  static std::uint64_t InstanceOverheadBytes() { return 0; }
+  template <typename Out>
+  static void MapTuple(Out& out, const std::string& doc, memsim::ManagedHeap* heap) {
+    memsim::HeapCharge temporaries(heap, doc.size() * 4);
+    const std::uint64_t doc_id = HashString(doc);
+    ForEachWordIn(doc, [&](std::string word) {
+      out.Upsert(word, [&](std::vector<std::uint64_t>& postings) {
+        postings.push_back(doc_id);
+        return 8;
+      });
+    });
+  }
+  static std::int64_t MergeValue(std::vector<std::uint64_t>& into,
+                                 const std::vector<std::uint64_t>& from) {
+    into.insert(into.end(), from.begin(), from.end());
+    return static_cast<std::int64_t>(8 * from.size());
+  }
+  static std::uint64_t HashKey(const std::string& k) { return HashString(k); }
+  static std::uint64_t FingerprintEntry(const std::string& k,
+                                        const std::vector<std::uint64_t>& postings) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t id : postings) {
+      sum += MixU64(id);
+    }
+    return MixU64(HashString(k) ^ sum ^ MixU64(postings.size()));
+  }
+  static void FillInput(cluster::Cluster&, const AppConfig& config,
+                        PartitionFeeder<core::VectorPartition<SentenceTraits>>& feeder) {
+    workloads::TextConfig tc;
+    tc.seed = config.seed;
+    tc.target_bytes = config.dataset_bytes;
+    tc.vocabulary = 15'000;
+    workloads::ForEachDocument(tc, [&](const std::string& doc) {
+      feeder.Add(doc, SentenceTraits::SizeOf(doc));
+    });
+  }
+};
+
+// ---- WCM: word co-occurrence matrix with the stripes pattern ----
+
+struct StripeKv {
+  using Key = std::string;
+  using Value = std::unordered_map<std::string, std::uint64_t>;
+  static std::uint64_t EntryOverhead() { return kTupleOverhead; }
+  static std::uint64_t KeyBytes(const Key& k) { return k.size(); }
+  static std::uint64_t ValueBytes(const Value& v) {
+    std::uint64_t bytes = 0;
+    for (const auto& [w, c] : v) {
+      bytes += kTupleOverhead + w.size() + 8;
+    }
+    return bytes;
+  }
+  static void WriteEntry(serde::Writer& w, const Key& k, const Value& v) {
+    w.WriteString(k);
+    w.WriteVarint(v.size());
+    for (const auto& [word, count] : v) {
+      w.WriteString(word);
+      w.WriteVarint(count);
+    }
+  }
+  static std::pair<Key, Value> ReadEntry(serde::Reader& r) {
+    Key k = r.ReadString();
+    const std::uint64_t n = r.ReadVarint();
+    Value v;
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::string word = r.ReadString();
+      v[std::move(word)] = r.ReadVarint();
+    }
+    return {std::move(k), std::move(v)};
+  }
+};
+
+struct WcmApp {
+  static constexpr const char* kName = "wcm";
+  using InTraits = SentenceTraits;
+  using KVTraits = StripeKv;
+  using Agg = core::HashAggPartition<StripeKv>;
+  using Value = StripeKv::Value;
+
+  static std::uint64_t InstanceOverheadBytes() { return 0; }
+  template <typename Out>
+  static void MapTuple(Out& out, const std::string& doc, memsim::ManagedHeap* heap) {
+    memsim::HeapCharge temporaries(heap, doc.size() * 4);
+    // Stripes: for each adjacent pair (a, b), stripe[a][b] += 1.
+    std::string prev;
+    ForEachWordIn(doc, [&](std::string word) {
+      if (!prev.empty()) {
+        out.Upsert(prev, [&](Value& stripe) {
+          auto [it, inserted] = stripe.try_emplace(word, 0);
+          ++it->second;
+          return inserted ? static_cast<std::int64_t>(kTupleOverhead + word.size() + 8) : 0;
+        });
+      }
+      prev = std::move(word);
+    });
+  }
+  static std::int64_t MergeValue(Value& into, const Value& from) {
+    std::int64_t delta = 0;
+    for (const auto& [word, count] : from) {
+      auto [it, inserted] = into.try_emplace(word, 0);
+      it->second += count;
+      if (inserted) {
+        delta += static_cast<std::int64_t>(kTupleOverhead + word.size() + 8);
+      }
+    }
+    return delta;
+  }
+  static std::uint64_t HashKey(const std::string& k) { return HashString(k); }
+  static std::uint64_t FingerprintEntry(const std::string& k, const Value& stripe) {
+    std::uint64_t sum = 0;
+    for (const auto& [word, count] : stripe) {
+      sum += MixU64(HashString(word) ^ MixU64(count));
+    }
+    return MixU64(HashString(k) ^ sum);
+  }
+  static void FillInput(cluster::Cluster&, const AppConfig& config,
+                        PartitionFeeder<core::VectorPartition<SentenceTraits>>& feeder) {
+    workloads::TextConfig tc;
+    tc.seed = config.seed;
+    tc.target_bytes = config.dataset_bytes;
+    tc.vocabulary = 500;  // Dense co-occurrence: hot stripes become huge.
+    workloads::ForEachDocument(tc, [&](const std::string& doc) {
+      feeder.Add(doc, SentenceTraits::SizeOf(doc));
+    });
+  }
+};
+
+// ---- CRP: customer review processing through the lemmatizer ----
+
+struct CrpApp : CountAppBase {
+  static constexpr const char* kName = "crp";
+  using Agg = core::HashAggPartition<CountKv>;
+
+  static std::uint64_t InstanceOverheadBytes() { return 0; }
+  template <typename Out>
+  static void MapTuple(Out& out, const std::string& sentence, memsim::ManagedHeap* heap) {
+    // The third-party library allocates ~amplification x sentence bytes of
+    // managed temporaries; for long sentences this alone can exceed the heap.
+    workloads::LemmatizerSim lemmatizer(heap, g_crp_amplification.load());
+    const std::vector<std::string> lemmas = lemmatizer.Lemmatize(sentence);
+    for (const std::string& lemma : lemmas) {
+      out.Upsert(lemma, [](std::uint64_t& v) {
+        const std::int64_t d = CountInsertDelta(v);
+        ++v;
+        return d;
+      });
+    }
+  }
+  static void FillInput(cluster::Cluster&, const AppConfig& config,
+                        PartitionFeeder<core::VectorPartition<SentenceTraits>>& feeder) {
+    workloads::ReviewsConfig rc;
+    rc.seed = config.seed;
+    rc.target_bytes = config.dataset_bytes;
+    const bool break_long = g_crp_break_sentences.load();
+    workloads::ForEachSentence(rc, [&](const std::string& sentence) {
+      if (!break_long || sentence.size() <= 512) {
+        feeder.Add(sentence, SentenceTraits::SizeOf(sentence));
+        return;
+      }
+      // The StackOverflow-recommended fix: manually pre-break long sentences
+      // so no single lemmatizer call blows up (§2 "skew fixing").
+      for (std::size_t off = 0; off < sentence.size(); off += 512) {
+        std::string piece = sentence.substr(off, 512);
+        const std::uint64_t bytes = SentenceTraits::SizeOf(piece);
+        feeder.Add(std::move(piece), bytes);
+      }
+    });
+  }
+};
+
+}  // namespace
+
+AppResult RunHadoopProblem(const std::string& name, cluster::Cluster& cluster,
+                           const HadoopProblemConfig& config, Mode mode) {
+  g_msa_table_bytes.store(config.msa_table_bytes);
+  g_crp_amplification.store(config.crp_amplification);
+  g_crp_break_sentences.store(config.crp_break_long_sentences);
+  if (name == "MSA") {
+    return AggApp<MsaApp>::Run(cluster, config, mode);
+  }
+  if (name == "IMC") {
+    return AggApp<ImcApp>::Run(cluster, config, mode);
+  }
+  if (name == "IIB") {
+    return AggApp<IibApp>::Run(cluster, config, mode);
+  }
+  if (name == "WCM") {
+    return AggApp<WcmApp>::Run(cluster, config, mode);
+  }
+  if (name == "CRP") {
+    return AggApp<CrpApp>::Run(cluster, config, mode);
+  }
+  throw std::invalid_argument("unknown Hadoop problem: " + name);
+}
+
+}  // namespace itask::apps

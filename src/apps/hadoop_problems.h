@@ -1,0 +1,36 @@
+// The five real-world Hadoop memory problems reproduced in the paper's §6.1
+// (Table 1), each runnable as the regular Hadoop job (crashes with OME under
+// the reported configuration) or as its ITask port:
+//   MSA — Map-Side Aggregation: every Map instance loads a large side table
+//         for a map-side hash join, then aggregates in map memory.
+//   IMC — In-Map Combiner: per-mapper combining map grows with the number of
+//         distinct keys.
+//   IIB — Inverted-Index Building: posting lists for hot terms explode.
+//   WCM — Word Co-occurrence Matrix (stripes): map-valued "stripe" rows.
+//   CRP — Customer Review Processing: a third-party lemmatizer needs ~1000x
+//         the sentence size in temporary memory.
+#ifndef ITASK_APPS_HADOOP_PROBLEMS_H_
+#define ITASK_APPS_HADOOP_PROBLEMS_H_
+
+#include <string>
+
+#include "apps/common.h"
+
+namespace itask::apps {
+
+struct HadoopProblemConfig : AppConfig {
+  // MSA: bytes of the side table each Map instance loads.
+  std::uint64_t msa_table_bytes = 0;
+  // CRP: lemmatizer temporary-memory amplification factor.
+  std::uint32_t crp_amplification = 1'000;
+  // CRP "skew fix": pre-break long sentences (the tuned configuration).
+  bool crp_break_long_sentences = false;
+};
+
+// |name| is one of "MSA", "IMC", "IIB", "WCM", "CRP".
+AppResult RunHadoopProblem(const std::string& name, cluster::Cluster& cluster,
+                           const HadoopProblemConfig& config, Mode mode);
+
+}  // namespace itask::apps
+
+#endif  // ITASK_APPS_HADOOP_PROBLEMS_H_

@@ -1,0 +1,301 @@
+// WordCount, InvertedIndex and GroupBy — instances of the generic
+// aggregation pipeline (see agg_app.h).
+#include <cmath>
+
+#include "apps/agg_app.h"
+#include "apps/hyracks_apps.h"
+#include "workloads/text.h"
+#include "workloads/tpch.h"
+
+namespace itask::apps {
+namespace {
+
+// Models Java string + object-header overhead on small tuples.
+constexpr std::uint64_t kTupleOverhead = 48;
+
+// ---- WordCount ----
+
+struct DocTraits {
+  using Tuple = std::string;
+  static std::uint64_t SizeOf(const Tuple& t) { return t.size() + kTupleOverhead; }
+  static void Write(serde::Writer& w, const Tuple& t) { w.WriteString(t); }
+  static Tuple Read(serde::Reader& r) { return r.ReadString(); }
+};
+
+struct CountKv {
+  using Key = std::string;
+  using Value = std::uint64_t;
+  static std::uint64_t EntryOverhead() { return kTupleOverhead; }
+  static std::uint64_t KeyBytes(const Key& k) { return k.size(); }
+  static std::uint64_t ValueBytes(const Value&) { return 8; }
+  static void WriteEntry(serde::Writer& w, const Key& k, const Value& v) {
+    w.WriteString(k);
+    w.WriteVarint(v);
+  }
+  static std::pair<Key, Value> ReadEntry(serde::Reader& r) {
+    Key k = r.ReadString();
+    Value v = r.ReadVarint();
+    return {std::move(k), v};
+  }
+};
+
+// Folds whitespace-separated words of |text| via |fn(word)|.
+template <typename Fn>
+void ForEachWordIn(const std::string& text, const Fn& fn) {
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find(' ', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    if (end > start) {
+      fn(text.substr(start, end - start));
+    }
+    start = end + 1;
+  }
+}
+
+struct WcApp {
+  static constexpr const char* kName = "wc";
+  using InTraits = DocTraits;
+  using KVTraits = CountKv;
+  using Agg = core::HashAggPartition<CountKv>;
+
+  template <typename Out>
+  static void MapTuple(Out& out, const std::string& doc, memsim::ManagedHeap* heap) {
+    // Tokenization temporaries (substrings, boxing) — the managed-language
+    // bloat the paper's motivation cites; immediately garbage.
+    memsim::HeapCharge temporaries(heap, doc.size() * 4);
+    ForEachWordIn(doc, [&](std::string word) {
+      out.Upsert(word, [](std::uint64_t& v) {
+        const std::int64_t delta = (v == 0) ? 8 : 0;
+        ++v;
+        return delta;
+      });
+    });
+  }
+  static std::int64_t MergeValue(std::uint64_t& into, const std::uint64_t& from) {
+    const std::int64_t delta = (into == 0) ? 8 : 0;
+    into += from;
+    return delta;
+  }
+  static std::uint64_t HashKey(const std::string& k) { return HashString(k); }
+  static std::uint64_t FingerprintEntry(const std::string& k, const std::uint64_t& v) {
+    return MixU64(HashString(k) ^ MixU64(v));
+  }
+  static std::uint64_t InstanceOverheadBytes() { return 0; }
+  static void FillInput(cluster::Cluster& /*cluster*/, const AppConfig& config,
+                        PartitionFeeder<core::VectorPartition<DocTraits>>& feeder) {
+    workloads::TextConfig tc;
+    tc.seed = config.seed;
+    tc.target_bytes = config.dataset_bytes;
+    // Distinct-word vocabulary grows with the corpus; per-thread hash state
+    // then outgrows a fixed heap at the upper dataset sizes, which is what
+    // breaks the original WC in the paper's Figure 9/10.
+    tc.vocabulary = std::max<std::uint64_t>(2'000, config.dataset_bytes / 192);
+    workloads::ForEachDocument(tc, [&](const std::string& doc) {
+      feeder.Add(doc, DocTraits::SizeOf(doc));
+    });
+  }
+};
+
+// ---- InvertedIndex ----
+
+struct Document {
+  std::uint64_t id = 0;
+  std::string text;
+};
+
+struct DocumentTraits {
+  using Tuple = Document;
+  static std::uint64_t SizeOf(const Tuple& t) { return t.text.size() + 8 + kTupleOverhead; }
+  static void Write(serde::Writer& w, const Tuple& t) {
+    w.WriteVarint(t.id);
+    w.WriteString(t.text);
+  }
+  static Tuple Read(serde::Reader& r) {
+    Document d;
+    d.id = r.ReadVarint();
+    d.text = r.ReadString();
+    return d;
+  }
+};
+
+struct PostingsKv {
+  using Key = std::string;
+  using Value = std::vector<std::uint64_t>;
+  static std::uint64_t EntryOverhead() { return kTupleOverhead; }
+  static std::uint64_t KeyBytes(const Key& k) { return k.size(); }
+  static std::uint64_t ValueBytes(const Value& v) { return 8 * v.size(); }
+  static void WriteEntry(serde::Writer& w, const Key& k, const Value& v) {
+    w.WriteString(k);
+    w.WriteVarint(v.size());
+    for (std::uint64_t id : v) {
+      w.WriteVarint(id);
+    }
+  }
+  static std::pair<Key, Value> ReadEntry(serde::Reader& r) {
+    Key k = r.ReadString();
+    Value v(r.ReadVarint());
+    for (auto& id : v) {
+      id = r.ReadVarint();
+    }
+    return {std::move(k), std::move(v)};
+  }
+};
+
+struct IiApp {
+  static constexpr const char* kName = "ii";
+  using InTraits = DocumentTraits;
+  using KVTraits = PostingsKv;
+  using Agg = core::HashAggPartition<PostingsKv>;
+
+  template <typename Out>
+  static void MapTuple(Out& out, const Document& doc, memsim::ManagedHeap* heap) {
+    memsim::HeapCharge temporaries(heap, doc.text.size() * 4);
+    ForEachWordIn(doc.text, [&](std::string word) {
+      out.Upsert(word, [&](std::vector<std::uint64_t>& postings) {
+        postings.push_back(doc.id);
+        return 8;
+      });
+    });
+  }
+  static std::int64_t MergeValue(std::vector<std::uint64_t>& into,
+                                 const std::vector<std::uint64_t>& from) {
+    into.insert(into.end(), from.begin(), from.end());
+    return static_cast<std::int64_t>(8 * from.size());
+  }
+  static std::uint64_t HashKey(const std::string& k) { return HashString(k); }
+  static std::uint64_t FingerprintEntry(const std::string& k,
+                                        const std::vector<std::uint64_t>& postings) {
+    // Order-independent multiset fingerprint: merge order varies across runs.
+    std::uint64_t sum = 0;
+    for (std::uint64_t id : postings) {
+      sum += MixU64(id);
+    }
+    return MixU64(HashString(k) ^ sum ^ MixU64(postings.size()));
+  }
+  static std::uint64_t InstanceOverheadBytes() { return 0; }
+  static void FillInput(cluster::Cluster& /*cluster*/, const AppConfig& config,
+                        PartitionFeeder<core::VectorPartition<DocumentTraits>>& feeder) {
+    workloads::TextConfig tc;
+    tc.seed = config.seed;
+    tc.target_bytes = config.dataset_bytes;
+    tc.vocabulary = 20'000;  // Hot words accumulate enormous posting lists.
+    std::uint64_t next_id = 1;
+    workloads::ForEachDocument(tc, [&](const std::string& text) {
+      Document d{next_id++, text};
+      const std::uint64_t bytes = DocumentTraits::SizeOf(d);
+      feeder.Add(std::move(d), bytes);
+    });
+  }
+};
+
+// ---- GroupBy ----
+
+struct LineItemTraits {
+  using Tuple = workloads::LineItem;
+  static std::uint64_t SizeOf(const Tuple&) { return sizeof(Tuple) + kTupleOverhead; }
+  static void Write(serde::Writer& w, const Tuple& t) { w.WritePod(t); }
+  static Tuple Read(serde::Reader& r) { return r.ReadPod<Tuple>(); }
+};
+
+struct GroupStats {
+  std::uint64_t count = 0;
+  std::uint64_t sum_quantity = 0;
+  std::uint64_t sum_price_cents = 0;
+};
+
+struct GroupKv {
+  using Key = std::uint64_t;
+  using Value = GroupStats;
+  static std::uint64_t EntryOverhead() { return kTupleOverhead; }
+  static std::uint64_t KeyBytes(const Key&) { return 8; }
+  static std::uint64_t ValueBytes(const Value&) { return sizeof(GroupStats); }
+  static void WriteEntry(serde::Writer& w, const Key& k, const Value& v) {
+    w.WriteVarint(k);
+    w.WritePod(v);
+  }
+  static std::pair<Key, Value> ReadEntry(serde::Reader& r) {
+    Key k = r.ReadVarint();
+    Value v = r.ReadPod<Value>();
+    return {k, v};
+  }
+};
+
+struct GrApp {
+  static constexpr const char* kName = "gr";
+  using InTraits = LineItemTraits;
+  using KVTraits = GroupKv;
+  using Agg = core::HashAggPartition<GroupKv>;
+
+  template <typename Out>
+  static void MapTuple(Out& out, const workloads::LineItem& li, memsim::ManagedHeap* heap) {
+    memsim::HeapCharge temporaries(heap, 256);  // Row-object + boxing churn.
+    out.Upsert(li.order_key, [&](GroupStats& s) {
+      const std::int64_t delta = (s.count == 0) ? static_cast<std::int64_t>(sizeof(GroupStats)) : 0;
+      ++s.count;
+      s.sum_quantity += li.quantity;
+      s.sum_price_cents += static_cast<std::uint64_t>(li.extended_price * 100.0 + 0.5);
+      return delta;
+    });
+  }
+  static std::int64_t MergeValue(GroupStats& into, const GroupStats& from) {
+    const std::int64_t delta = (into.count == 0) ? static_cast<std::int64_t>(sizeof(GroupStats)) : 0;
+    into.count += from.count;
+    into.sum_quantity += from.sum_quantity;
+    into.sum_price_cents += from.sum_price_cents;
+    return delta;
+  }
+  static std::uint64_t HashKey(const std::uint64_t& k) { return MixU64(k); }
+  static std::uint64_t FingerprintEntry(const std::uint64_t& k, const GroupStats& v) {
+    return MixU64(MixU64(k) ^ MixU64(v.count) ^ MixU64(v.sum_quantity) ^
+                  MixU64(v.sum_price_cents));
+  }
+  static std::uint64_t InstanceOverheadBytes() { return 0; }
+  static void FillInput(cluster::Cluster& /*cluster*/, const AppConfig& config,
+                        PartitionFeeder<core::VectorPartition<LineItemTraits>>& feeder) {
+    workloads::TpchConfig tc;
+    tc.seed = config.seed;
+    tc.scale = config.tpch_scale;
+    workloads::ForEachLineItem(tc, [&](const workloads::LineItem& li) {
+      feeder.Add(li, LineItemTraits::SizeOf(li));
+    });
+  }
+};
+
+}  // namespace
+
+AppResult RunWordCount(cluster::Cluster& cluster, const AppConfig& config, Mode mode) {
+  return AggApp<WcApp>::Run(cluster, config, mode);
+}
+
+AppResult RunInvertedIndex(cluster::Cluster& cluster, const AppConfig& config, Mode mode) {
+  return AggApp<IiApp>::Run(cluster, config, mode);
+}
+
+AppResult RunGroupBy(cluster::Cluster& cluster, const AppConfig& config, Mode mode) {
+  return AggApp<GrApp>::Run(cluster, config, mode);
+}
+
+AppResult RunHyracksApp(const std::string& name, cluster::Cluster& cluster,
+                        const AppConfig& config, Mode mode) {
+  if (name == "WC") {
+    return RunWordCount(cluster, config, mode);
+  }
+  if (name == "II") {
+    return RunInvertedIndex(cluster, config, mode);
+  }
+  if (name == "GR") {
+    return RunGroupBy(cluster, config, mode);
+  }
+  if (name == "HS") {
+    return RunHeapSort(cluster, config, mode);
+  }
+  if (name == "HJ") {
+    return RunHashJoin(cluster, config, mode);
+  }
+  throw std::invalid_argument("unknown Hyracks app: " + name);
+}
+
+}  // namespace itask::apps

@@ -1,0 +1,27 @@
+// The five Hyracks benchmark programs of the paper's §6.2, each runnable in
+// regular (baseline) and ITask mode on the simulated cluster:
+//   WC — WordCount        (Zipf text corpus)
+//   HS — HeapSort         (webmap-derived keys, global sort)
+//   II — InvertedIndex    (documents -> posting lists; worst scalability)
+//   HJ — HashJoin         (TPC-H customers x orders)
+//   GR — GroupBy          (TPC-H lineitems grouped by order)
+#ifndef ITASK_APPS_HYRACKS_APPS_H_
+#define ITASK_APPS_HYRACKS_APPS_H_
+
+#include "apps/common.h"
+
+namespace itask::apps {
+
+AppResult RunWordCount(cluster::Cluster& cluster, const AppConfig& config, Mode mode);
+AppResult RunInvertedIndex(cluster::Cluster& cluster, const AppConfig& config, Mode mode);
+AppResult RunGroupBy(cluster::Cluster& cluster, const AppConfig& config, Mode mode);
+AppResult RunHeapSort(cluster::Cluster& cluster, const AppConfig& config, Mode mode);
+AppResult RunHashJoin(cluster::Cluster& cluster, const AppConfig& config, Mode mode);
+
+// Uniform dispatch for sweep benches. Name is one of "WC","HS","II","HJ","GR".
+AppResult RunHyracksApp(const std::string& name, cluster::Cluster& cluster,
+                        const AppConfig& config, Mode mode);
+
+}  // namespace itask::apps
+
+#endif  // ITASK_APPS_HYRACKS_APPS_H_

@@ -1,0 +1,43 @@
+// Cluster: a fixed set of simulated nodes sharing nothing but the process.
+#ifndef ITASK_CLUSTER_CLUSTER_H_
+#define ITASK_CLUSTER_CLUSTER_H_
+
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "cluster/node.h"
+
+namespace itask::cluster {
+
+struct ClusterConfig {
+  int num_nodes = 4;
+  memsim::HeapConfig heap;
+  std::filesystem::path spill_root = std::filesystem::temp_directory_path();
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config) : config_(config) {
+    for (int i = 0; i < config.num_nodes; ++i) {
+      nodes_.push_back(std::make_unique<Node>(i, config.heap, config.spill_root));
+    }
+  }
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  Node& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
+  const ClusterConfig& config() const { return config_; }
+
+  // The node a key hashes to (shuffle routing).
+  int NodeForHash(std::uint64_t hash) const {
+    return static_cast<int>(hash % static_cast<std::uint64_t>(nodes_.size()));
+  }
+
+ private:
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace itask::cluster
+
+#endif  // ITASK_CLUSTER_CLUSTER_H_

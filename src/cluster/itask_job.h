@@ -1,0 +1,71 @@
+// ItaskJob: convenience wrapper that stands up one IRS instance per cluster
+// node, shares a JobState among them, and runs a job to completion.
+//
+// Engines register the same task specs on every node (ids must match across
+// nodes for the global running counters), push inputs in the feed callback,
+// and read aggregated metrics afterwards.
+#ifndef ITASK_CLUSTER_ITASK_JOB_H_
+#define ITASK_CLUSTER_ITASK_JOB_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "itask/coordinator.h"
+#include "itask/runtime.h"
+
+namespace itask::cluster {
+
+class ItaskJob {
+ public:
+  ItaskJob(Cluster& cluster, const core::IrsConfig& config)
+      : state_(std::make_shared<core::JobState>()) {
+    for (int i = 0; i < cluster.size(); ++i) {
+      Node& node = cluster.node(i);
+      core::NodeServices services{node.id(), node.name(), &node.heap(), &node.spill()};
+      runtimes_.push_back(std::make_unique<core::IrsRuntime>(services, config, state_));
+    }
+  }
+
+  int num_nodes() const { return static_cast<int>(runtimes_.size()); }
+  core::IrsRuntime& runtime(int node) { return *runtimes_[static_cast<std::size_t>(node)]; }
+  core::JobState& state() { return *state_; }
+
+  // Registers the same task on every node. |make_spec| is called once per
+  // node so per-node routing closures can capture the node id.
+  void RegisterTaskPerNode(const std::function<core::TaskSpec(int node)>& make_spec) {
+    for (int i = 0; i < num_nodes(); ++i) {
+      runtimes_[static_cast<std::size_t>(i)]->graph().Register(make_spec(i));
+    }
+  }
+
+  void SetSinkPerNode(const std::function<std::function<void(core::PartitionPtr)>(int node)>& make_sink) {
+    for (int i = 0; i < num_nodes(); ++i) {
+      runtimes_[static_cast<std::size_t>(i)]->SetSink(make_sink(i));
+    }
+  }
+
+  // Runs to completion; returns false if aborted (including a blown
+  // deadline_ms, when > 0).
+  bool Run(const std::function<void()>& feed, double deadline_ms = 0.0) {
+    std::vector<core::IrsRuntime*> ptrs;
+    ptrs.reserve(runtimes_.size());
+    for (auto& r : runtimes_) {
+      ptrs.push_back(r.get());
+    }
+    coordinator_ = std::make_unique<core::JobCoordinator>(state_, ptrs);
+    return coordinator_->Run(feed, deadline_ms);
+  }
+
+  common::RunMetrics Metrics() const { return coordinator_->AggregateMetrics(); }
+
+ private:
+  std::shared_ptr<core::JobState> state_;
+  std::vector<std::unique_ptr<core::IrsRuntime>> runtimes_;
+  std::unique_ptr<core::JobCoordinator> coordinator_;
+};
+
+}  // namespace itask::cluster
+
+#endif  // ITASK_CLUSTER_ITASK_JOB_H_

@@ -1,0 +1,38 @@
+// Node: one simulated cluster machine — a managed heap, a spill directory and
+// a name. The paper's evaluation runs on an 11-node EC2 cluster; here nodes
+// are in-process so per-node memory pressure can be reproduced deterministically.
+#ifndef ITASK_CLUSTER_NODE_H_
+#define ITASK_CLUSTER_NODE_H_
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "memsim/managed_heap.h"
+#include "serde/spill_manager.h"
+
+namespace itask::cluster {
+
+class Node {
+ public:
+  Node(int id, const memsim::HeapConfig& heap_config, const std::filesystem::path& spill_root)
+      : id_(id),
+        name_("node" + std::to_string(id)),
+        heap_(heap_config),
+        spill_(spill_root, name_) {}
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  memsim::ManagedHeap& heap() { return heap_; }
+  serde::SpillManager& spill() { return spill_; }
+
+ private:
+  int id_;
+  std::string name_;
+  memsim::ManagedHeap heap_;
+  serde::SpillManager spill_;
+};
+
+}  // namespace itask::cluster
+
+#endif  // ITASK_CLUSTER_NODE_H_

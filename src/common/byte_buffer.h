@@ -1,0 +1,57 @@
+// Growable byte buffer with a read cursor — the in-memory serialized form of a
+// data partition and the unit the spill manager writes to disk.
+#ifndef ITASK_COMMON_BYTE_BUFFER_H_
+#define ITASK_COMMON_BYTE_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace itask::common {
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::vector<std::uint8_t> data) : data_(std::move(data)) {}
+
+  void Append(const void* src, std::size_t n) {
+    const auto* bytes = static_cast<const std::uint8_t*>(src);
+    data_.insert(data_.end(), bytes, bytes + n);
+  }
+
+  // Reads n bytes at the cursor into dst and advances. Throws on underflow.
+  void Read(void* dst, std::size_t n) {
+    if (cursor_ + n > data_.size()) {
+      throw std::out_of_range("ByteBuffer::Read past end");
+    }
+    std::memcpy(dst, data_.data() + cursor_, n);
+    cursor_ += n;
+  }
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t remaining() const { return data_.size() - cursor_; }
+  std::size_t cursor() const { return cursor_; }
+  void ResetCursor() { cursor_ = 0; }
+  bool AtEnd() const { return cursor_ == data_.size(); }
+
+  const std::uint8_t* data() const { return data_.data(); }
+  std::vector<std::uint8_t>& bytes() { return data_; }
+  const std::vector<std::uint8_t>& bytes() const { return data_; }
+
+  void Clear() {
+    data_.clear();
+    cursor_ = 0;
+  }
+
+  void Reserve(std::size_t n) { data_.reserve(n); }
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace itask::common
+
+#endif  // ITASK_COMMON_BYTE_BUFFER_H_

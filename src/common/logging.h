@@ -1,0 +1,69 @@
+// Minimal leveled, thread-safe logger for the ITask runtime.
+//
+// Logging is intentionally lightweight: benches run multi-threaded jobs whose
+// timing we measure, so the default level is kWarn and each call is a single
+// atomic load when disabled.
+#ifndef ITASK_COMMON_LOGGING_H_
+#define ITASK_COMMON_LOGGING_H_
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace itask::common {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Returns the process-wide minimum level that will be emitted.
+LogLevel GetLogLevel();
+
+// Sets the process-wide minimum level. Thread-safe.
+void SetLogLevel(LogLevel level);
+
+// True if a message at |level| would be emitted.
+bool LogEnabled(LogLevel level);
+
+// Emits one formatted line to stderr. Thread-safe (single write syscall).
+void LogLine(LogLevel level, const char* file, int line, const std::string& message);
+
+namespace internal {
+
+// Stream-style collector used by the LOG macro; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace itask::common
+
+#define ITASK_LOG(level)                                                            \
+  if (!::itask::common::LogEnabled(level)) {                                        \
+  } else                                                                            \
+    ::itask::common::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define LOG_TRACE() ITASK_LOG(::itask::common::LogLevel::kTrace)
+#define LOG_DEBUG() ITASK_LOG(::itask::common::LogLevel::kDebug)
+#define LOG_INFO() ITASK_LOG(::itask::common::LogLevel::kInfo)
+#define LOG_WARN() ITASK_LOG(::itask::common::LogLevel::kWarn)
+#define LOG_ERROR() ITASK_LOG(::itask::common::LogLevel::kError)
+
+#endif  // ITASK_COMMON_LOGGING_H_

@@ -1,0 +1,51 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace itask::common {
+
+void RunMetrics::AccumulateNode(const RunMetrics& node) {
+  gc_ms += node.gc_ms;
+  gc_count += node.gc_count;
+  lugc_count += node.lugc_count;
+  peak_heap_bytes = std::max(peak_heap_bytes, node.peak_heap_bytes);
+  interrupts += node.interrupts;
+  ome_interrupts += node.ome_interrupts;
+  reactivations += node.reactivations;
+  spilled_bytes += node.spilled_bytes;
+  loaded_bytes += node.loaded_bytes;
+  released_processed_input_bytes += node.released_processed_input_bytes;
+  released_final_result_bytes += node.released_final_result_bytes;
+  parked_intermediate_bytes += node.parked_intermediate_bytes;
+  lazy_serialized_bytes += node.lazy_serialized_bytes;
+  out_of_memory = out_of_memory || node.out_of_memory;
+}
+
+std::string RunMetrics::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s wall=%.1fms gc=%.1fms (%llu GCs, %llu LUGC) peak=%s interrupts=%llu",
+                succeeded ? "ok" : (out_of_memory ? "OME" : "failed"), wall_ms, gc_ms,
+                static_cast<unsigned long long>(gc_count),
+                static_cast<unsigned long long>(lugc_count), FormatBytes(peak_heap_bytes).c_str(),
+                static_cast<unsigned long long>(interrupts));
+  return buf;
+}
+
+std::string FormatBytes(std::uint64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= 1024ULL * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2fGB", b / (1024.0 * 1024.0 * 1024.0));
+  } else if (bytes >= 1024ULL * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB", b / (1024.0 * 1024.0));
+  } else if (bytes >= 1024ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", b / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace itask::common

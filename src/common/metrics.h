@@ -1,0 +1,53 @@
+// Run-level metrics shared by tests, benches and examples.
+#ifndef ITASK_COMMON_METRICS_H_
+#define ITASK_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace itask::common {
+
+// Outcome of one execution of a data-parallel job on the simulated cluster.
+struct RunMetrics {
+  bool succeeded = false;
+  bool out_of_memory = false;
+
+  double wall_ms = 0.0;       // End-to-end wall time (includes GC pauses).
+  double gc_ms = 0.0;         // Total stop-the-world collector time across nodes.
+  std::uint64_t gc_count = 0;
+  std::uint64_t lugc_count = 0;
+
+  std::uint64_t peak_heap_bytes = 0;  // Max over nodes of per-node peak usage.
+
+  // ITask-specific counters (zero for regular executions).
+  std::uint64_t interrupts = 0;
+  std::uint64_t ome_interrupts = 0;
+  std::uint64_t reactivations = 0;
+  std::uint64_t spilled_bytes = 0;
+  std::uint64_t loaded_bytes = 0;
+
+  // Staged-release savings breakdown (paper Table 2), in bytes.
+  std::uint64_t released_processed_input_bytes = 0;
+  std::uint64_t released_final_result_bytes = 0;
+  std::uint64_t parked_intermediate_bytes = 0;
+  std::uint64_t lazy_serialized_bytes = 0;
+
+  // Result fingerprint for cross-checking regular vs ITask runs.
+  std::uint64_t result_checksum = 0;
+  std::uint64_t result_records = 0;
+
+  double ComputeMs() const { return wall_ms > gc_ms ? wall_ms - gc_ms : 0.0; }
+
+  // Merges per-node metrics into a job-level aggregate (sums counters, maxes
+  // peaks; wall time is taken from the caller's stopwatch, not merged).
+  void AccumulateNode(const RunMetrics& node);
+
+  std::string Summary() const;
+};
+
+// Formats a byte count as a human-readable string ("12.3MB").
+std::string FormatBytes(std::uint64_t bytes);
+
+}  // namespace itask::common
+
+#endif  // ITASK_COMMON_METRICS_H_

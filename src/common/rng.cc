@@ -1,0 +1,43 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace itask::common {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta_));
+}
+
+double ZipfSampler::H(double x) const {
+  // Integral of 1/x^theta: handles theta == 1 (harmonic) separately.
+  if (theta_ == 1.0) {
+    return std::log(x);
+  }
+  return (std::pow(x, 1.0 - theta_) - 1.0) / (1.0 - theta_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (theta_ == 1.0) {
+    return std::exp(x);
+  }
+  return std::pow(1.0 + x * (1.0 - theta_), 1.0 / (1.0 - theta_));
+}
+
+std::uint64_t ZipfSampler::Sample(Rng& rng) const {
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    const auto k = static_cast<std::uint64_t>(x + 0.5);
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_) {
+      return k < 1 ? 1 : (k > n_ ? n_ : k);
+    }
+    if (u >= H(kd + 0.5) - std::pow(kd, -theta_)) {
+      return k < 1 ? 1 : (k > n_ ? n_ : k);
+    }
+  }
+}
+
+}  // namespace itask::common

@@ -1,0 +1,68 @@
+// Deterministic random number generation for workload synthesis.
+//
+// All workload generators take explicit seeds so every bench and test run is
+// reproducible. SplitMix64 is used for state initialization and as the core
+// generator; Zipf sampling uses the rejection-inversion method of Hörmann,
+// which is O(1) per sample independent of the universe size.
+#ifndef ITASK_COMMON_RNG_H_
+#define ITASK_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace itask::common {
+
+// SplitMix64: tiny, fast, passes BigCrush when used as a mixer.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t NextU64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) { return NextU64() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi) {
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Samples ranks 1..n with P(k) proportional to 1/k^theta.
+// Rejection-inversion sampler; construction is O(1), sampling is O(1) expected.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double theta);
+
+  // Returns a rank in [1, n].
+  std::uint64_t Sample(Rng& rng) const;
+
+  std::uint64_t universe() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  std::uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace itask::common
+
+#endif  // ITASK_COMMON_RNG_H_

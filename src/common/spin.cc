@@ -1,0 +1,19 @@
+#include "common/spin.h"
+
+namespace itask::common {
+
+void SpinFor(std::chrono::nanoseconds duration) {
+  if (duration.count() <= 0) {
+    return;
+  }
+  const auto deadline = std::chrono::steady_clock::now() + duration;
+  // Volatile sink prevents the loop from being optimized away.
+  volatile std::uint64_t sink = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 64; ++i) {
+      sink = sink + static_cast<std::uint64_t>(i);
+    }
+  }
+}
+
+}  // namespace itask::common

@@ -1,0 +1,43 @@
+// Calibrated busy-wait used to model deterministic CPU costs (GC pauses,
+// per-tuple compute) as real wall-clock time.
+//
+// The managed-heap collector models its pause as `base + bytes * rate`; to make
+// that pause visible in wall-clock measurements the collector burns CPU for the
+// computed duration instead of sleeping (a sleeping thread would free the core
+// and understate stop-the-world cost on oversubscribed nodes).
+#ifndef ITASK_COMMON_SPIN_H_
+#define ITASK_COMMON_SPIN_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace itask::common {
+
+// Burns CPU for approximately |duration|. Monotonic-clock bounded, so it is
+// immune to calibration drift; accuracy is within a few microseconds.
+void SpinFor(std::chrono::nanoseconds duration);
+
+// Convenience overload in nanoseconds.
+inline void SpinForNs(std::uint64_t ns) { SpinFor(std::chrono::nanoseconds(ns)); }
+
+// A stopwatch over the steady clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  std::chrono::nanoseconds Elapsed() const { return Clock::now() - start_; }
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Elapsed()).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace itask::common
+
+#endif  // ITASK_COMMON_SPIN_H_

@@ -1,0 +1,35 @@
+// Fixed-width ASCII table printer used by the benchmark harnesses to emit
+// paper-style tables and figure series.
+#ifndef ITASK_COMMON_TABLE_PRINTER_H_
+#define ITASK_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace itask::common {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table with a header rule, column-aligned.
+  std::string ToString() const;
+
+  // Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Small numeric formatting helpers for table cells.
+std::string FormatMs(double ms);
+std::string FormatPct(double fraction);   // 0.42 -> "42.0%"
+std::string FormatRatio(double ratio);    // 2.5 -> "2.50x"
+
+}  // namespace itask::common
+
+#endif  // ITASK_COMMON_TABLE_PRINTER_H_

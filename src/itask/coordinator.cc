@@ -1,0 +1,64 @@
+#include "itask/coordinator.h"
+
+#include <thread>
+
+#include "common/logging.h"
+#include "common/spin.h"
+
+namespace itask::core {
+
+bool JobCoordinator::Run(const std::function<void()>& feed, double deadline_ms) {
+  common::Stopwatch watch;
+  for (IrsRuntime* runtime : runtimes_) {
+    runtime->FinalizeGraph();
+  }
+  // Feed before starting the workers: inputs are pushed in disk-resident form
+  // (like HDFS blocks), so generation does not contend with running tasks for
+  // heap space.
+  feed();
+  state_->external_done.store(true, std::memory_order_release);
+  for (IrsRuntime* runtime : runtimes_) {
+    runtime->Start();
+  }
+
+  int quiescent_streak = 0;
+  while (true) {
+    if (state_->aborted.load(std::memory_order_acquire)) {
+      aborted_ = true;
+      break;
+    }
+    if (state_->Quiescent()) {
+      if (++quiescent_streak >= 3) {
+        aborted_ = false;
+        break;
+      }
+    } else {
+      quiescent_streak = 0;
+    }
+    if (deadline_ms > 0.0 && watch.ElapsedMs() > deadline_ms) {
+      LOG_WARN() << "job deadline of " << deadline_ms << "ms exceeded; aborting";
+      state_->aborted.store(true, std::memory_order_release);
+      aborted_ = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  for (IrsRuntime* runtime : runtimes_) {
+    runtime->Stop();
+  }
+  wall_ms_ = watch.ElapsedMs();
+  return !aborted_;
+}
+
+common::RunMetrics JobCoordinator::AggregateMetrics() const {
+  common::RunMetrics total;
+  for (const IrsRuntime* runtime : runtimes_) {
+    total.AccumulateNode(runtime->NodeMetrics());
+  }
+  total.wall_ms = wall_ms_;
+  total.succeeded = !aborted_;
+  return total;
+}
+
+}  // namespace itask::core

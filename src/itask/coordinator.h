@@ -1,0 +1,42 @@
+// JobCoordinator: drives one ITask job across the IRS instances of every
+// node in the simulated cluster and detects global completion.
+#ifndef ITASK_ITASK_COORDINATOR_H_
+#define ITASK_ITASK_COORDINATOR_H_
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/metrics.h"
+#include "itask/job_state.h"
+#include "itask/runtime.h"
+
+namespace itask::core {
+
+class JobCoordinator {
+ public:
+  JobCoordinator(std::shared_ptr<JobState> state, std::vector<IrsRuntime*> runtimes)
+      : state_(std::move(state)), runtimes_(std::move(runtimes)) {}
+
+  // Starts every runtime, invokes |feed| (which pushes all external input),
+  // marks external input done, then blocks until the job is globally
+  // quiescent or aborted. Runtimes are stopped before returning.
+  // |deadline_ms| > 0 aborts the job after that long (guards against
+  // workloads whose final result genuinely cannot fit the heap).
+  // Returns true on success, false if the job aborted.
+  bool Run(const std::function<void()>& feed, double deadline_ms = 0.0);
+
+  // Sums per-node metrics and stamps the wall time of the last Run().
+  common::RunMetrics AggregateMetrics() const;
+
+ private:
+  std::shared_ptr<JobState> state_;
+  std::vector<IrsRuntime*> runtimes_;
+  double wall_ms_ = 0.0;
+  bool aborted_ = false;
+};
+
+}  // namespace itask::core
+
+#endif  // ITASK_ITASK_COORDINATOR_H_

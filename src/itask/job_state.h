@@ -1,0 +1,61 @@
+// JobState: cluster-global accounting shared by every node's IRS instance.
+//
+// The coordinator and the schedulers need two global facts:
+//  (1) completion — the job is done when no partition is queued anywhere and
+//      no task instance is running anywhere (after external input ends);
+//  (2) merge readiness — an MITask group may only run when every upstream
+//      producer type is quiescent ("wait until all intermediate results for
+//      the same input are produced", paper §3).
+// Counter discipline: a dispatch increments running[spec] *before* popping the
+// queue, and a worker decrements it *after* re-pushing interrupted inputs, so
+// an observer never sees a spurious all-zero window.
+#ifndef ITASK_ITASK_JOB_STATE_H_
+#define ITASK_ITASK_JOB_STATE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "itask/types.h"
+
+namespace itask::core {
+
+struct JobState {
+  std::array<std::atomic<std::uint64_t>, kMaxTypes> queued_by_type{};
+  std::array<std::atomic<std::uint64_t>, kMaxSpecs> running_by_spec{};
+  std::atomic<std::uint64_t> total_queued{0};
+  std::atomic<std::uint64_t> total_running{0};
+
+  // Set by the engine once all initial/external partitions have been pushed.
+  std::atomic<bool> external_done{false};
+
+  // Fatal error raised by any node (e.g. a tuple that cannot fit in memory).
+  std::atomic<bool> aborted{false};
+
+  void NotePush(TypeId type) {
+    queued_by_type[type].fetch_add(1, std::memory_order_relaxed);
+    total_queued.fetch_add(1, std::memory_order_relaxed);
+  }
+  void NotePop(TypeId type, std::uint64_t n = 1) {
+    queued_by_type[type].fetch_sub(n, std::memory_order_relaxed);
+    total_queued.fetch_sub(n, std::memory_order_relaxed);
+  }
+  void NoteStart(int spec_id) {
+    running_by_spec[static_cast<std::size_t>(spec_id)].fetch_add(1, std::memory_order_relaxed);
+    total_running.fetch_add(1, std::memory_order_relaxed);
+  }
+  void NoteFinish(int spec_id) {
+    running_by_spec[static_cast<std::size_t>(spec_id)].fetch_sub(1, std::memory_order_relaxed);
+    total_running.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  bool Quiescent() const {
+    return external_done.load(std::memory_order_acquire) &&
+           total_queued.load(std::memory_order_acquire) == 0 &&
+           total_running.load(std::memory_order_acquire) == 0;
+  }
+};
+
+}  // namespace itask::core
+
+#endif  // ITASK_ITASK_JOB_STATE_H_

@@ -1,0 +1,90 @@
+#include "itask/partition.h"
+
+#include <stdexcept>
+#include <thread>
+
+#include "common/byte_buffer.h"
+
+namespace itask::core {
+
+std::uint64_t DataPartition::Spill() {
+  std::lock_guard lock(state_mu_);
+  return SpillLocked();
+}
+
+std::uint64_t DataPartition::SpillLocked() {
+  if (!resident_) {
+    return 0;
+  }
+  common::ByteBuffer buffer;
+  serde::Writer writer(&buffer);
+  SerializeTo(writer);
+  const std::uint64_t freed = PayloadBytes();
+  spill_id_ = spill_->Spill(buffer);
+  DropPayload();
+  cursor_ = 0;
+  resident_ = false;
+  return freed;
+}
+
+void DataPartition::EnsureResident() {
+  std::lock_guard lock(state_mu_);
+  EnsureResidentLocked();
+}
+
+void DataPartition::EnsureResidentLocked() {
+  if (resident_) {
+    return;
+  }
+  if (!spill_id_.has_value()) {
+    throw std::runtime_error("DataPartition: not resident and not spilled");
+  }
+  common::ByteBuffer buffer = spill_->LoadAndRemove(*spill_id_);
+  spill_id_.reset();
+  resident_ = true;  // Set before deserializing so an OME mid-load leaves a
+                     // resident-but-partial payload that DropPayload can clear.
+  serde::Reader reader(&buffer);
+  try {
+    DeserializeFrom(reader);
+  } catch (...) {
+    // Re-spill the buffer so the data is not lost, then rethrow.
+    DropPayload();
+    buffer.ResetCursor();
+    spill_id_ = spill_->Spill(buffer);
+    resident_ = false;
+    throw;
+  }
+  cursor_ = 0;
+  last_load_ = std::chrono::steady_clock::now();
+}
+
+void DataPartition::TransferTo(memsim::ManagedHeap* heap, serde::SpillManager* spill) {
+  std::lock_guard lock(state_mu_);
+  EnsureResidentLocked();
+  common::ByteBuffer buffer;
+  serde::Writer writer(&buffer);
+  SerializeTo(writer);
+  DropPayload();
+  heap_ = heap;
+  spill_ = spill;
+  // The destination heap may be under pressure; back off and retry while its
+  // IRS relieves it (models network backpressure on a shuffle channel).
+  constexpr int kMaxAttempts = 10000;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      buffer.ResetCursor();
+      serde::Reader reader(&buffer);
+      DeserializeFrom(reader);
+      break;
+    } catch (const memsim::OutOfMemoryError&) {
+      DropPayload();
+      if (attempt >= kMaxAttempts) {
+        throw;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  cursor_ = 0;
+}
+
+}  // namespace itask::core

@@ -1,0 +1,154 @@
+// DataPartition: the unit of input/output data in the ITask model (paper §4.1).
+//
+// A partition wraps an interval of tuples, carries a *tag* (how partial
+// results aggregate) and a *cursor* (boundary between processed and
+// unprocessed tuples), and knows how to serialize itself so the partition
+// manager can lazily move it between memory and disk.
+//
+// Payload memory is charged against the owning node's ManagedHeap; spilling a
+// partition frees that charge (the paper's staged release, step (v)).
+#ifndef ITASK_ITASK_PARTITION_H_
+#define ITASK_ITASK_PARTITION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "memsim/managed_heap.h"
+#include "serde/serializer.h"
+#include "serde/spill_manager.h"
+#include "itask/types.h"
+
+namespace itask::core {
+
+class DataPartition {
+ public:
+  DataPartition(TypeId type, memsim::ManagedHeap* heap, serde::SpillManager* spill)
+      : type_(type), heap_(heap), spill_(spill) {}
+  virtual ~DataPartition() = default;
+
+  DataPartition(const DataPartition&) = delete;
+  DataPartition& operator=(const DataPartition&) = delete;
+
+  // ---- Tuple interface (valid only while resident) ----
+
+  // Number of tuples currently held (unprocessed suffix after a reload).
+  virtual std::size_t TupleCount() const = 0;
+
+  // Managed bytes currently charged for the payload.
+  std::uint64_t PayloadBytes() const { return payload_bytes_.load(std::memory_order_relaxed); }
+
+  // Serializes tuples [cursor, end) — the unprocessed remainder.
+  virtual void SerializeTo(serde::Writer& writer) const = 0;
+
+  // Replaces the payload from serialized form, charging the heap. May throw
+  // memsim::OutOfMemoryError.
+  virtual void DeserializeFrom(serde::Reader& reader) = 0;
+
+  // Frees the payload charge and drops the tuples.
+  virtual void DropPayload() = 0;
+
+  // Releases tuples [0, cursor) — the processed prefix (staged release step
+  // (ii)). Returns the number of managed bytes freed; resets cursor to 0.
+  virtual std::uint64_t ReleaseProcessedPrefix() = 0;
+
+  // ---- Partition state ----
+
+  TypeId type() const { return type_; }
+  Tag tag() const { return tag_; }
+  void set_tag(Tag tag) { tag_ = tag; }
+
+  std::size_t cursor() const { return cursor_; }
+  void set_cursor(std::size_t cursor) { cursor_ = cursor; }
+  void AdvanceCursor() { ++cursor_; }
+  bool Exhausted() const { return cursor_ >= TupleCount(); }
+
+  bool resident() const { return resident_; }
+
+  // ---- Spill management (used by the partition manager) ----
+
+  // Serializes the unprocessed remainder to disk and drops the payload.
+  // No-op when already spilled. Returns bytes freed from the heap.
+  std::uint64_t Spill();
+
+  // Loads a spilled payload back into memory (charging the heap) and resets
+  // the cursor to 0 (only unprocessed tuples were spilled).
+  void EnsureResident();
+
+  // Moves the partition's charge to another node's heap/spill (models the
+  // serialize-transfer-deserialize of a shuffle hop).
+  void TransferTo(memsim::ManagedHeap* heap, serde::SpillManager* spill);
+
+  // Thrash-control timestamps (paper §5.3).
+  std::chrono::steady_clock::time_point last_load_time() const { return last_load_; }
+
+  // Pin flag: set by the queue when a worker takes the partition, so the
+  // partition manager skips it when choosing spill victims.
+  bool pinned() const { return pinned_.load(std::memory_order_acquire); }
+  void set_pinned(bool pinned) { pinned_.store(pinned, std::memory_order_release); }
+
+  // Set when the partition is re-queued by an interrupt; popping such a
+  // partition counts as a re-activation in the metrics.
+  bool requeued() const { return requeued_.load(std::memory_order_acquire); }
+  void set_requeued(bool requeued) { requeued_.store(requeued, std::memory_order_release); }
+
+  // Consecutive zero-progress activations (OME loops); used to detect inputs
+  // that can never fit (e.g. one tuple larger than the heap).
+  int no_progress() const { return no_progress_; }
+  void IncrementNoProgress() { ++no_progress_; }
+  void ResetNoProgress() { no_progress_ = 0; }
+
+  memsim::ManagedHeap* heap() const { return heap_; }
+  serde::SpillManager* spill_manager() const { return spill_; }
+
+ protected:
+  // Payload accounting for subclasses: charges go against the partition's
+  // *current* heap (which TransferTo may change), so subclasses must route all
+  // payload memory through these instead of holding their own HeapCharge.
+  void ChargeBytes(std::uint64_t bytes) {
+    if (bytes == 0) {
+      return;
+    }
+    heap_->Allocate(bytes);  // May throw OutOfMemoryError.
+    payload_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void ReleaseBytes(std::uint64_t bytes) {
+    const std::uint64_t held = payload_bytes_.load(std::memory_order_relaxed);
+    const std::uint64_t drop = bytes > held ? held : bytes;
+    if (drop == 0) {
+      return;
+    }
+    heap_->Free(drop);
+    payload_bytes_.fetch_sub(drop, std::memory_order_relaxed);
+  }
+  void ReleaseAllBytes() { ReleaseBytes(payload_bytes_.load(std::memory_order_relaxed)); }
+
+ private:
+  std::uint64_t SpillLocked();
+  void EnsureResidentLocked();
+
+  TypeId type_;
+  memsim::ManagedHeap* heap_;
+  serde::SpillManager* spill_;
+  Tag tag_ = kNoTag;
+  std::size_t cursor_ = 0;
+  bool resident_ = true;
+  std::optional<serde::SpillManager::SpillId> spill_id_;
+  std::chrono::steady_clock::time_point last_load_ = std::chrono::steady_clock::now();
+  std::atomic<std::uint64_t> payload_bytes_{0};
+  std::atomic<bool> pinned_{false};
+  std::atomic<bool> requeued_{false};
+  int no_progress_ = 0;
+  // Serializes Spill/EnsureResident/TransferTo against each other (the
+  // partition manager may spill a queued partition while a worker pops it).
+  std::mutex state_mu_;
+};
+
+using PartitionPtr = std::shared_ptr<DataPartition>;
+
+}  // namespace itask::core
+
+#endif  // ITASK_ITASK_PARTITION_H_

@@ -1,0 +1,77 @@
+#include "itask/partition_manager.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "itask/runtime.h"
+
+namespace itask::core {
+
+std::uint64_t PartitionManager::SpillStep(std::uint64_t bytes_goal) {
+  std::vector<PartitionPtr> candidates = runtime_->queue().ResidentSnapshot();
+  if (candidates.empty()) {
+    return 0;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  const TaskGraph& graph = runtime_->graph();
+
+  // Priority to *stay in memory*: consumers close to the finish line and to
+  // the currently running tasks. We therefore spill partitions whose consumer
+  // is farthest from the finish line first, then the largest payloads.
+  auto distance_of = [&graph](const PartitionPtr& dp) {
+    const TaskSpec* consumer = graph.ConsumerOf(dp->type());
+    return consumer != nullptr ? consumer->finish_distance : 0;
+  };
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](const PartitionPtr& a, const PartitionPtr& b) {
+                     const int da = distance_of(a);
+                     const int db = distance_of(b);
+                     if (da != db) {
+                       return da > db;
+                     }
+                     return a->PayloadBytes() > b->PayloadBytes();
+                   });
+
+  std::uint64_t freed = 0;
+  std::vector<PartitionPtr> recently_loaded;
+  for (const PartitionPtr& dp : candidates) {
+    if (freed >= bytes_goal) {
+      break;
+    }
+    if (dp->pinned() || !dp->resident()) {
+      continue;
+    }
+    // Thrash control: skip partitions deserialized within the cooldown window.
+    if (now - dp->last_load_time() < thrash_window_) {
+      recently_loaded.push_back(dp);
+      continue;
+    }
+    freed += dp->Spill();
+  }
+  if (freed < bytes_goal && !recently_loaded.empty()) {
+    // All remaining candidates are recent: spill the oldest-loaded ones
+    // anyway (the paper's fallback when no partition has an earlier stamp).
+    std::stable_sort(recently_loaded.begin(), recently_loaded.end(),
+                     [](const PartitionPtr& a, const PartitionPtr& b) {
+                       return a->last_load_time() < b->last_load_time();
+                     });
+    for (const PartitionPtr& dp : recently_loaded) {
+      if (freed >= bytes_goal) {
+        break;
+      }
+      if (!dp->pinned() && dp->resident()) {
+        freed += dp->Spill();
+      }
+    }
+  }
+  if (freed > 0) {
+    lazy_serialized_.fetch_add(freed, std::memory_order_relaxed);
+    LOG_DEBUG() << "PartitionManager spilled " << freed << " bytes (goal " << bytes_goal << ")";
+  }
+  return freed;
+}
+
+void PartitionManager::EnsureResident(const PartitionPtr& dp) { dp->EnsureResident(); }
+
+}  // namespace itask::core

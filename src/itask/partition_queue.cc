@@ -1,0 +1,160 @@
+#include "itask/partition_queue.h"
+
+#include <algorithm>
+
+namespace itask::core {
+
+void PartitionQueue::Push(PartitionPtr dp) {
+  const TypeId type = dp->type();
+  dp->set_pinned(false);
+  {
+    std::lock_guard lock(mu_);
+    by_type_[type][dp->tag()].push_back(std::move(dp));
+  }
+  state_->NotePush(type);
+}
+
+void PartitionQueue::PushBatch(std::vector<PartitionPtr> items) {
+  {
+    std::lock_guard lock(mu_);
+    for (PartitionPtr& dp : items) {
+      dp->set_pinned(false);
+      by_type_[dp->type()][dp->tag()].push_back(dp);
+    }
+  }
+  for (const PartitionPtr& dp : items) {
+    state_->NotePush(dp->type());
+  }
+}
+
+PartitionPtr PartitionQueue::PopOne(TypeId type) {
+  std::lock_guard lock(mu_);
+  auto it = by_type_.find(type);
+  if (it == by_type_.end()) {
+    return nullptr;
+  }
+  // Spatial locality: prefer a resident partition across all tags.
+  std::deque<PartitionPtr>* fallback = nullptr;
+  for (auto& [tag, fifo] : it->second) {
+    if (fifo.empty()) {
+      continue;
+    }
+    if (fallback == nullptr) {
+      fallback = &fifo;
+    }
+    for (std::size_t i = 0; i < fifo.size(); ++i) {
+      if (fifo[i]->resident()) {
+        PartitionPtr dp = fifo[i];
+        fifo.erase(fifo.begin() + static_cast<std::ptrdiff_t>(i));
+        dp->set_pinned(true);
+        state_->NotePop(type);
+        return dp;
+      }
+    }
+  }
+  if (fallback == nullptr) {
+    return nullptr;
+  }
+  PartitionPtr dp = fallback->front();
+  fallback->pop_front();
+  dp->set_pinned(true);
+  state_->NotePop(type);
+  return dp;
+}
+
+std::vector<PartitionPtr> PartitionQueue::PopTagGroup(TypeId type) {
+  std::lock_guard lock(mu_);
+  auto it = by_type_.find(type);
+  if (it == by_type_.end()) {
+    return {};
+  }
+  // Pick the tag with the most resident bytes (ties: first tag).
+  Tag best_tag = kNoTag;
+  std::uint64_t best_resident = 0;
+  bool found = false;
+  for (auto& [tag, fifo] : it->second) {
+    if (fifo.empty()) {
+      continue;
+    }
+    std::uint64_t resident = 0;
+    for (const auto& dp : fifo) {
+      if (dp->resident()) {
+        resident += dp->PayloadBytes() + 1;
+      }
+    }
+    if (!found || resident > best_resident) {
+      found = true;
+      best_tag = tag;
+      best_resident = resident;
+    }
+  }
+  if (!found) {
+    return {};
+  }
+  auto& fifo = it->second[best_tag];
+  std::vector<PartitionPtr> group(fifo.begin(), fifo.end());
+  fifo.clear();
+  for (const auto& dp : group) {
+    dp->set_pinned(true);
+  }
+  state_->NotePop(type, group.size());
+  return group;
+}
+
+bool PartitionQueue::HasAny(TypeId type) const {
+  std::lock_guard lock(mu_);
+  auto it = by_type_.find(type);
+  if (it == by_type_.end()) {
+    return false;
+  }
+  for (const auto& [tag, fifo] : it->second) {
+    if (!fifo.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PartitionQueue::HasResident(TypeId type) const {
+  std::lock_guard lock(mu_);
+  auto it = by_type_.find(type);
+  if (it == by_type_.end()) {
+    return false;
+  }
+  for (const auto& [tag, fifo] : it->second) {
+    for (const auto& dp : fifo) {
+      if (dp->resident()) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::size_t PartitionQueue::TotalCount() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [type, tags] : by_type_) {
+    for (const auto& [tag, fifo] : tags) {
+      n += fifo.size();
+    }
+  }
+  return n;
+}
+
+std::vector<PartitionPtr> PartitionQueue::ResidentSnapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<PartitionPtr> out;
+  for (const auto& [type, tags] : by_type_) {
+    for (const auto& [tag, fifo] : tags) {
+      for (const auto& dp : fifo) {
+        if (dp->resident() && !dp->pinned() && dp->PayloadBytes() > 0) {
+          out.push_back(dp);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace itask::core

@@ -1,0 +1,55 @@
+// PartitionQueue: the per-node queue of unprocessed and partially processed
+// partitions (paper §5.3 "global partition queue").
+//
+// Partitions are grouped by type (which task consumes them) and, within a
+// type, by tag (the MITask grouping key). A queued partition may have its
+// payload spilled to disk by the partition manager while it waits; popping
+// prefers resident partitions (the scheduler's spatial-locality rule).
+#ifndef ITASK_ITASK_PARTITION_QUEUE_H_
+#define ITASK_ITASK_PARTITION_QUEUE_H_
+
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "itask/job_state.h"
+#include "itask/partition.h"
+
+namespace itask::core {
+
+class PartitionQueue {
+ public:
+  explicit PartitionQueue(JobState* state) : state_(state) {}
+
+  void Push(PartitionPtr dp);
+
+  // Inserts all partitions under one lock so a concurrent PopTagGroup can
+  // never observe a partial set (required by the MITask interrupt protocol).
+  void PushBatch(std::vector<PartitionPtr> items);
+
+  // Pops one partition of |type|, preferring resident ones. Null if none.
+  PartitionPtr PopOne(TypeId type);
+
+  // Pops every partition sharing one tag of |type| (the tag with the most
+  // resident data first). Empty if none.
+  std::vector<PartitionPtr> PopTagGroup(TypeId type);
+
+  bool HasAny(TypeId type) const;
+  bool HasResident(TypeId type) const;
+  std::size_t TotalCount() const;
+
+  // Snapshot of queued resident partitions for spill decisions; partitions
+  // remain queued (the manager mutates their residency in place).
+  std::vector<PartitionPtr> ResidentSnapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  JobState* state_;
+  // type -> tag -> FIFO of partitions.
+  std::map<TypeId, std::map<Tag, std::deque<PartitionPtr>>> by_type_;
+};
+
+}  // namespace itask::core
+
+#endif  // ITASK_ITASK_PARTITION_QUEUE_H_

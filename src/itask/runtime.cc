@@ -1,0 +1,329 @@
+#include "itask/runtime.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace itask::core {
+
+IrsRuntime::IrsRuntime(NodeServices services, IrsConfig config, std::shared_ptr<JobState> state)
+    : services_(std::move(services)),
+      config_(config),
+      state_(std::move(state)),
+      queue_(state_.get()),
+      pm_(this, config.thrash_window),
+      sched_(this, config.max_workers) {
+  sink_ = [this](PartitionPtr out) { DefaultSink(out); };
+  // The monitor keys off LUGC events from this node's heap (paper §5.2).
+  services_.heap->AddGcListener([this](const memsim::GcEvent& event) {
+    if (event.useless) {
+      pressure_.store(true, std::memory_order_relaxed);
+    }
+  });
+}
+
+IrsRuntime::~IrsRuntime() { Stop(); }
+
+void IrsRuntime::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  job_watch_.Reset();
+  sched_.Start();
+  monitor_thread_ = std::thread([this] { MonitorLoop(); });
+}
+
+void IrsRuntime::Stop() {
+  if (!started_) {
+    return;
+  }
+  stop_monitor_.store(true, std::memory_order_relaxed);
+  if (monitor_thread_.joinable()) {
+    monitor_thread_.join();
+  }
+  sched_.Stop();
+  started_ = false;
+}
+
+void IrsRuntime::Push(PartitionPtr dp) {
+  queue_.Push(std::move(dp));
+  sched_.NotifyWork();
+}
+
+void IrsRuntime::PushRemote(PartitionPtr dp) {
+  dp->TransferTo(services_.heap, services_.spill);
+  Push(std::move(dp));
+}
+
+void IrsRuntime::PushBack(PartitionPtr dp) {
+  dp->set_requeued(true);
+  Push(std::move(dp));
+}
+
+bool IrsRuntime::ShouldInterrupt(int worker_id) {
+  if (state_->aborted.load(std::memory_order_relaxed)) {
+    return true;
+  }
+  return pressure_.load(std::memory_order_relaxed) && sched_.ApproveTermination(worker_id);
+}
+
+std::uint64_t IrsRuntime::BytesNeededForSafeZone() const {
+  // Relieve pressure down to the GROW line (N%), not just past the LUGC line
+  // (M%): stabilizing right at M% leaves so little allocation headroom that
+  // every collection is triggered (and useless) — a GC death spiral. The
+  // wider hysteresis band is the one deliberate deviation from the paper's
+  // Figure-8 pseudocode, where the JVM's free-heap reading hides this.
+  const auto* heap = services_.heap;
+  const std::uint64_t live = heap->live_bytes();
+  const std::uint64_t capacity = heap->capacity();
+  const std::uint64_t avail = live >= capacity ? 0 : capacity - live;
+  const auto safe = static_cast<std::uint64_t>(heap->config().grow_free_fraction *
+                                               static_cast<double>(capacity));
+  return avail >= safe ? 0 : safe - avail;
+}
+
+WorkAssignment IrsRuntime::SelectWork() {
+  if (state_->aborted.load(std::memory_order_relaxed)) {
+    return {};
+  }
+  // Candidate tasks with queued input, ordered by the growth rules:
+  // spatial locality (resident input first), then finish line (closer first).
+  struct Candidate {
+    const TaskSpec* spec;
+    bool resident;
+  };
+  std::vector<Candidate> candidates;
+  for (const TaskSpec& spec : graph_.specs()) {
+    if (!queue_.HasAny(spec.input_type)) {
+      continue;
+    }
+    if (spec.is_merge && !graph_.UpstreamQuiescent(spec, *state_)) {
+      continue;
+    }
+    candidates.push_back({&spec, queue_.HasResident(spec.input_type)});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.resident != b.resident) {
+      return a.resident;
+    }
+    return a.spec->finish_distance < b.spec->finish_distance;
+  });
+
+  for (const Candidate& candidate : candidates) {
+    const TaskSpec* spec = candidate.spec;
+    // Keep the running counter covering the pop so concurrent quiescence
+    // checks never observe a gap (see job_state.h).
+    state_->NoteStart(spec->id);
+    WorkAssignment work;
+    work.spec = spec;
+    if (spec->is_merge) {
+      work.group = queue_.PopTagGroup(spec->input_type);
+      if (!work.group.empty()) {
+        return work;
+      }
+    } else {
+      work.single = queue_.PopOne(spec->input_type);
+      if (work.single != nullptr) {
+        return work;
+      }
+    }
+    state_->NoteFinish(spec->id);  // Raced with another dispatcher; try next.
+  }
+  return {};
+}
+
+bool IrsRuntime::ExecuteActivation(int worker_id, WorkAssignment& work) {
+  const TaskSpec& spec = *work.spec;
+  TaskContext ctx(this, &spec, worker_id);
+  bool completed = false;
+  try {
+    std::unique_ptr<ITaskBase> task = spec.factory();
+    if (spec.is_merge) {
+      completed = task->RunGroup(ctx, work.group);
+    } else {
+      completed = task->Run(ctx, work.single);
+    }
+  } catch (const memsim::OutOfMemoryError& e) {
+    // The scale loop absorbs OMEs as forced interrupts; reaching here means
+    // even the interrupt path could not allocate. Abort the job.
+    LOG_ERROR() << "node " << services_.name << ": unrecoverable OME in " << spec.name << ": "
+                << e.what();
+    state_->aborted.store(true, std::memory_order_relaxed);
+  } catch (const std::exception& e) {
+    LOG_ERROR() << "node " << services_.name << ": task " << spec.name << " failed: " << e.what();
+    state_->aborted.store(true, std::memory_order_relaxed);
+  }
+  state_->NoteFinish(spec.id);
+  work.Clear();
+  return completed;
+}
+
+void IrsRuntime::PushBackBatch(std::vector<PartitionPtr> items) {
+  for (const PartitionPtr& dp : items) {
+    dp->set_requeued(true);
+  }
+  queue_.PushBatch(std::move(items));
+  sched_.NotifyWork();
+}
+
+bool IrsRuntime::WouldQueueLocally(const TaskSpec& spec, const DataPartition& out) const {
+  return !spec.route_output && graph_.ConsumerOf(out.type()) != nullptr;
+}
+
+void IrsRuntime::CountEmitMetrics(const TaskSpec& spec, const DataPartition& out,
+                                  bool at_interrupt) {
+  if (!at_interrupt) {
+    return;
+  }
+  // Outputs leaving through a custom route (the shuffle) are final results in
+  // the paper's taxonomy; outputs parked locally for a merge task are
+  // intermediate results.
+  const TaskSpec* consumer = graph_.ConsumerOf(out.type());
+  const bool intermediate =
+      !spec.route_output && consumer != nullptr && consumer->is_merge;
+  if (intermediate) {
+    parked_intermediate_.fetch_add(out.PayloadBytes(), std::memory_order_relaxed);
+  } else {
+    released_final_result_.fetch_add(out.PayloadBytes(), std::memory_order_relaxed);
+  }
+}
+
+void IrsRuntime::Route(const TaskSpec& spec, PartitionPtr out, bool at_interrupt) {
+  CountEmitMetrics(spec, *out, at_interrupt);
+  const TaskSpec* consumer = graph_.ConsumerOf(out->type());
+  if (spec.route_output) {
+    spec.route_output(std::move(out), at_interrupt);
+    return;
+  }
+  if (consumer != nullptr) {
+    Push(std::move(out));
+    return;
+  }
+  sink_(std::move(out));
+}
+
+void IrsRuntime::NoteOmeInterrupt(const PartitionPtr& dp, std::size_t tuples_processed) {
+  ome_interrupts_.fetch_add(1, std::memory_order_relaxed);
+  // An OME is itself evidence of pressure even if no LUGC fired yet.
+  pressure_.store(true, std::memory_order_relaxed);
+  // Relieve pressure synchronously on the failing thread: retries would
+  // otherwise spin faster than the monitor period.
+  const std::uint64_t needed = BytesNeededForSafeZone();
+  if (needed > 0) {
+    pm_.SpillStep(needed);
+  }
+  if (tuples_processed == 0) {
+    dp->IncrementNoProgress();
+    // Give the monitor a chance to interrupt other instances before retrying.
+    if (dp->no_progress() > 2) {
+      std::this_thread::sleep_for(config_.monitor_period * dp->no_progress());
+    }
+    if (dp->no_progress() > config_.max_no_progress) {
+      LOG_ERROR() << "node " << services_.name << ": partition of type "
+                  << TypeIds::Name(dp->type()) << " made no progress after "
+                  << dp->no_progress() << " attempts; aborting job";
+      state_->aborted.store(true, std::memory_order_relaxed);
+    }
+  } else {
+    dp->ResetNoProgress();
+  }
+}
+
+void IrsRuntime::DefaultSink(const PartitionPtr& out) {
+  sink_records_.fetch_add(out->TupleCount(), std::memory_order_relaxed);
+  out->DropPayload();
+}
+
+void IrsRuntime::MonitorLoop() {
+  const auto* heap = services_.heap;
+  const double capacity = static_cast<double>(heap->capacity());
+  const double n_fraction = heap->config().grow_free_fraction;
+  while (!stop_monitor_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(config_.monitor_period);
+
+    const std::uint64_t live = heap->live_bytes();
+    const double avail = capacity - static_cast<double>(live);
+
+    if (pressure_.load(std::memory_order_relaxed)) {
+      if (avail >= n_fraction * capacity) {
+        pressure_.store(false, std::memory_order_relaxed);
+      } else {
+        sched_.OnReduceSignal();
+      }
+      headroom_streak_ = 0;
+    } else if (heap->HasGrowHeadroom()) {
+      // Damped growth: require sustained headroom before adding a worker, so
+      // transient relief (a spill, a finished activation) does not re-inflate
+      // parallelism straight back into an OME storm.
+      if (++headroom_streak_ >= 3) {
+        headroom_streak_ = 0;
+        sched_.OnGrowSignal(/*force=*/false);
+      }
+    } else if (sched_.active_count() == 0 && queue_.TotalCount() > 0 &&
+               !state_->aborted.load(std::memory_order_relaxed)) {
+      // Livelock guard: nothing is running but work remains. Collect spilled
+      // garbage and force a single worker so the job keeps making progress.
+      services_.heap->Collect();
+      sched_.OnGrowSignal(/*force=*/true);
+    }
+
+    if (config_.trace_active) {
+      TraceSample sample;
+      sample.t_ms = job_watch_.ElapsedMs();
+      sched_.ActiveBySpec(sample.by_spec);
+      sample.total = sched_.active_count();
+      trace_.push_back(sample);
+    }
+
+    // Diagnostic heartbeat (ITASK_DEBUG_MONITOR=1): where is live memory?
+    static const bool debug_monitor = std::getenv("ITASK_DEBUG_MONITOR") != nullptr;
+    if (debug_monitor && ++debug_tick_ % 100 == 0) {
+      std::uint64_t queued_bytes = 0;
+      const auto snapshot = queue_.ResidentSnapshot();
+      for (const auto& dp : snapshot) {
+        queued_bytes += dp->PayloadBytes();
+      }
+      std::fprintf(stderr,
+                   "[monitor %s] t=%.0fms live=%.2fMB queued_res=%.2fMB(%zu) queued=%llu "
+                   "active=%d target=%d pressure=%d victims=%llu interrupts=%llu\n",
+                   services_.name.c_str(), job_watch_.ElapsedMs(),
+                   static_cast<double>(live) / 1048576.0,
+                   static_cast<double>(queued_bytes) / 1048576.0, snapshot.size(),
+                   static_cast<unsigned long long>(state_->total_queued.load()),
+                   sched_.active_count(), sched_.target(),
+                   pressure_.load() ? 1 : 0,
+                   static_cast<unsigned long long>(sched_.stats().victim_requests),
+                   static_cast<unsigned long long>(sched_.stats().interrupts));
+    }
+  }
+}
+
+common::RunMetrics IrsRuntime::NodeMetrics() const {
+  common::RunMetrics m;
+  const memsim::HeapStats heap = services_.heap->Stats();
+  m.gc_ms = static_cast<double>(heap.total_gc_pause_ns) / 1e6;
+  m.gc_count = heap.gc_count;
+  m.lugc_count = heap.lugc_count;
+  m.peak_heap_bytes = heap.peak_used_bytes;
+
+  const serde::SpillStats spill = services_.spill->Stats();
+  m.spilled_bytes = spill.spilled_bytes;
+  m.loaded_bytes = spill.loaded_bytes;
+
+  const Scheduler::Stats sched = sched_.stats();
+  m.interrupts = sched.interrupts;
+  m.ome_interrupts = ome_interrupts_.load(std::memory_order_relaxed);
+  m.reactivations = sched.reactivations;
+
+  m.released_processed_input_bytes = released_processed_input_.load(std::memory_order_relaxed);
+  m.released_final_result_bytes = released_final_result_.load(std::memory_order_relaxed);
+  m.parked_intermediate_bytes = parked_intermediate_.load(std::memory_order_relaxed);
+  m.lazy_serialized_bytes = pm_.lazy_serialized_bytes();
+  m.result_records = sink_records_.load(std::memory_order_relaxed);
+  return m;
+}
+
+}  // namespace itask::core

@@ -1,0 +1,156 @@
+// IrsRuntime: the per-node ITask Runtime System (paper §5).
+//
+// Wires together the monitor (pressure detection), scheduler (worker pool and
+// interrupt/grow policy), partition manager (lazy serialization) and the
+// partition queue, and exposes the routing fabric task contexts emit into.
+//
+// One IrsRuntime exists per simulated node per job; a JobCoordinator (see
+// coordinator.h) drives a set of runtimes that share a JobState.
+#ifndef ITASK_ITASK_RUNTIME_H_
+#define ITASK_ITASK_RUNTIME_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/spin.h"
+#include "itask/job_state.h"
+#include "itask/partition_manager.h"
+#include "itask/partition_queue.h"
+#include "itask/scheduler.h"
+#include "itask/task.h"
+#include "itask/task_graph.h"
+#include "memsim/managed_heap.h"
+#include "serde/spill_manager.h"
+
+namespace itask::core {
+
+struct NodeServices {
+  int node_id = 0;
+  std::string name;
+  memsim::ManagedHeap* heap = nullptr;
+  serde::SpillManager* spill = nullptr;
+};
+
+struct IrsConfig {
+  int max_workers = 8;
+  std::chrono::milliseconds monitor_period{2};
+  std::chrono::milliseconds thrash_window{50};
+  // Consecutive zero-progress OME activations of one partition before the job
+  // aborts (a single tuple that can never fit).
+  int max_no_progress = 32;
+  // Record an active-worker trace sample every monitor tick (Figure 11c).
+  bool trace_active = false;
+
+  // ---- Policy ablations (§6.1's naïve-technique comparison) ----
+  // Kill-and-reprocess instead of staged release: an interrupted task emits
+  // nothing and its input restarts from cursor 0.
+  bool naive_restart = false;
+  // Pick interrupt victims at random instead of by the priority rules.
+  bool random_victims = false;
+};
+
+class IrsRuntime {
+ public:
+  struct TraceSample {
+    double t_ms = 0.0;
+    int total = 0;
+    std::array<int, kMaxSpecs> by_spec{};
+  };
+
+  IrsRuntime(NodeServices services, IrsConfig config, std::shared_ptr<JobState> state);
+  ~IrsRuntime();
+
+  IrsRuntime(const IrsRuntime&) = delete;
+  IrsRuntime& operator=(const IrsRuntime&) = delete;
+
+  // ---- Job setup (before Start) ----
+  TaskGraph& graph() { return graph_; }
+  void FinalizeGraph() { graph_.ComputeFinishDistances(); }
+  void SetSink(std::function<void(PartitionPtr)> sink) { sink_ = std::move(sink); }
+
+  // ---- Lifecycle ----
+  void Start();
+  void Stop();
+
+  // ---- Data entry ----
+  // Local push (engine input or task output on this node).
+  void Push(PartitionPtr dp);
+  // Push from another node: re-charges the payload onto this node's heap
+  // (serialize-transfer-deserialize) before queueing.
+  void PushRemote(PartitionPtr dp);
+
+  // ---- Used by Scheduler ----
+  WorkAssignment SelectWork();
+  // Runs one activation; returns true if the scale loop completed.
+  bool ExecuteActivation(int worker_id, WorkAssignment& work);
+  std::uint64_t BytesNeededForSafeZone() const;
+  PartitionManager& partition_manager() { return pm_; }
+  PartitionQueue& queue() { return queue_; }
+
+  // ---- Used by TaskContext ----
+  void Route(const TaskSpec& spec, PartitionPtr out, bool at_interrupt);
+  void SinkDirect(PartitionPtr out) { sink_(std::move(out)); }
+  void PushBack(PartitionPtr dp);
+  // Re-queues outputs + inputs of an interrupted merge in one atomic batch.
+  void PushBackBatch(std::vector<PartitionPtr> items);
+  // True when Route would push |out| into this node's local queue.
+  bool WouldQueueLocally(const TaskSpec& spec, const DataPartition& out) const;
+  // The Table-2 accounting half of Route (used when pushes are deferred).
+  void CountEmitMetrics(const TaskSpec& spec, const DataPartition& out, bool at_interrupt);
+  bool ShouldInterrupt(int worker_id);
+  void CountTuple(int worker_id) { sched_.CountTuple(worker_id); }
+  void NoteProcessedInputReleased(std::uint64_t bytes) {
+    released_processed_input_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void NoteOmeInterrupt(const PartitionPtr& dp, std::size_t tuples_processed);
+  NodeServices& services() { return services_; }
+  const IrsConfig& config() const { return config_; }
+  JobState& state() { return *state_; }
+
+  bool pressure() const { return pressure_.load(std::memory_order_relaxed); }
+
+  // ---- Results ----
+  common::RunMetrics NodeMetrics() const;
+  const std::vector<TraceSample>& trace() const { return trace_; }
+
+ private:
+  void MonitorLoop();
+  void DefaultSink(const PartitionPtr& out);
+
+  NodeServices services_;
+  IrsConfig config_;
+  std::shared_ptr<JobState> state_;
+
+  TaskGraph graph_;
+  PartitionQueue queue_;
+  PartitionManager pm_;
+  Scheduler sched_;
+
+  std::function<void(PartitionPtr)> sink_;
+
+  std::atomic<bool> pressure_{false};
+  std::atomic<bool> stop_monitor_{false};
+  std::thread monitor_thread_;
+  common::Stopwatch job_watch_;
+
+  // Staged-release accounting (paper Table 2).
+  std::atomic<std::uint64_t> released_processed_input_{0};
+  std::atomic<std::uint64_t> released_final_result_{0};
+  std::atomic<std::uint64_t> parked_intermediate_{0};
+  std::atomic<std::uint64_t> ome_interrupts_{0};
+  std::atomic<std::uint64_t> sink_records_{0};
+
+  std::vector<TraceSample> trace_;
+  std::uint64_t debug_tick_ = 0;
+  int headroom_streak_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace itask::core
+
+#endif  // ITASK_ITASK_RUNTIME_H_

@@ -1,0 +1,346 @@
+// The ITask programming model (paper §4, Figure 4).
+//
+// To make a task interruptible the developer implements four methods —
+// Initialize / Process / Interrupt / Cleanup — and the library-provided scale
+// loop iterates tuples, checking for memory pressure at each safe point
+// (between tuples). Process must be side-effect-free with respect to external
+// state so a partially processed partition can resume from its cursor.
+//
+// MITask (paper §4.1) consumes a *group* of same-tagged partitions through a
+// lazy out-of-core iterator: each partition is made resident only when the
+// loop reaches it.
+#ifndef ITASK_ITASK_TASK_H_
+#define ITASK_ITASK_TASK_H_
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "itask/partition.h"
+#include "itask/types.h"
+
+namespace itask::core {
+
+class IrsRuntime;
+struct TaskSpec;
+
+// Per-activation context handed to every task callback. Wraps the runtime
+// services a task may touch: output routing, the owning node's heap/spill,
+// and the interrupt protocol.
+class TaskContext {
+ public:
+  TaskContext(IrsRuntime* runtime, const TaskSpec* spec, int worker_id)
+      : runtime_(runtime), spec_(spec), worker_id_(worker_id) {}
+
+  // Routes an output partition: to the consumer task's queue (possibly on
+  // another node via the spec's custom router), or to the job sink if the
+  // output type is terminal.
+  void Emit(PartitionPtr out);
+
+  // Bypasses type-based routing and hands the partition straight to the job
+  // sink (the paper's Hyracks.outputToHDFS in MergeTask::cleanup — required
+  // for merge tasks whose output type equals their input type).
+  void EmitToSink(PartitionPtr out);
+
+  // Returns a partially processed input to the partition queue (interrupt
+  // path; paper Figure 4 line 28).
+  void PushBack(PartitionPtr dp);
+
+  // True when the monitor reports pressure AND the scheduler has selected
+  // this worker for termination (paper Figure 4 lines 23-24).
+  bool ShouldInterrupt();
+
+  // Ablation mode (IrsConfig::naive_restart): discard partial work and
+  // reprocess from scratch instead of the staged-release protocol.
+  bool NaiveRestartMode() const;
+
+  // Loads a (possibly spilled) partition before iteration — the lazy
+  // out-of-core PartitionIterator step.
+  void EnsureResident(const PartitionPtr& dp);
+
+  // Serializes a partition this activation owns to relieve pressure (used by
+  // the merge interrupt path for unreached group members).
+  void SpillOwned(const PartitionPtr& dp);
+
+  // ---- Atomic interrupt batching (MITask protocol) ----
+  // Between BeginDeferredPushes and FlushDeferredPushes, Emit calls that
+  // would enqueue locally are buffered instead, and FlushDeferredPushes
+  // inserts the buffered outputs plus |inputs| in one atomic queue operation.
+  // Without this, a concurrent merge of the same tag could pop the partial
+  // output alone and emit a premature final result.
+  void BeginDeferredPushes() { defer_pushes_ = true; }
+  void FlushDeferredPushes(std::vector<PartitionPtr> inputs);
+
+  // Speed-rule accounting: one call per processed tuple.
+  void CountTuple();
+
+  // Staged-release metric hooks (used by the scale loops).
+  void NoteProcessedInputReleased(std::uint64_t bytes);
+
+  // Records an allocation-failure-forced interrupt (scale loops treat an OME
+  // inside Process/Initialize as the most urgent pressure signal).
+  void NoteOmeInterrupt(const PartitionPtr& dp, std::size_t tuples_processed);
+
+  memsim::ManagedHeap* heap() const;
+  serde::SpillManager* spill() const;
+  int node_id() const;
+  const TaskSpec& spec() const { return *spec_; }
+  int worker_id() const { return worker_id_; }
+
+  // Set by the scale loop around the Interrupt() callback so Emit can
+  // attribute outputs to the paper's Table-2 categories.
+  bool in_interrupt = false;
+
+  // The tag of the current input: the single partition's tag for ITask, the
+  // group tag for MITask (the paper's Hyracks.getChannelID() /
+  // input.getTag() in the Reduce and Merge interrupt handlers).
+  Tag group_tag = kNoTag;
+
+ private:
+  IrsRuntime* runtime_;
+  const TaskSpec* spec_;
+  int worker_id_;
+  bool defer_pushes_ = false;
+  std::vector<PartitionPtr> deferred_;
+};
+
+// Type-erased task; the scheduler only sees this interface.
+class ITaskBase {
+ public:
+  virtual ~ITaskBase() = default;
+
+  virtual bool IsMergeTask() const { return false; }
+
+  // Runs the scale loop over one partition. Returns true when the partition
+  // was fully processed (Cleanup ran), false when interrupted.
+  virtual bool Run(TaskContext& /*ctx*/, const PartitionPtr& /*dp*/) {
+    throw std::logic_error("Run() not supported by this task");
+  }
+
+  // Merge-task entry: runs over a same-tag partition group.
+  virtual bool RunGroup(TaskContext& /*ctx*/, std::vector<PartitionPtr>& /*group*/) {
+    throw std::logic_error("RunGroup() not supported by this task");
+  }
+};
+
+// Interruptible task over a single typed input partition.
+template <typename InPartition>
+class ITask : public ITaskBase {
+ public:
+  using Tuple = typename InPartition::Tuple;
+
+  // The developer-implemented interrupt-reasoning interface (paper Figure 4).
+  virtual void Initialize(TaskContext& ctx) = 0;
+  virtual void Process(TaskContext& ctx, const Tuple& tuple) = 0;
+  virtual void Interrupt(TaskContext& ctx) = 0;
+  virtual void Cleanup(TaskContext& ctx) = 0;
+
+  // The library scale loop (paper Figure 4, scaleLoop). An OutOfMemoryError
+  // raised by user code is absorbed as a forced interrupt: allocation failure
+  // is the most urgent form of memory pressure.
+  bool Run(TaskContext& ctx, const PartitionPtr& dp) final {
+    auto* in = static_cast<InPartition*>(dp.get());
+    std::size_t processed = 0;
+    ctx.group_tag = dp->tag();
+    try {
+      ctx.EnsureResident(dp);
+      Initialize(ctx);
+    } catch (const memsim::OutOfMemoryError&) {
+      ctx.NoteOmeInterrupt(dp, 0);
+      ctx.PushBack(dp);
+      return false;
+    }
+    const std::size_t start_cursor = dp->cursor();
+    while (!dp->Exhausted()) {
+      if (ctx.ShouldInterrupt()) {
+        if (ctx.NaiveRestartMode()) {
+          DiscardRestart(ctx, dp, start_cursor);
+        } else {
+          DoInterrupt(ctx, dp);
+        }
+        return false;
+      }
+      try {
+        Process(ctx, in->At(dp->cursor()));
+      } catch (const memsim::OutOfMemoryError&) {
+        // An OME *inside* Process may have half-applied a tuple, so the
+        // output is no longer consistent with the cursor. Discard this
+        // activation's work and restart from the activation's start (the
+        // JVM analogue: partial state after an allocation failure cannot be
+        // trusted). Staged release still covers the common, monitor-driven
+        // interrupts at safe points. The real progress count is reported:
+        // losing work is not being stuck (only a tuple that OMEs with zero
+        // prior progress can never fit).
+        ctx.NoteOmeInterrupt(dp, processed);
+        DiscardRestart(ctx, dp, start_cursor);
+        return false;
+      }
+      dp->AdvanceCursor();
+      ++processed;
+      ctx.CountTuple();
+    }
+    try {
+      Cleanup(ctx);
+    } catch (const memsim::OutOfMemoryError&) {
+      // All tuples were processed at safe points, so the output is complete
+      // and consistent; only its emission failed. Fall back to the interrupt
+      // path, which parks it as an intermediate result for later merging.
+      ctx.NoteOmeInterrupt(dp, processed);
+      ctx.in_interrupt = true;
+      Interrupt(ctx);
+      ctx.in_interrupt = false;
+    }
+    dp->DropPayload();
+    return true;
+  }
+
+ private:
+  void DoInterrupt(TaskContext& ctx, const PartitionPtr& dp) {
+    ctx.in_interrupt = true;
+    Interrupt(ctx);
+    ctx.in_interrupt = false;
+    ctx.NoteProcessedInputReleased(dp->ReleaseProcessedPrefix());
+    ctx.PushBack(dp);
+  }
+
+  // Drops the activation's output (the task instance dies without emitting)
+  // and rewinds the input so the tuples are reprocessed from scratch.
+  void DiscardRestart(TaskContext& ctx, const PartitionPtr& dp, std::size_t start_cursor) {
+    dp->set_cursor(start_cursor);
+    ctx.PushBack(dp);
+  }
+};
+
+// Interruptible merge task over a group of same-tagged partitions.
+template <typename InPartition>
+class MITask : public ITaskBase {
+ public:
+  using Tuple = typename InPartition::Tuple;
+
+  virtual void Initialize(TaskContext& ctx) = 0;
+  virtual void Process(TaskContext& ctx, const Tuple& tuple) = 0;
+  virtual void Interrupt(TaskContext& ctx) = 0;
+  virtual void Cleanup(TaskContext& ctx) = 0;
+
+  bool IsMergeTask() const final { return true; }
+
+  bool RunGroup(TaskContext& ctx, std::vector<PartitionPtr>& group) final {
+    std::size_t processed = 0;
+    ctx.group_tag = group.empty() ? kNoTag : group.front()->tag();
+    auto interrupt_from = [&](std::size_t gi) {
+      // Buffer the partial output Interrupt() emits so it re-enters the queue
+      // atomically with the unconsumed inputs: a concurrent same-tag merge
+      // must never see the output without the inputs (it would emit a
+      // premature final result).
+      ctx.BeginDeferredPushes();
+      ctx.in_interrupt = true;
+      Interrupt(ctx);
+      ctx.in_interrupt = false;
+      ctx.NoteProcessedInputReleased(group[gi]->ReleaseProcessedPrefix());
+      // Unconsumed inputs (current partial + untouched rest) go back to the
+      // queue; they re-group by tag on re-activation. Consumed inputs are
+      // covered by the partial output Interrupt() just emitted. Members we
+      // never reached are serialized immediately: we are under pressure by
+      // definition, and while pinned they were invisible to the partition
+      // manager's spill pass.
+      for (std::size_t j = gi + 1; j < group.size(); ++j) {
+        ctx.SpillOwned(group[j]);
+      }
+      ctx.FlushDeferredPushes(
+          std::vector<PartitionPtr>(group.begin() + static_cast<std::ptrdiff_t>(gi),
+                                    group.end()));
+    };
+    try {
+      Initialize(ctx);
+    } catch (const memsim::OutOfMemoryError&) {
+      ctx.NoteOmeInterrupt(group.front(), 0);
+      // Atomic re-queue: a partial group must never be poppable.
+      ctx.FlushDeferredPushes(std::vector<PartitionPtr>(group.begin(), group.end()));
+      return false;
+    }
+    // Out-of-core group iteration (the paper's lazy PartitionIterator): when
+    // the popped group carries substantial resident data, serialize everything
+    // but the first member — while pinned by this activation the partition
+    // manager cannot touch them, and a large resident group would otherwise
+    // crowd out the rest of the node for the whole merge.
+    if (group.size() > 1) {
+      const std::uint64_t threshold = ctx.heap()->capacity() / 8;
+      std::uint64_t resident_bytes = 0;
+      for (const PartitionPtr& dp : group) {
+        if (dp->resident()) {
+          resident_bytes += dp->PayloadBytes();
+        }
+      }
+      if (resident_bytes > threshold) {
+        for (std::size_t j = 1; j < group.size(); ++j) {
+          ctx.SpillOwned(group[j]);
+        }
+      }
+    }
+    for (std::size_t gi = 0; gi < group.size(); ++gi) {
+      PartitionPtr& dp = group[gi];
+      try {
+        ctx.EnsureResident(dp);  // Lazy out-of-core iteration over the group.
+      } catch (const memsim::OutOfMemoryError&) {
+        ctx.NoteOmeInterrupt(dp, processed);
+        interrupt_from(gi);
+        return false;
+      }
+      auto* in = static_cast<InPartition*>(dp.get());
+      while (!dp->Exhausted()) {
+        if (ctx.ShouldInterrupt()) {
+          if (ctx.NaiveRestartMode()) {
+            NaiveRestartGroup(ctx, group);
+          } else {
+            interrupt_from(gi);
+          }
+          return false;
+        }
+        try {
+          // Merge-task Process implementations must provide the strong
+          // exception guarantee (e.g. HashAggPartition::MergeEntry or
+          // VectorPartition::Append): an OME here leaves the output
+          // consistent with the cursor, so the staged interrupt below can
+          // park it safely.
+          Process(ctx, in->At(dp->cursor()));
+        } catch (const memsim::OutOfMemoryError&) {
+          ctx.NoteOmeInterrupt(dp, processed);
+          interrupt_from(gi);
+          return false;
+        }
+        dp->AdvanceCursor();
+        ++processed;
+        ctx.CountTuple();
+      }
+      if (!ctx.NaiveRestartMode()) {
+        ctx.NoteProcessedInputReleased(dp->PayloadBytes());
+        dp->DropPayload();  // Fully consumed; its data lives in the output.
+      }
+    }
+    try {
+      Cleanup(ctx);
+    } catch (const memsim::OutOfMemoryError&) {
+      ctx.NoteOmeInterrupt(group.front(), processed);
+      ctx.in_interrupt = true;
+      Interrupt(ctx);
+      ctx.in_interrupt = false;
+    }
+    return true;
+  }
+
+ private:
+  // Ablation (kill-and-reprocess): inputs are never dropped during the loop
+  // in this mode, so rewinding every cursor and re-queueing the whole group
+  // discards the activation's work without losing data.
+  void NaiveRestartGroup(TaskContext& ctx, std::vector<PartitionPtr>& group) {
+    for (PartitionPtr& dp : group) {
+      dp->set_cursor(0);
+    }
+    ctx.FlushDeferredPushes(std::vector<PartitionPtr>(group.begin(), group.end()));
+  }
+};
+
+}  // namespace itask::core
+
+#endif  // ITASK_ITASK_TASK_H_

@@ -1,0 +1,97 @@
+#include "itask/task_graph.h"
+
+#include <stdexcept>
+
+namespace itask::core {
+
+int TaskGraph::Register(TaskSpec spec) {
+  if (specs_.size() >= kMaxSpecs) {
+    throw std::runtime_error("TaskGraph: too many task specs");
+  }
+  for (const TaskSpec& existing : specs_) {
+    if (!existing.is_merge && !spec.is_merge && existing.input_type == spec.input_type) {
+      throw std::runtime_error("TaskGraph: type " + TypeIds::Name(spec.input_type) +
+                               " already has a consumer (" + existing.name + ")");
+    }
+  }
+  spec.id = static_cast<int>(specs_.size());
+  specs_.push_back(std::move(spec));
+  return specs_.back().id;
+}
+
+const TaskSpec* TaskGraph::ConsumerOf(TypeId type) const {
+  for (const TaskSpec& spec : specs_) {
+    if (spec.input_type == type) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const TaskSpec*> TaskGraph::ProducersOf(TypeId type) const {
+  std::vector<const TaskSpec*> producers;
+  for (const TaskSpec& spec : specs_) {
+    if (spec.output_type == type) {
+      producers.push_back(&spec);
+    }
+  }
+  return producers;
+}
+
+void TaskGraph::ComputeFinishDistances() {
+  std::vector<int> memo(specs_.size(), -1);
+  for (TaskSpec& spec : specs_) {
+    spec.finish_distance = DistanceOf(spec, memo);
+  }
+}
+
+int TaskGraph::DistanceOf(const TaskSpec& spec, std::vector<int>& memo) const {
+  const auto idx = static_cast<std::size_t>(spec.id);
+  if (memo[idx] >= 0) {
+    return memo[idx];
+  }
+  memo[idx] = 0;  // Breaks cycles (merge self-loops count as terminal).
+  const TaskSpec* consumer = ConsumerOf(spec.output_type);
+  int distance = 0;
+  if (consumer != nullptr && consumer->id != spec.id) {
+    distance = 1 + DistanceOf(*consumer, memo);
+  }
+  memo[idx] = distance;
+  return distance;
+}
+
+bool TaskGraph::UpstreamQuiescent(const TaskSpec& spec, const JobState& state) const {
+  // DFS over producer chains of the spec's input type.
+  std::vector<bool> visited(specs_.size(), false);
+  visited[static_cast<std::size_t>(spec.id)] = true;
+
+  std::vector<TypeId> frontier{spec.input_type};
+  std::vector<bool> type_seen(kMaxTypes, false);
+  type_seen[spec.input_type] = true;
+
+  while (!frontier.empty()) {
+    const TypeId type = frontier.back();
+    frontier.pop_back();
+    for (const TaskSpec* producer : ProducersOf(type)) {
+      const auto pid = static_cast<std::size_t>(producer->id);
+      if (visited[pid]) {
+        continue;
+      }
+      visited[pid] = true;
+      if (state.running_by_spec[pid].load(std::memory_order_acquire) > 0) {
+        return false;
+      }
+      if (state.queued_by_type[producer->input_type].load(std::memory_order_acquire) > 0) {
+        return false;
+      }
+      if (!type_seen[producer->input_type]) {
+        type_seen[producer->input_type] = true;
+        frontier.push_back(producer->input_type);
+      }
+    }
+  }
+  // External input still flowing means more upstream work may appear.
+  return state.external_done.load(std::memory_order_acquire);
+}
+
+}  // namespace itask::core

@@ -1,0 +1,72 @@
+// TaskSpec + TaskGraph: the dataflow wiring between ITasks (paper §4.1
+// "input-output relationship" and §5.1 "static analysis builds a task graph").
+//
+// The graph drives three IRS policies: output routing (which queue or sink an
+// emitted partition goes to), the finish-line distance used by the scheduler
+// and partition manager priority rules, and upstream-quiescence for MITask
+// readiness.
+#ifndef ITASK_ITASK_TASK_GRAPH_H_
+#define ITASK_ITASK_TASK_GRAPH_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "itask/job_state.h"
+#include "itask/task.h"
+#include "itask/types.h"
+
+namespace itask::core {
+
+struct TaskSpec {
+  std::string name;
+  TypeId input_type = 0;
+  TypeId output_type = 0;
+  bool is_merge = false;
+
+  // Creates a fresh task instance per activation (interrupted activations do
+  // not carry instance state; resumption works from the partition cursor).
+  std::function<std::unique_ptr<ITaskBase>()> factory;
+
+  // Optional custom output router (e.g. hash-shuffle across nodes). Args:
+  // the partition and whether the emit happened inside Interrupt().
+  std::function<void(PartitionPtr, bool)> route_output;
+
+  int id = -1;              // Assigned at registration; consistent across nodes.
+  int finish_distance = 0;  // 0 = emits to the finish line (terminal output).
+};
+
+class TaskGraph {
+ public:
+  // Registers a spec, assigns its id. Call in the same order on every node.
+  int Register(TaskSpec spec);
+
+  // The task consuming |type| as input, or nullptr. At most one consumer per
+  // partition type is supported (matches the paper's pipelines).
+  const TaskSpec* ConsumerOf(TypeId type) const;
+
+  // Tasks producing |type| as output (excluding merge self-loops is up to the
+  // caller).
+  std::vector<const TaskSpec*> ProducersOf(TypeId type) const;
+
+  const std::vector<TaskSpec>& specs() const { return specs_; }
+  const TaskSpec& spec(int id) const { return specs_[static_cast<std::size_t>(id)]; }
+
+  // Computes finish-line distances; call after all Register calls.
+  void ComputeFinishDistances();
+
+  // True when every transitive producer of |spec|'s input type is idle:
+  // no running instances and no queued upstream partitions anywhere in the
+  // job. Merge self-loops are ignored.
+  bool UpstreamQuiescent(const TaskSpec& spec, const JobState& state) const;
+
+ private:
+  int DistanceOf(const TaskSpec& spec, std::vector<int>& memo) const;
+
+  std::vector<TaskSpec> specs_;
+};
+
+}  // namespace itask::core
+
+#endif  // ITASK_ITASK_TASK_GRAPH_H_

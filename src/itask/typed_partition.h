@@ -1,0 +1,252 @@
+// Typed DataPartition helpers.
+//
+// VectorPartition<Traits>  — an ordered interval of tuples; the usual input
+//                            partition shape (paper's DataPartition examples).
+// HashAggPartition<Traits> — a key-aggregated result map (the paper's
+//                            MapPartition in the WordCount walkthrough);
+//                            built by Upsert, then frozen into an iterable
+//                            tuple sequence when consumed downstream.
+//
+// Traits supply the tuple type, a managed-size model (which should include
+// object-header/collection overhead, the "bloat" the paper's motivation cites)
+// and serde hooks.
+#ifndef ITASK_ITASK_TYPED_PARTITION_H_
+#define ITASK_ITASK_TYPED_PARTITION_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "itask/partition.h"
+
+namespace itask::core {
+
+template <typename Traits>
+class VectorPartition : public DataPartition {
+ public:
+  using Tuple = typename Traits::Tuple;
+
+  VectorPartition(TypeId type, memsim::ManagedHeap* heap, serde::SpillManager* spill)
+      : DataPartition(type, heap, spill) {}
+
+  ~VectorPartition() override { DropPayloadImpl(); }
+
+  // Appends a tuple, charging the heap (may throw OutOfMemoryError).
+  void Append(Tuple tuple) {
+    ChargeBytes(Traits::SizeOf(tuple));
+    tuples_.push_back(std::move(tuple));
+  }
+
+  const Tuple& At(std::size_t i) const { return tuples_[i]; }
+
+  // Mutable view for in-place reordering (e.g. sorting a run). Callers must
+  // not change the managed size of tuples through this.
+  std::vector<Tuple>& mutable_tuples() { return tuples_; }
+
+  std::size_t TupleCount() const override { return tuples_.size(); }
+
+  void SerializeTo(serde::Writer& writer) const override {
+    const std::size_t start = cursor();
+    writer.WriteVarint(tuples_.size() - start);
+    for (std::size_t i = start; i < tuples_.size(); ++i) {
+      Traits::Write(writer, tuples_[i]);
+    }
+  }
+
+  void DeserializeFrom(serde::Reader& reader) override {
+    DropPayload();
+    const std::uint64_t n = reader.ReadVarint();
+    tuples_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Append(Traits::Read(reader));
+    }
+  }
+
+  void DropPayload() override { DropPayloadImpl(); }
+
+  std::uint64_t ReleaseProcessedPrefix() override {
+    std::uint64_t freed = 0;
+    const std::size_t n = cursor();
+    for (std::size_t i = 0; i < n && i < tuples_.size(); ++i) {
+      freed += Traits::SizeOf(tuples_[i]);
+    }
+    tuples_.erase(tuples_.begin(), tuples_.begin() + std::min(n, tuples_.size()));
+    ReleaseBytes(freed);
+    set_cursor(0);
+    return freed;
+  }
+
+ private:
+  void DropPayloadImpl() {
+    tuples_.clear();
+    tuples_.shrink_to_fit();
+    ReleaseAllBytes();
+  }
+
+  std::vector<Tuple> tuples_;
+};
+
+template <typename Traits>
+class HashAggPartition : public DataPartition {
+ public:
+  using Key = typename Traits::Key;
+  using Value = typename Traits::Value;
+  using Tuple = std::pair<Key, Value>;
+
+  HashAggPartition(TypeId type, memsim::ManagedHeap* heap, serde::SpillManager* spill)
+      : DataPartition(type, heap, spill) {}
+
+  ~HashAggPartition() override { DropPayloadImpl(); }
+
+  // Applies |update| to the value for |key|, inserting a default first if
+  // absent. |update| returns the managed-byte delta caused by the mutation
+  // (e.g. growth of a posting list); insertion of a fresh entry charges
+  // Traits::EntryOverhead() + key size automatically.
+  template <typename Update>
+  void Upsert(const Key& key, Update&& update) {
+    auto [it, inserted] = map_.try_emplace(key);
+    if (inserted) {
+      try {
+        ChargeBytes(Traits::EntryOverhead() + Traits::KeyBytes(key));
+      } catch (...) {
+        map_.erase(it);  // Keep accounting consistent with contents.
+        throw;
+      }
+    }
+    const std::int64_t delta = update(it->second);
+    if (delta > 0) {
+      ChargeBytes(static_cast<std::uint64_t>(delta));
+    } else if (delta < 0) {
+      ReleaseBytes(static_cast<std::uint64_t>(-delta));
+    }
+  }
+
+  // Merges |value| into the entry for |key| with the STRONG exception
+  // guarantee: every heap charge happens before any mutation, so an
+  // OutOfMemoryError leaves the partition unchanged and the operation can be
+  // retried. |merge(existing, value)| returns the actual managed-byte growth,
+  // which must not exceed Traits::ValueBytes(value); the difference is
+  // refunded. This is the safe-point-atomic primitive scale loops rely on.
+  template <typename MergeFn>
+  void MergeEntry(const Key& key, const Value& value, MergeFn&& merge) {
+    const std::uint64_t value_upper = Traits::ValueBytes(value);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ChargeBytes(Traits::EntryOverhead() + Traits::KeyBytes(key) + value_upper);
+      try {
+        map_.emplace(key, value);
+      } catch (...) {
+        ReleaseBytes(Traits::EntryOverhead() + Traits::KeyBytes(key) + value_upper);
+        throw;
+      }
+      return;
+    }
+    ChargeBytes(value_upper);  // Throws before any mutation.
+    const std::int64_t actual = merge(it->second, value);
+    const std::uint64_t actual_u =
+        actual > 0 ? static_cast<std::uint64_t>(actual) : 0;
+    if (actual_u < value_upper) {
+      ReleaseBytes(value_upper - actual_u);
+    }
+  }
+
+  std::size_t EntryCount() const { return frozen_ ? tuples_.size() : map_.size(); }
+  bool frozen() const { return frozen_; }
+
+  // Moves the map contents into an iterable tuple vector. Called implicitly by
+  // the tuple interface; order is unspecified (merge inputs are commutative,
+  // a requirement the paper states for MITask inputs).
+  void Freeze() {
+    if (frozen_) {
+      return;
+    }
+    tuples_.reserve(map_.size());
+    for (auto& [k, v] : map_) {
+      tuples_.emplace_back(k, std::move(v));
+    }
+    map_.clear();
+    frozen_ = true;
+  }
+
+  const Tuple& At(std::size_t i) {
+    Freeze();
+    return tuples_[i];
+  }
+
+  // Mutable access for consumers that move values out (e.g. shuffle splits);
+  // the caller must keep the byte accounting consistent (moved-out entries
+  // are released with ReleaseProcessedPrefix, which uses ValueBytes of the
+  // now-empty value — so movers should release *before* moving or treat the
+  // difference as already accounted).
+  Tuple& MutableAt(std::size_t i) {
+    Freeze();
+    return tuples_[i];
+  }
+
+  std::size_t TupleCount() const override {
+    return frozen_ ? tuples_.size() : map_.size();
+  }
+
+  void SerializeTo(serde::Writer& writer) const override {
+    if (frozen_) {
+      writer.WriteVarint(tuples_.size() - cursor());
+      for (std::size_t i = cursor(); i < tuples_.size(); ++i) {
+        Traits::WriteEntry(writer, tuples_[i].first, tuples_[i].second);
+      }
+    } else {
+      writer.WriteVarint(map_.size());
+      for (const auto& [k, v] : map_) {
+        Traits::WriteEntry(writer, k, v);
+      }
+    }
+  }
+
+  void DeserializeFrom(serde::Reader& reader) override {
+    DropPayload();
+    const std::uint64_t n = reader.ReadVarint();
+    tuples_.reserve(n);
+    frozen_ = true;  // Reloaded partitions are consumed, not further built.
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Tuple t = Traits::ReadEntry(reader);
+      ChargeBytes(Traits::EntryOverhead() + Traits::KeyBytes(t.first) +
+                  Traits::ValueBytes(t.second));
+      tuples_.push_back(std::move(t));
+    }
+  }
+
+  void DropPayload() override { DropPayloadImpl(); }
+
+  std::uint64_t ReleaseProcessedPrefix() override {
+    Freeze();
+    std::uint64_t freed = 0;
+    const std::size_t n = std::min(cursor(), tuples_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      freed += Traits::EntryOverhead() + Traits::KeyBytes(tuples_[i].first) +
+               Traits::ValueBytes(tuples_[i].second);
+    }
+    tuples_.erase(tuples_.begin(), tuples_.begin() + static_cast<std::ptrdiff_t>(n));
+    ReleaseBytes(freed);
+    set_cursor(0);
+    return freed;
+  }
+
+  // Read access while building (tests, combiners).
+  const std::unordered_map<Key, Value>& map() const { return map_; }
+
+ private:
+  void DropPayloadImpl() {
+    map_.clear();
+    tuples_.clear();
+    tuples_.shrink_to_fit();
+    frozen_ = false;
+    ReleaseAllBytes();
+  }
+
+  std::unordered_map<Key, Value> map_;
+  std::vector<Tuple> tuples_;
+  bool frozen_ = false;
+};
+
+}  // namespace itask::core
+
+#endif  // ITASK_ITASK_TYPED_PARTITION_H_

@@ -1,0 +1,49 @@
+#include "itask/types.h"
+
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace itask::core {
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, TypeId> ids;
+  std::vector<std::string> names;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace
+
+TypeId TypeIds::Get(const std::string& name) {
+  Registry& r = GetRegistry();
+  std::lock_guard lock(r.mu);
+  auto it = r.ids.find(name);
+  if (it != r.ids.end()) {
+    return it->second;
+  }
+  if (r.names.size() >= kMaxTypes) {
+    throw std::runtime_error("TypeIds: too many partition types");
+  }
+  const TypeId id = static_cast<TypeId>(r.names.size());
+  r.ids.emplace(name, id);
+  r.names.push_back(name);
+  return id;
+}
+
+std::string TypeIds::Name(TypeId id) {
+  Registry& r = GetRegistry();
+  std::lock_guard lock(r.mu);
+  if (id < r.names.size()) {
+    return r.names[id];
+  }
+  return "?";
+}
+
+}  // namespace itask::core

@@ -1,0 +1,35 @@
+// Shared identifiers for the ITask model.
+//
+// Every DataPartition class has a TypeId; the input/output TypeIds of the
+// registered tasks define the task graph (paper §4.1 "input-output
+// relationship"). Tags group intermediate partitions that must be merged by
+// the same MITask instance (paper §4.1 "ITask with multiple inputs").
+#ifndef ITASK_ITASK_TYPES_H_
+#define ITASK_ITASK_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace itask::core {
+
+using TypeId = std::uint32_t;
+using Tag = std::int64_t;
+
+inline constexpr Tag kNoTag = -1;
+inline constexpr std::size_t kMaxTypes = 128;
+inline constexpr std::size_t kMaxSpecs = 32;
+
+// Process-wide registry mapping partition type names to dense ids.
+// Ids are stable within a process, which is all the in-process cluster needs.
+class TypeIds {
+ public:
+  // Returns the id for |name|, assigning the next free id on first use.
+  static TypeId Get(const std::string& name);
+
+  // Reverse lookup for diagnostics; returns "?" for unknown ids.
+  static std::string Name(TypeId id);
+};
+
+}  // namespace itask::core
+
+#endif  // ITASK_ITASK_TYPES_H_

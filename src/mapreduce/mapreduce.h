@@ -1,0 +1,293 @@
+// Hadoop-flavored MapReduce API on the IRS — the paper's §4.2 instantiation:
+// "we let Mapper and Reducer extend ITask, so that all user-defined tasks
+// automatically become ITasks", with the original run() logic moved into the
+// library scale loop.
+//
+// The user writes the two familiar methods:
+//
+//   class MyMapper : public mapreduce::Mapper<KV> {
+//     void Map(const InTuple& record, Emitter& emit) override;   // emit(k, v)
+//   };
+//   class MyReducer : public mapreduce::Reducer<KV> {
+//     Value Reduce(const Key&, const Value& a, const Value& b) override;
+//   };
+//
+// MapReduceJob wires them as ITasks on the simulated cluster: mapper emissions
+// are combined in per-channel map-side buffers, hash-shuffled to the owning
+// node, and reduced there by a per-channel MITask; the result stream goes to
+// a user sink. Everything is interruptible: under memory pressure mappers
+// push their partial channel buffers out early (final results) and reducers
+// park tagged partials (intermediate results), exactly like the hand-written
+// ITasks in apps/.
+#ifndef ITASK_MAPREDUCE_MAPREDUCE_H_
+#define ITASK_MAPREDUCE_MAPREDUCE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cluster/itask_job.h"
+#include "common/metrics.h"
+#include "apps/common.h"
+#include "itask/typed_partition.h"
+
+namespace itask::mapreduce {
+
+// KV policy: the key/value types of the job plus their serde/size model.
+// Must satisfy the HashAggPartition traits concept (EntryOverhead, KeyBytes,
+// ValueBytes, WriteEntry, ReadEntry) and additionally provide:
+//   using InTraits = <VectorPartition traits of the input records>;
+//   static std::uint64_t HashKey(const Key&);
+template <typename KV>
+class Mapper {
+ public:
+  using InTuple = typename KV::InTraits::Tuple;
+  using Key = typename KV::Key;
+  using Value = typename KV::Value;
+
+  // Map-side emitter: combines emissions into the per-channel buffer
+  // (the in-map combiner the paper's IMC problem relies on).
+  class Emitter {
+   public:
+    virtual ~Emitter() = default;
+    virtual void Emit(const Key& key, const Value& value) = 0;
+  };
+
+  virtual ~Mapper() = default;
+
+  // Processes one input record, emitting any number of key/value pairs.
+  // Runs at a safe point; may allocate managed memory (OutOfMemoryError is
+  // absorbed by the runtime as a forced interrupt).
+  virtual void Map(const InTuple& record, Emitter& emit,
+                   memsim::ManagedHeap& heap) = 0;
+};
+
+template <typename KV>
+class Reducer {
+ public:
+  using Key = typename KV::Key;
+  using Value = typename KV::Value;
+
+  virtual ~Reducer() = default;
+
+  // Combines two partial values for the same key (must be associative and
+  // commutative — the MITask input requirement from the paper §4.1). Returns
+  // the managed-byte growth of |into|.
+  virtual std::int64_t Reduce(const Key& key, Value& into, const Value& from) = 0;
+};
+
+struct MapReduceConfig {
+  int max_workers_per_node = 8;          // Hadoop's per-node task slots.
+  std::uint64_t split_bytes = 1 << 20;   // HDFS-style input split size.
+  int channels_per_node = 8;             // Shuffle hash channels.
+  double deadline_ms = 0.0;
+  bool trace_active = false;
+};
+
+// One MapReduce job over the simulated cluster.
+template <typename KV>
+class MapReduceJob {
+ public:
+  using InTraits = typename KV::InTraits;
+  using InTuple = typename InTraits::Tuple;
+  using InPartition = core::VectorPartition<InTraits>;
+  using AggPartition = core::HashAggPartition<KV>;
+  using Key = typename KV::Key;
+  using Value = typename KV::Value;
+  using MapperFactory = std::function<std::unique_ptr<Mapper<KV>>()>;
+  using ReducerFactory = std::function<std::unique_ptr<Reducer<KV>>()>;
+  // Receives each final (key, value) exactly once; called concurrently.
+  using ResultFn = std::function<void(const Key&, const Value&)>;
+
+  MapReduceJob(cluster::Cluster& cluster, std::string name, MapReduceConfig config)
+      : cluster_(cluster), name_(std::move(name)), config_(config) {}
+
+  void SetMapper(MapperFactory factory) { mapper_factory_ = std::move(factory); }
+  void SetReducer(ReducerFactory factory) { reducer_factory_ = std::move(factory); }
+  void SetResultHandler(ResultFn fn) { result_fn_ = std::move(fn); }
+
+  // Feeds records via |producer| (called once; push each record through the
+  // returned callback), runs the job, returns aggregate metrics.
+  // succeeded=false on abort/deadline.
+  common::RunMetrics Run(const std::function<void(const std::function<void(InTuple, std::uint64_t)>&)>& producer);
+
+ private:
+  core::TypeId InType() const { return core::TypeIds::Get(name_ + ".mr.in"); }
+  core::TypeId ChannelType() const { return core::TypeIds::Get(name_ + ".mr.chan"); }
+
+  class MapTask;
+  class ReduceChannelTask;
+
+  cluster::Cluster& cluster_;
+  std::string name_;
+  MapReduceConfig config_;
+  MapperFactory mapper_factory_;
+  ReducerFactory reducer_factory_;
+  ResultFn result_fn_;
+};
+
+// ---- implementation ----
+
+template <typename KV>
+class MapReduceJob<KV>::MapTask : public core::ITask<InPartition> {
+ public:
+  MapTask(const MapperFactory& factory, core::TypeId channel_type, int total_channels)
+      : mapper_(factory()), channel_type_(channel_type), total_channels_(total_channels) {}
+
+  void Initialize(core::TaskContext& ctx) override {
+    emitter_ = std::make_unique<CombiningEmitter>(this, &ctx);
+  }
+  void Process(core::TaskContext& ctx, const InTuple& record) override {
+    emitter_->ctx = &ctx;
+    mapper_->Map(record, *emitter_, *ctx.heap());
+  }
+  void Interrupt(core::TaskContext& ctx) override { Ship(ctx); }
+  void Cleanup(core::TaskContext& ctx) override { Ship(ctx); }
+
+ private:
+  struct CombiningEmitter : Mapper<KV>::Emitter {
+    CombiningEmitter(MapTask* task_in, core::TaskContext* ctx_in) : task(task_in), ctx(ctx_in) {}
+    void Emit(const Key& key, const Value& value) override {
+      const auto c = static_cast<std::size_t>(
+          KV::HashKey(key) % static_cast<std::uint64_t>(task->total_channels_));
+      if (task->channels_.empty()) {
+        task->channels_.resize(static_cast<std::size_t>(task->total_channels_));
+      }
+      auto& buffer = task->channels_[c];
+      if (buffer == nullptr) {
+        buffer = std::make_shared<AggPartition>(task->channel_type_, ctx->heap(), ctx->spill());
+        buffer->set_tag(static_cast<core::Tag>(c));
+      }
+      buffer->MergeEntry(key, value, [&](Value& into, const Value& from) {
+        return task->reducer_for_combine_->Reduce(key, into, from);
+      });
+    }
+    MapTask* task;
+    core::TaskContext* ctx;
+  };
+
+  void Ship(core::TaskContext& ctx) {
+    for (auto& buffer : channels_) {
+      if (buffer != nullptr && buffer->TupleCount() > 0) {
+        ctx.Emit(std::move(buffer));
+      }
+      buffer.reset();
+    }
+  }
+
+ public:
+  // Set by the job right after construction (combiner = reducer, the
+  // classic Hadoop pattern).
+  std::unique_ptr<Reducer<KV>> reducer_for_combine_;
+
+ private:
+  std::unique_ptr<Mapper<KV>> mapper_;
+  core::TypeId channel_type_;
+  int total_channels_;
+  std::vector<std::shared_ptr<AggPartition>> channels_;
+  std::unique_ptr<CombiningEmitter> emitter_;
+};
+
+template <typename KV>
+class MapReduceJob<KV>::ReduceChannelTask : public core::MITask<AggPartition> {
+ public:
+  ReduceChannelTask(const ReducerFactory& factory, core::TypeId channel_type,
+                    const ResultFn* result_fn)
+      : reducer_(factory()), channel_type_(channel_type), result_fn_(result_fn) {}
+
+  void Initialize(core::TaskContext& ctx) override {
+    output_ = std::make_shared<AggPartition>(channel_type_, ctx.heap(), ctx.spill());
+  }
+  void Process(core::TaskContext& /*ctx*/, const std::pair<Key, Value>& entry) override {
+    output_->MergeEntry(entry.first, entry.second, [&](Value& into, const Value& from) {
+      return reducer_->Reduce(entry.first, into, from);
+    });
+  }
+  void Interrupt(core::TaskContext& ctx) override {
+    if (output_ != nullptr && output_->TupleCount() > 0) {
+      output_->set_tag(ctx.group_tag);
+      ctx.Emit(std::move(output_));
+    }
+    output_.reset();
+  }
+  void Cleanup(core::TaskContext& ctx) override {
+    output_->Freeze();
+    if (*result_fn_) {
+      for (std::size_t i = 0; i < output_->TupleCount(); ++i) {
+        (*result_fn_)(output_->At(i).first, output_->At(i).second);
+      }
+    }
+    output_->DropPayload();
+    output_.reset();
+  }
+
+ private:
+  std::unique_ptr<Reducer<KV>> reducer_;
+  core::TypeId channel_type_;
+  const ResultFn* result_fn_;
+  std::shared_ptr<AggPartition> output_;
+};
+
+template <typename KV>
+common::RunMetrics MapReduceJob<KV>::Run(
+    const std::function<void(const std::function<void(InTuple, std::uint64_t)>&)>& producer) {
+  core::IrsConfig irs;
+  irs.max_workers = config_.max_workers_per_node;
+  irs.trace_active = config_.trace_active;
+  cluster::ItaskJob job(cluster_, irs);
+  const int nodes = cluster_.size();
+  const int total_channels = nodes * config_.channels_per_node;
+
+  job.RegisterTaskPerNode([&](int node) {
+    core::TaskSpec spec;
+    spec.name = name_ + ".mapper";
+    spec.input_type = InType();
+    spec.output_type = ChannelType();
+    spec.factory = [this, total_channels]() -> std::unique_ptr<core::ITaskBase> {
+      auto task = std::make_unique<MapTask>(mapper_factory_, ChannelType(), total_channels);
+      task->reducer_for_combine_ = reducer_factory_();
+      return task;
+    };
+    spec.route_output = [&job, nodes, node](core::PartitionPtr out, bool /*at_interrupt*/) {
+      const int target = static_cast<int>(out->tag()) % nodes;
+      if (target == node) {
+        job.runtime(target).Push(std::move(out));
+      } else {
+        job.runtime(target).PushRemote(std::move(out));
+      }
+    };
+    return spec;
+  });
+  job.RegisterTaskPerNode([&](int /*node*/) {
+    core::TaskSpec spec;
+    spec.name = name_ + ".reducer";
+    spec.input_type = ChannelType();
+    spec.output_type = ChannelType();
+    spec.is_merge = true;
+    spec.factory = [this]() -> std::unique_ptr<core::ITaskBase> {
+      return std::make_unique<ReduceChannelTask>(reducer_factory_, ChannelType(), &result_fn_);
+    };
+    return spec;
+  });
+
+  const bool ok = job.Run(
+      [&] {
+        apps::PartitionFeeder<InPartition> feeder(
+            cluster_, InType(), config_.split_bytes,
+            [&](int node, core::PartitionPtr dp) { job.runtime(node).Push(std::move(dp)); });
+        producer([&](InTuple record, std::uint64_t bytes) {
+          feeder.Add(std::move(record), bytes);
+        });
+        feeder.Flush();
+      },
+      config_.deadline_ms);
+
+  common::RunMetrics metrics = job.Metrics();
+  metrics.succeeded = ok;
+  return metrics;
+}
+
+}  // namespace itask::mapreduce
+
+#endif  // ITASK_MAPREDUCE_MAPREDUCE_H_

@@ -1,0 +1,67 @@
+// ManagedAllocator: a standard-library allocator that charges a ManagedHeap
+// for every container allocation, so ordinary std::vector/std::unordered_map
+// usage inside tasks is visible to the memory-pressure machinery.
+//
+// The allocator models the managed-language premise: backing memory comes from
+// the native heap (operator new), but the *accounting* — including OME on
+// exhaustion and garbage-until-collected on deallocate — goes through the
+// simulated managed heap.
+#ifndef ITASK_MEMSIM_MANAGED_ALLOCATOR_H_
+#define ITASK_MEMSIM_MANAGED_ALLOCATOR_H_
+
+#include <cstddef>
+#include <new>
+
+#include "memsim/managed_heap.h"
+
+namespace itask::memsim {
+
+template <typename T>
+class ManagedAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  ManagedAllocator() noexcept : heap_(nullptr) {}
+  explicit ManagedAllocator(ManagedHeap* heap) noexcept : heap_(heap) {}
+
+  template <typename U>
+  ManagedAllocator(const ManagedAllocator<U>& other) noexcept : heap_(other.heap()) {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (heap_ != nullptr) {
+      heap_->Allocate(bytes);  // Throws OutOfMemoryError under exhaustion.
+    }
+    return static_cast<T*>(::operator new(bytes));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (heap_ != nullptr) {
+      heap_->Free(n * sizeof(T));
+    }
+    ::operator delete(p);
+  }
+
+  ManagedHeap* heap() const noexcept { return heap_; }
+
+  friend bool operator==(const ManagedAllocator& a, const ManagedAllocator& b) noexcept {
+    return a.heap_ == b.heap_;
+  }
+  friend bool operator!=(const ManagedAllocator& a, const ManagedAllocator& b) noexcept {
+    return !(a == b);
+  }
+
+ private:
+  template <typename U>
+  friend class ManagedAllocator;
+
+  ManagedHeap* heap_;
+};
+
+}  // namespace itask::memsim
+
+#endif  // ITASK_MEMSIM_MANAGED_ALLOCATOR_H_

@@ -1,0 +1,180 @@
+#include "memsim/managed_heap.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/spin.h"
+
+namespace itask::memsim {
+
+ManagedHeap::ManagedHeap(HeapConfig config) : config_(config) {}
+
+void ManagedHeap::Allocate(std::uint64_t bytes) {
+  if (!TryAllocate(bytes)) {
+    ome_count_.fetch_add(1, std::memory_order_relaxed);
+    throw OutOfMemoryError("ManagedHeap: cannot allocate " + std::to_string(bytes) +
+                           " bytes (live=" + std::to_string(live_.load()) +
+                           ", capacity=" + std::to_string(config_.capacity_bytes) + ")");
+  }
+}
+
+bool ManagedHeap::TryAllocate(std::uint64_t bytes) {
+  // The fast path is lock-free: worker threads allocate with atomics and only
+  // serialize when a stop-the-world collection is warranted. Allocations
+  // during a collection spin until it completes (all mutators stop).
+  const std::uint64_t capacity = config_.capacity_bytes;
+  const auto trigger =
+      static_cast<std::uint64_t>(config_.gc_trigger_fraction * static_cast<double>(capacity));
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    WaitWhileCollecting();
+
+    // Fast fail: when live data alone cannot accommodate the request, no
+    // collection can help — do not pay a pause for a doomed allocation
+    // (OME-retry loops would otherwise degenerate into a GC storm).
+    const std::uint64_t live = live_.load(std::memory_order_relaxed);
+    if (live + bytes > capacity) {
+      return false;
+    }
+    const std::uint64_t garbage = garbage_.load(std::memory_order_relaxed);
+    const std::uint64_t used = live + garbage;
+
+    // Collect when the trigger is crossed AND there is enough garbage for the
+    // collection to matter (a generational collector does not re-run a full
+    // GC the instant after one that reclaimed nothing). The floor shrinks as
+    // free space shrinks: a JVM grinding near exhaustion collects far more
+    // often — the "agony band" that makes barely-fitting executions slow in
+    // the paper's evaluation.
+    const std::uint64_t free_now = used >= capacity ? 0 : capacity - used;
+    const std::uint64_t garbage_floor =
+        std::max(capacity / 512, std::min(capacity / 32, free_now / 2));
+    if (used + bytes > trigger && (garbage >= garbage_floor || used + bytes > capacity)) {
+      Collect();
+      continue;
+    }
+
+    // Optimistically claim the bytes; roll back on overshoot.
+    const std::uint64_t new_live = live_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (new_live + garbage_.load(std::memory_order_relaxed) > capacity) {
+      live_.fetch_sub(bytes, std::memory_order_relaxed);
+      // Another thread raced us past capacity; try the collection path again.
+      continue;
+    }
+    allocated_total_.fetch_add(bytes, std::memory_order_relaxed);
+    UpdatePeaks(new_live);
+    return true;
+  }
+  return false;
+}
+
+void ManagedHeap::UpdatePeaks(std::uint64_t live_now) {
+  const std::uint64_t used_now = live_now + garbage_.load(std::memory_order_relaxed);
+  std::uint64_t peak = peak_used_.load(std::memory_order_relaxed);
+  while (used_now > peak && !peak_used_.compare_exchange_weak(peak, used_now)) {
+  }
+  std::uint64_t peak_live = peak_live_.load(std::memory_order_relaxed);
+  while (live_now > peak_live && !peak_live_.compare_exchange_weak(peak_live, live_now)) {
+  }
+}
+
+void ManagedHeap::WaitWhileCollecting() const {
+  while (collecting_.load(std::memory_order_acquire)) {
+    // Mutators stop during a stop-the-world collection.
+    common::SpinForNs(200);
+  }
+}
+
+void ManagedHeap::Free(std::uint64_t bytes) {
+  // live -> garbage; reclaimable only by a collection.
+  std::uint64_t live = live_.load(std::memory_order_relaxed);
+  std::uint64_t drop;
+  do {
+    drop = std::min(bytes, live);
+  } while (!live_.compare_exchange_weak(live, live - drop, std::memory_order_relaxed));
+  if (drop != bytes) {
+    LOG_WARN() << "ManagedHeap::Free over-release: " << bytes << " > live " << live + drop;
+  }
+  garbage_.fetch_add(drop, std::memory_order_relaxed);
+  UpdatePeaks(live_.load(std::memory_order_relaxed));
+}
+
+GcEvent ManagedHeap::Collect() {
+  GcEvent event;
+  {
+    std::lock_guard lock(gc_mu_);
+    collecting_.store(true, std::memory_order_release);
+    event = CollectLocked();
+    collecting_.store(false, std::memory_order_release);
+  }
+  NotifyListeners(event);
+  return event;
+}
+
+GcEvent ManagedHeap::CollectLocked() {
+  const std::uint64_t live = live_.load(std::memory_order_relaxed);
+  const std::uint64_t garbage = garbage_.load(std::memory_order_relaxed);
+  const std::uint64_t scanned = live + garbage;
+  const auto pause_ns =
+      config_.gc_base_ns +
+      static_cast<std::uint64_t>(static_cast<double>(scanned) * config_.gc_ns_per_byte);
+
+  // Stop-the-world: collecting_ is set, so every allocating thread stalls.
+  if (config_.real_pauses) {
+    common::SpinForNs(pause_ns);
+  }
+
+  // Reclaim exactly the garbage observed at scan time (late arrivals wait for
+  // the next collection, like objects dying during a real GC).
+  garbage_.fetch_sub(garbage, std::memory_order_relaxed);
+
+  GcEvent event;
+  event.sequence = gc_sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+  event.reclaimed_bytes = garbage;
+  event.live_after = live;
+  event.free_after = live >= config_.capacity_bytes ? 0 : config_.capacity_bytes - live;
+  event.pause_ns = pause_ns;
+  event.useless = static_cast<double>(event.free_after) <
+                  config_.lugc_free_fraction * static_cast<double>(config_.capacity_bytes);
+
+  gc_count_.fetch_add(1, std::memory_order_relaxed);
+  if (event.useless) {
+    lugc_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  gc_pause_total_ns_.fetch_add(pause_ns, std::memory_order_relaxed);
+
+  LOG_DEBUG() << "GC #" << event.sequence << " reclaimed=" << event.reclaimed_bytes
+              << " live=" << event.live_after << " pause_ns=" << event.pause_ns
+              << (event.useless ? " LUGC" : "");
+  return event;
+}
+
+void ManagedHeap::AddGcListener(GcListener listener) {
+  std::lock_guard lock(listener_mu_);
+  listeners_.push_back(std::move(listener));
+}
+
+void ManagedHeap::NotifyListeners(const GcEvent& event) {
+  std::vector<GcListener> listeners;
+  {
+    std::lock_guard lock(listener_mu_);
+    listeners = listeners_;
+  }
+  for (const auto& listener : listeners) {
+    listener(event);
+  }
+}
+
+HeapStats ManagedHeap::Stats() const {
+  HeapStats stats;
+  stats.live_bytes = live_.load(std::memory_order_relaxed);
+  stats.garbage_bytes = garbage_.load(std::memory_order_relaxed);
+  stats.peak_used_bytes = peak_used_.load(std::memory_order_relaxed);
+  stats.peak_live_bytes = peak_live_.load(std::memory_order_relaxed);
+  stats.gc_count = gc_count_.load(std::memory_order_relaxed);
+  stats.lugc_count = lugc_count_.load(std::memory_order_relaxed);
+  stats.total_gc_pause_ns = gc_pause_total_ns_.load(std::memory_order_relaxed);
+  stats.allocated_bytes_total = allocated_total_.load(std::memory_order_relaxed);
+  stats.ome_count = ome_count_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace itask::memsim

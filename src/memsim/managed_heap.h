@@ -1,0 +1,216 @@
+// ManagedHeap: the managed-runtime substrate the ITask system runs against.
+//
+// The paper's mechanism observes a JVM: GC pauses grow with heap occupancy,
+// collections on a heap full of *live* data reclaim almost nothing (a "long
+// useless GC", LUGC), and exhaustion raises an OutOfMemoryError. C++ has no
+// such runtime, so this class reproduces the observable behaviour:
+//
+//  - Every task-visible allocation is charged against a per-node capacity.
+//  - Free() does NOT return memory to the free pool; it turns live bytes into
+//    *garbage*, reclaimable only by a collection — exactly the managed-heap
+//    life cycle the paper's monitor watches.
+//  - A collection is stop-the-world: it holds the heap lock (blocking all
+//    allocating threads) and burns real CPU for `base + scanned_bytes * rate`
+//    nanoseconds, so GC cost shows up in wall-clock measurements.
+//  - A collection that cannot raise free memory above `lugc_free_fraction`
+//    (the paper's M%) is flagged useless and reported to listeners; the IRS
+//    monitor treats it as the memory-pressure interrupt.
+//  - An allocation that cannot be satisfied even after collecting throws
+//    OutOfMemoryError, which the engines surface as a job crash.
+#ifndef ITASK_MEMSIM_MANAGED_HEAP_H_
+#define ITASK_MEMSIM_MANAGED_HEAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace itask::memsim {
+
+// Thrown when an allocation cannot be satisfied even after a full collection.
+class OutOfMemoryError : public std::runtime_error {
+ public:
+  explicit OutOfMemoryError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct HeapConfig {
+  std::uint64_t capacity_bytes = 64ULL << 20;
+
+  // Collection pause model: pause_ns = gc_base_ns + scanned_bytes * gc_ns_per_byte,
+  // where scanned_bytes = live + garbage at collection start.
+  std::uint64_t gc_base_ns = 50'000;
+  double gc_ns_per_byte = 0.25;
+
+  // M%: a collection leaving free memory below this fraction is a LUGC.
+  double lugc_free_fraction = 0.10;
+  // N%: free memory at or above this fraction signals room to grow parallelism.
+  double grow_free_fraction = 0.20;
+
+  // Occupancy fraction that proactively triggers a collection on allocation
+  // (mimics the JVM collecting before hard exhaustion).
+  double gc_trigger_fraction = 0.98;
+
+  // If false, pauses are accounted but not spun (fast unit tests).
+  bool real_pauses = true;
+};
+
+struct GcEvent {
+  std::uint64_t sequence = 0;
+  std::uint64_t reclaimed_bytes = 0;
+  std::uint64_t live_after = 0;
+  std::uint64_t free_after = 0;
+  std::uint64_t pause_ns = 0;
+  bool useless = false;  // LUGC
+};
+
+struct HeapStats {
+  std::uint64_t live_bytes = 0;
+  std::uint64_t garbage_bytes = 0;
+  std::uint64_t peak_used_bytes = 0;   // max(live + garbage)
+  std::uint64_t peak_live_bytes = 0;
+  std::uint64_t gc_count = 0;
+  std::uint64_t lugc_count = 0;
+  std::uint64_t total_gc_pause_ns = 0;
+  std::uint64_t allocated_bytes_total = 0;
+  std::uint64_t ome_count = 0;
+};
+
+class ManagedHeap {
+ public:
+  using GcListener = std::function<void(const GcEvent&)>;
+
+  explicit ManagedHeap(HeapConfig config);
+
+  ManagedHeap(const ManagedHeap&) = delete;
+  ManagedHeap& operator=(const ManagedHeap&) = delete;
+
+  // Charges |bytes| of live memory. May run a stop-the-world collection; throws
+  // OutOfMemoryError if the bytes cannot fit even with zero garbage.
+  void Allocate(std::uint64_t bytes);
+
+  // Non-throwing variant: returns false instead of raising OME (used by
+  // speculative growth decisions). Does not count an OME.
+  bool TryAllocate(std::uint64_t bytes);
+
+  // Converts |bytes| of live memory into garbage (unreachable but uncollected).
+  void Free(std::uint64_t bytes);
+
+  // Forces a full collection; returns the event describing it.
+  GcEvent Collect();
+
+  // Registered listeners run after the heap lock is released, in the thread
+  // that triggered the collection.
+  void AddGcListener(GcListener listener);
+
+  std::uint64_t capacity() const { return config_.capacity_bytes; }
+  std::uint64_t live_bytes() const { return live_.load(std::memory_order_relaxed); }
+  std::uint64_t garbage_bytes() const { return garbage_.load(std::memory_order_relaxed); }
+  std::uint64_t used_bytes() const { return live_bytes() + garbage_bytes(); }
+  std::uint64_t free_bytes() const {
+    const std::uint64_t used = used_bytes();
+    return used >= capacity() ? 0 : capacity() - used;
+  }
+  double free_fraction() const {
+    return static_cast<double>(free_bytes()) / static_cast<double>(capacity());
+  }
+
+  // True when free memory (ignoring collectable garbage) is at or above N%.
+  bool HasGrowHeadroom() const {
+    const std::uint64_t live = live_bytes();
+    const std::uint64_t free_if_collected = live >= capacity() ? 0 : capacity() - live;
+    return static_cast<double>(free_if_collected) >=
+           config_.grow_free_fraction * static_cast<double>(capacity());
+  }
+
+  HeapStats Stats() const;
+  const HeapConfig& config() const { return config_; }
+
+ private:
+  // Runs a collection with gc_mu_ held; returns the event.
+  GcEvent CollectLocked();
+  void NotifyListeners(const GcEvent& event);
+  void WaitWhileCollecting() const;
+  void UpdatePeaks(std::uint64_t live_now);
+
+  HeapConfig config_;
+  // Allocation/free are lock-free; gc_mu_ serializes collections and the
+  // collecting_ flag implements stop-the-world (mutators spin while set).
+  mutable std::mutex gc_mu_;
+  std::atomic<bool> collecting_{false};
+  std::atomic<std::uint64_t> live_{0};
+  std::atomic<std::uint64_t> garbage_{0};
+  std::atomic<std::uint64_t> peak_used_{0};
+  std::atomic<std::uint64_t> peak_live_{0};
+  std::atomic<std::uint64_t> gc_count_{0};
+  std::atomic<std::uint64_t> lugc_count_{0};
+  std::atomic<std::uint64_t> gc_pause_total_ns_{0};
+  std::atomic<std::uint64_t> allocated_total_{0};
+  std::atomic<std::uint64_t> ome_count_{0};
+  std::atomic<std::uint64_t> gc_sequence_{0};
+  std::vector<GcListener> listeners_;
+  std::mutex listener_mu_;
+};
+
+// RAII charge against a heap. Move-only; releases (Free) on destruction.
+class HeapCharge {
+ public:
+  HeapCharge() = default;
+  HeapCharge(ManagedHeap* heap, std::uint64_t bytes) : heap_(heap), bytes_(0) {
+    Add(bytes);
+  }
+  HeapCharge(HeapCharge&& other) noexcept : heap_(other.heap_), bytes_(other.bytes_) {
+    other.heap_ = nullptr;
+    other.bytes_ = 0;
+  }
+  HeapCharge& operator=(HeapCharge&& other) noexcept {
+    if (this != &other) {
+      Release();
+      heap_ = other.heap_;
+      bytes_ = other.bytes_;
+      other.heap_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  HeapCharge(const HeapCharge&) = delete;
+  HeapCharge& operator=(const HeapCharge&) = delete;
+  ~HeapCharge() { Release(); }
+
+  // Charges additional bytes. May throw OutOfMemoryError.
+  void Add(std::uint64_t bytes) {
+    if (heap_ != nullptr && bytes > 0) {
+      heap_->Allocate(bytes);
+      bytes_ += bytes;
+    }
+  }
+
+  // Returns part of the charge (down to zero) to garbage.
+  void Shrink(std::uint64_t bytes) {
+    if (heap_ != nullptr && bytes > 0) {
+      const std::uint64_t drop = bytes > bytes_ ? bytes_ : bytes;
+      heap_->Free(drop);
+      bytes_ -= drop;
+    }
+  }
+
+  void Release() {
+    if (heap_ != nullptr && bytes_ > 0) {
+      heap_->Free(bytes_);
+    }
+    bytes_ = 0;
+  }
+
+  std::uint64_t bytes() const { return bytes_; }
+  ManagedHeap* heap() const { return heap_; }
+
+ private:
+  ManagedHeap* heap_ = nullptr;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace itask::memsim
+
+#endif  // ITASK_MEMSIM_MANAGED_HEAP_H_

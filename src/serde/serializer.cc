@@ -1,0 +1,49 @@
+#include "serde/serializer.h"
+
+namespace itask::serde {
+
+void Writer::WriteVarint(std::uint64_t value) {
+  while (value >= 0x80) {
+    const std::uint8_t byte = static_cast<std::uint8_t>(value) | 0x80;
+    buffer_->Append(&byte, 1);
+    value >>= 7;
+  }
+  const std::uint8_t byte = static_cast<std::uint8_t>(value);
+  buffer_->Append(&byte, 1);
+}
+
+void Writer::WriteString(const std::string& value) {
+  WriteVarint(value.size());
+  if (!value.empty()) {
+    buffer_->Append(value.data(), value.size());
+  }
+}
+
+std::uint64_t Reader::ReadVarint() {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    std::uint8_t byte;
+    buffer_->Read(&byte, 1);
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      break;
+    }
+    shift += 7;
+    if (shift >= 64) {
+      throw std::out_of_range("varint too long");
+    }
+  }
+  return value;
+}
+
+std::string Reader::ReadString() {
+  const std::uint64_t n = ReadVarint();
+  std::string value(n, '\0');
+  if (n > 0) {
+    buffer_->Read(value.data(), n);
+  }
+  return value;
+}
+
+}  // namespace itask::serde

@@ -1,0 +1,93 @@
+// Compact binary serialization (the role Kryo plays in the paper's prototype).
+//
+// Writer/Reader operate over a common::ByteBuffer. Integers use LEB128
+// varints; strings are length-prefixed. Partition classes implement
+// serialize()/deserialize() in terms of these primitives.
+#ifndef ITASK_SERDE_SERIALIZER_H_
+#define ITASK_SERDE_SERIALIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/byte_buffer.h"
+
+namespace itask::serde {
+
+class Writer {
+ public:
+  explicit Writer(common::ByteBuffer* buffer) : buffer_(buffer) {}
+
+  void WriteVarint(std::uint64_t value);
+  void WriteU8(std::uint8_t value) { buffer_->Append(&value, 1); }
+  void WriteU32(std::uint32_t value) { buffer_->Append(&value, sizeof(value)); }
+  void WriteU64(std::uint64_t value) { buffer_->Append(&value, sizeof(value)); }
+  void WriteI64(std::int64_t value) { WriteVarint(ZigZag(value)); }
+  void WriteDouble(double value) { buffer_->Append(&value, sizeof(value)); }
+  void WriteString(const std::string& value);
+  void WriteBytes(const void* data, std::size_t n) { buffer_->Append(data, n); }
+
+  template <typename T>
+  void WritePod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    buffer_->Append(&value, sizeof(T));
+  }
+
+  static std::uint64_t ZigZag(std::int64_t v) {
+    return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+  }
+
+ private:
+  common::ByteBuffer* buffer_;
+};
+
+class Reader {
+ public:
+  explicit Reader(common::ByteBuffer* buffer) : buffer_(buffer) {}
+
+  std::uint64_t ReadVarint();
+  std::uint8_t ReadU8() {
+    std::uint8_t v;
+    buffer_->Read(&v, 1);
+    return v;
+  }
+  std::uint32_t ReadU32() {
+    std::uint32_t v;
+    buffer_->Read(&v, sizeof(v));
+    return v;
+  }
+  std::uint64_t ReadU64() {
+    std::uint64_t v;
+    buffer_->Read(&v, sizeof(v));
+    return v;
+  }
+  std::int64_t ReadI64() { return UnZigZag(ReadVarint()); }
+  double ReadDouble() {
+    double v;
+    buffer_->Read(&v, sizeof(v));
+    return v;
+  }
+  std::string ReadString();
+
+  template <typename T>
+  T ReadPod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    buffer_->Read(&v, sizeof(T));
+    return v;
+  }
+
+  bool AtEnd() const { return buffer_->AtEnd(); }
+
+  static std::int64_t UnZigZag(std::uint64_t v) {
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+  }
+
+ private:
+  common::ByteBuffer* buffer_;
+};
+
+}  // namespace itask::serde
+
+#endif  // ITASK_SERDE_SERIALIZER_H_

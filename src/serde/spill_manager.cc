@@ -1,0 +1,114 @@
+#include "serde/spill_manager.h"
+
+#include <unistd.h>
+
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "common/logging.h"
+#include "common/spin.h"
+
+namespace itask::serde {
+
+SpillManager::SpillManager(const std::filesystem::path& root, const std::string& node_name) {
+  dir_ = root / ("itask-spill-" + node_name + "-" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir_);
+}
+
+SpillManager::~SpillManager() {
+  std::error_code ec;
+  std::filesystem::remove_all(dir_, ec);
+  if (ec) {
+    LOG_WARN() << "failed to remove spill dir " << dir_.string() << ": " << ec.message();
+  }
+}
+
+std::filesystem::path SpillManager::PathFor(SpillId id) const {
+  return dir_ / ("part-" + std::to_string(id) + ".bin");
+}
+
+SpillManager::SpillId SpillManager::Spill(const common::ByteBuffer& buffer) {
+  common::Stopwatch watch;
+  SpillId id;
+  {
+    std::lock_guard lock(mu_);
+    id = next_id_++;
+  }
+  const auto path = PathFor(id);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("SpillManager: cannot open " + path.string());
+  }
+  out.write(reinterpret_cast<const char*>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size()));
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("SpillManager: write failed for " + path.string());
+  }
+  {
+    std::lock_guard lock(mu_);
+    file_bytes_[id] = buffer.size();
+    stats_.spilled_bytes += buffer.size();
+    ++stats_.spill_count;
+    ++stats_.live_files;
+    stats_.live_file_bytes += buffer.size();
+    stats_.write_ms += watch.ElapsedMs();
+  }
+  return id;
+}
+
+common::ByteBuffer SpillManager::LoadAndRemove(SpillId id) {
+  common::Stopwatch watch;
+  std::uint64_t expected = 0;
+  {
+    std::lock_guard lock(mu_);
+    auto it = file_bytes_.find(id);
+    if (it == file_bytes_.end()) {
+      throw std::runtime_error("SpillManager: unknown spill id " + std::to_string(id));
+    }
+    expected = it->second;
+  }
+  const auto path = PathFor(id);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("SpillManager: cannot open " + path.string());
+  }
+  std::vector<std::uint8_t> data(expected);
+  in.read(reinterpret_cast<char*>(data.data()), static_cast<std::streamsize>(expected));
+  if (static_cast<std::uint64_t>(in.gcount()) != expected) {
+    throw std::runtime_error("SpillManager: short read from " + path.string());
+  }
+  Remove(id);
+  {
+    std::lock_guard lock(mu_);
+    stats_.loaded_bytes += expected;
+    ++stats_.load_count;
+    stats_.read_ms += watch.ElapsedMs();
+  }
+  return common::ByteBuffer(std::move(data));
+}
+
+void SpillManager::Remove(SpillId id) {
+  std::uint64_t bytes = 0;
+  {
+    std::lock_guard lock(mu_);
+    auto it = file_bytes_.find(id);
+    if (it == file_bytes_.end()) {
+      return;
+    }
+    bytes = it->second;
+    file_bytes_.erase(it);
+    --stats_.live_files;
+    stats_.live_file_bytes -= bytes;
+  }
+  std::error_code ec;
+  std::filesystem::remove(PathFor(id), ec);
+}
+
+SpillStats SpillManager::Stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace itask::serde

@@ -1,0 +1,69 @@
+// SpillManager: per-node spill-to-disk service used by the IRS partition
+// manager to lazily serialize partitions under memory pressure and page them
+// back on re-activation.
+//
+// Each spill writes one file under a node-private directory; handles are
+// opaque ids. I/O byte counters feed the paper's lazy-serialization breakdown
+// (Table 2) and the read-stall discussion in §6.2.
+#ifndef ITASK_SERDE_SPILL_MANAGER_H_
+#define ITASK_SERDE_SPILL_MANAGER_H_
+
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/byte_buffer.h"
+
+namespace itask::serde {
+
+struct SpillStats {
+  std::uint64_t spilled_bytes = 0;
+  std::uint64_t loaded_bytes = 0;
+  std::uint64_t spill_count = 0;
+  std::uint64_t load_count = 0;
+  std::uint64_t live_files = 0;
+  std::uint64_t live_file_bytes = 0;
+  double write_ms = 0.0;
+  double read_ms = 0.0;
+};
+
+class SpillManager {
+ public:
+  using SpillId = std::uint64_t;
+
+  // Creates (and owns) a fresh directory under |root|; the directory and all
+  // remaining files are removed on destruction.
+  explicit SpillManager(const std::filesystem::path& root, const std::string& node_name);
+  ~SpillManager();
+
+  SpillManager(const SpillManager&) = delete;
+  SpillManager& operator=(const SpillManager&) = delete;
+
+  // Writes |buffer| to a new file and returns its id. Throws std::runtime_error
+  // on I/O failure.
+  SpillId Spill(const common::ByteBuffer& buffer);
+
+  // Reads the file back into a buffer and deletes it.
+  common::ByteBuffer LoadAndRemove(SpillId id);
+
+  // Drops a spill without reading it (e.g. job aborted).
+  void Remove(SpillId id);
+
+  SpillStats Stats() const;
+  const std::filesystem::path& directory() const { return dir_; }
+
+ private:
+  std::filesystem::path PathFor(SpillId id) const;
+
+  std::filesystem::path dir_;
+  mutable std::mutex mu_;
+  std::unordered_map<SpillId, std::uint64_t> file_bytes_;
+  SpillId next_id_ = 1;
+  SpillStats stats_;
+};
+
+}  // namespace itask::serde
+
+#endif  // ITASK_SERDE_SPILL_MANAGER_H_

@@ -1,0 +1,29 @@
+#include "workloads/graph.h"
+
+namespace itask::workloads {
+
+std::uint64_t ForEachEdge(const GraphConfig& config, const std::function<void(const Edge&)>& fn) {
+  common::Rng rng(config.seed);
+  common::ZipfSampler zipf(config.num_vertices, config.in_degree_theta);
+  Edge e;
+  for (std::uint64_t i = 0; i < config.num_edges; ++i) {
+    e.src = 1 + rng.NextBelow(config.num_vertices);
+    e.dst = zipf.Sample(rng);
+    fn(e);
+  }
+  return config.num_edges * sizeof(Edge);
+}
+
+GraphConfig GraphForBytes(std::uint64_t target_bytes, std::uint64_t seed) {
+  GraphConfig config;
+  config.seed = seed;
+  config.num_edges = target_bytes / sizeof(Edge);
+  if (config.num_edges < 16) {
+    config.num_edges = 16;
+  }
+  // The Yahoo Webmap has ~5.7 edges per vertex (8.0B / 1.4B).
+  config.num_vertices = config.num_edges * 10 / 57 + 1;
+  return config;
+}
+
+}  // namespace itask::workloads

@@ -1,0 +1,36 @@
+// Power-law web-graph generator — the stand-in for the Yahoo Webmap inputs of
+// the paper's Table 3. Edge destinations are Zipf-distributed, so a few pages
+// collect enormous in-link lists (the skew that breaks InvertedIndex-style
+// aggregation).
+#ifndef ITASK_WORKLOADS_GRAPH_H_
+#define ITASK_WORKLOADS_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+
+namespace itask::workloads {
+
+struct Edge {
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+};
+
+struct GraphConfig {
+  std::uint64_t seed = 23;
+  std::uint64_t num_vertices = 100'000;
+  std::uint64_t num_edges = 600'000;
+  double in_degree_theta = 0.9;
+};
+
+// Streams all edges; returns bytes generated (16 per edge).
+std::uint64_t ForEachEdge(const GraphConfig& config, const std::function<void(const Edge&)>& fn);
+
+// Scales the paper's Table-3 axis: a webmap of |target_bytes| with the
+// paper's vertex/edge ratio (~5.7 edges per vertex).
+GraphConfig GraphForBytes(std::uint64_t target_bytes, std::uint64_t seed = 23);
+
+}  // namespace itask::workloads
+
+#endif  // ITASK_WORKLOADS_GRAPH_H_

@@ -1,0 +1,23 @@
+#include "workloads/posts.h"
+
+namespace itask::workloads {
+
+std::uint64_t ForEachComment(const PostsConfig& config,
+                             const std::function<void(const Comment&)>& fn) {
+  common::Rng rng(config.seed);
+  common::ZipfSampler zipf(config.num_posts, config.skew_theta);
+  std::uint64_t bytes = 0;
+  Comment comment;
+  while (bytes < config.target_bytes) {
+    comment.post_id = zipf.Sample(rng);
+    comment.text.assign(config.comment_bytes, 'x');
+    // Vary a few bytes so serialized content is not fully uniform.
+    comment.text[0] = static_cast<char>('a' + rng.NextBelow(26));
+    comment.text[1] = static_cast<char>('a' + rng.NextBelow(26));
+    bytes += sizeof(comment.post_id) + comment.text.size();
+    fn(comment);
+  }
+  return bytes;
+}
+
+}  // namespace itask::workloads

@@ -1,0 +1,39 @@
+// StackOverflow-like post stream with heavy-tailed discussion lengths.
+//
+// The paper's motivating example (§1): most posts are short, a few popular
+// posts have extremely long comment threads; joining a post with its comments
+// can consume most of a node's heap. Post length (number of comments) follows
+// a Zipf distribution over posts, so the hottest post is orders of magnitude
+// longer than the median.
+#ifndef ITASK_WORKLOADS_POSTS_H_
+#define ITASK_WORKLOADS_POSTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/rng.h"
+
+namespace itask::workloads {
+
+struct Comment {
+  std::uint64_t post_id = 0;
+  std::string text;
+};
+
+struct PostsConfig {
+  std::uint64_t seed = 7;
+  std::uint64_t target_bytes = 4 << 20;
+  std::uint64_t num_posts = 2'000;
+  double skew_theta = 1.2;        // Comment-to-post assignment skew.
+  std::uint32_t comment_bytes = 96;  // Per-comment payload size.
+};
+
+// Streams comments (post_id, text). The hottest post ids receive the bulk of
+// the comments. Returns bytes generated.
+std::uint64_t ForEachComment(const PostsConfig& config,
+                             const std::function<void(const Comment&)>& fn);
+
+}  // namespace itask::workloads
+
+#endif  // ITASK_WORKLOADS_POSTS_H_

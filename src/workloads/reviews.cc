@@ -1,0 +1,54 @@
+#include "workloads/reviews.h"
+
+#include <sstream>
+
+#include "workloads/text.h"
+
+namespace itask::workloads {
+
+std::uint64_t ForEachSentence(const ReviewsConfig& config,
+                              const std::function<void(const std::string&)>& fn) {
+  common::Rng rng(config.seed);
+  common::ZipfSampler zipf(5'000, 1.0);
+  std::uint64_t bytes = 0;
+  std::string sentence;
+  while (bytes < config.target_bytes) {
+    std::uint32_t words;
+    if (rng.NextDouble() < config.long_sentence_probability) {
+      words = config.long_sentence_words;
+    } else {
+      words = static_cast<std::uint32_t>(
+          rng.NextInRange(config.min_sentence_words, config.max_sentence_words));
+    }
+    sentence.clear();
+    for (std::uint32_t i = 0; i < words; ++i) {
+      if (i > 0) {
+        sentence += ' ';
+      }
+      sentence += WordForRank(zipf.Sample(rng));
+    }
+    bytes += sentence.size() + 1;
+    fn(sentence);
+  }
+  return bytes;
+}
+
+std::vector<std::string> LemmatizerSim::Lemmatize(const std::string& sentence) const {
+  // The dynamic-programming tables: transiently live, then garbage.
+  const std::uint64_t temp_bytes = static_cast<std::uint64_t>(sentence.size()) * amplification_;
+  memsim::HeapCharge temporaries(heap_, temp_bytes);
+
+  std::vector<std::string> lemmas;
+  std::istringstream stream(sentence);
+  std::string word;
+  while (stream >> word) {
+    // "Lemmatization": strip a trailing 's' as a cheap deterministic stand-in.
+    if (word.size() > 1 && word.back() == 's') {
+      word.pop_back();
+    }
+    lemmas.push_back(word);
+  }
+  return lemmas;  // |temporaries| released here -> becomes collectable garbage.
+}
+
+}  // namespace itask::workloads

@@ -1,0 +1,52 @@
+// Customer-review sentences + a memory-amplifying "lemmatizer" — the stand-in
+// for the Stanford Lemmatizer in the paper's CRP problem (§2): for each
+// sentence processed, the library's dynamic-programming temporaries need
+// roughly three orders of magnitude more memory than the sentence itself, and
+// the developer can neither predict nor control that consumption.
+#ifndef ITASK_WORKLOADS_REVIEWS_H_
+#define ITASK_WORKLOADS_REVIEWS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "memsim/managed_heap.h"
+
+namespace itask::workloads {
+
+struct ReviewsConfig {
+  std::uint64_t seed = 31;
+  std::uint64_t target_bytes = 1 << 20;
+  std::uint32_t min_sentence_words = 4;
+  std::uint32_t max_sentence_words = 40;
+  // A few pathologically long sentences (the skew the recommended fix breaks
+  // up by hand).
+  double long_sentence_probability = 0.002;
+  std::uint32_t long_sentence_words = 2'000;
+};
+
+// Streams sentences; returns bytes generated.
+std::uint64_t ForEachSentence(const ReviewsConfig& config,
+                              const std::function<void(const std::string&)>& fn);
+
+// Third-party-library stand-in. Lemmatize() transiently charges
+// amplification × sentence-bytes of managed temporaries (throwing
+// OutOfMemoryError exactly like the real library would), then releases them
+// as garbage and returns the lemmas.
+class LemmatizerSim {
+ public:
+  explicit LemmatizerSim(memsim::ManagedHeap* heap, std::uint32_t amplification = 1'000)
+      : heap_(heap), amplification_(amplification) {}
+
+  std::vector<std::string> Lemmatize(const std::string& sentence) const;
+
+ private:
+  memsim::ManagedHeap* heap_;
+  std::uint32_t amplification_;
+};
+
+}  // namespace itask::workloads
+
+#endif  // ITASK_WORKLOADS_REVIEWS_H_

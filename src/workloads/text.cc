@@ -1,0 +1,42 @@
+#include "workloads/text.h"
+
+namespace itask::workloads {
+
+std::string WordForRank(std::uint64_t rank) { return "w" + std::to_string(rank); }
+
+std::uint64_t ForEachDocument(const TextConfig& config,
+                              const std::function<void(const std::string&)>& fn) {
+  common::Rng rng(config.seed);
+  common::ZipfSampler zipf(config.vocabulary, config.zipf_theta);
+  std::uint64_t bytes = 0;
+  std::string doc;
+  while (bytes < config.target_bytes) {
+    const std::uint32_t words =
+        static_cast<std::uint32_t>(rng.NextInRange(config.min_words_per_doc, config.max_words_per_doc));
+    doc.clear();
+    for (std::uint32_t i = 0; i < words; ++i) {
+      if (i > 0) {
+        doc += ' ';
+      }
+      doc += WordForRank(zipf.Sample(rng));
+    }
+    bytes += doc.size() + 1;
+    fn(doc);
+  }
+  return bytes;
+}
+
+std::uint64_t ForEachWord(const TextConfig& config,
+                          const std::function<void(const std::string&)>& fn) {
+  common::Rng rng(config.seed);
+  common::ZipfSampler zipf(config.vocabulary, config.zipf_theta);
+  std::uint64_t bytes = 0;
+  while (bytes < config.target_bytes) {
+    const std::string word = WordForRank(zipf.Sample(rng));
+    bytes += word.size() + 1;
+    fn(word);
+  }
+  return bytes;
+}
+
+}  // namespace itask::workloads

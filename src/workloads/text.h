@@ -1,0 +1,41 @@
+// Synthetic text corpus with a Zipf word-frequency distribution — the stand-in
+// for the Wikipedia/StackOverflow dumps used in the paper's evaluation.
+// Documents are generated deterministically from a seed; the corpus is shaped
+// by a vocabulary size and a Zipf exponent so a handful of words dominate
+// (the hot keys that stress aggregation tasks).
+#ifndef ITASK_WORKLOADS_TEXT_H_
+#define ITASK_WORKLOADS_TEXT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace itask::workloads {
+
+struct TextConfig {
+  std::uint64_t seed = 42;
+  std::uint64_t target_bytes = 4 << 20;  // Total corpus size.
+  std::uint64_t vocabulary = 20'000;
+  double zipf_theta = 1.0;
+  std::uint32_t min_words_per_doc = 20;
+  std::uint32_t max_words_per_doc = 200;
+};
+
+// The word of a given Zipf rank ("w<rank>").
+std::string WordForRank(std::uint64_t rank);
+
+// Streams whitespace-joined documents until target_bytes have been emitted.
+// Returns the actual number of bytes generated.
+std::uint64_t ForEachDocument(const TextConfig& config,
+                              const std::function<void(const std::string&)>& fn);
+
+// Streams individual words (no document framing).
+std::uint64_t ForEachWord(const TextConfig& config,
+                          const std::function<void(const std::string&)>& fn);
+
+}  // namespace itask::workloads
+
+#endif  // ITASK_WORKLOADS_TEXT_H_

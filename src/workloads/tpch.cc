@@ -1,0 +1,55 @@
+#include "workloads/tpch.h"
+
+namespace itask::workloads {
+
+std::uint64_t ForEachCustomer(const TpchConfig& config,
+                              const std::function<void(const Customer&)>& fn) {
+  common::Rng rng(config.seed);
+  const std::uint64_t n = config.NumCustomers();
+  std::uint64_t bytes = 0;
+  Customer c;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    c.cust_key = i;
+    c.nation_key = static_cast<std::uint32_t>(rng.NextBelow(25));
+    c.name = "Customer#" + std::to_string(i);
+    bytes += sizeof(c.cust_key) + sizeof(c.nation_key) + c.name.size();
+    fn(c);
+  }
+  return bytes;
+}
+
+std::uint64_t ForEachOrder(const TpchConfig& config, const std::function<void(const Order&)>& fn) {
+  common::Rng rng(config.seed ^ 0x5eedULL);
+  const std::uint64_t customers = config.NumCustomers();
+  const std::uint64_t n = config.NumOrders();
+  std::uint64_t bytes = 0;
+  Order o;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    o.order_key = i;
+    o.cust_key = 1 + rng.NextBelow(customers);
+    o.total_price = 1.0 + static_cast<double>(rng.NextBelow(100'000)) / 100.0;
+    bytes += sizeof(o);
+    fn(o);
+  }
+  return bytes;
+}
+
+std::uint64_t ForEachLineItem(const TpchConfig& config,
+                              const std::function<void(const LineItem&)>& fn) {
+  common::Rng rng(config.seed ^ 0xf00dULL);
+  const std::uint64_t orders = config.NumOrders();
+  const std::uint64_t n = config.NumLineItems();
+  std::uint64_t bytes = 0;
+  LineItem li;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    li.order_key = 1 + rng.NextBelow(orders);
+    li.quantity = 1 + static_cast<std::uint32_t>(rng.NextBelow(50));
+    li.extended_price = 1.0 + static_cast<double>(rng.NextBelow(10'000'000)) / 100.0;
+    li.supp_key = static_cast<std::uint32_t>(rng.NextBelow(1'000));
+    bytes += sizeof(li);
+    fn(li);
+  }
+  return bytes;
+}
+
+}  // namespace itask::workloads

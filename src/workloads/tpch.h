@@ -1,0 +1,55 @@
+// TPC-H-like table generators (Customer, Order, LineItem) at a scale factor,
+// mirroring the paper's Table 4 inputs for HashJoin and GroupBy. Row ratios
+// follow the paper's data (customer : order : lineitem = 1 : 10 : 40).
+#ifndef ITASK_WORKLOADS_TPCH_H_
+#define ITASK_WORKLOADS_TPCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/rng.h"
+
+namespace itask::workloads {
+
+struct Customer {
+  std::uint64_t cust_key = 0;
+  std::uint32_t nation_key = 0;
+  std::string name;
+};
+
+struct Order {
+  std::uint64_t order_key = 0;
+  std::uint64_t cust_key = 0;
+  double total_price = 0.0;
+};
+
+struct LineItem {
+  std::uint64_t order_key = 0;
+  std::uint32_t quantity = 0;
+  double extended_price = 0.0;
+  std::uint32_t supp_key = 0;
+};
+
+struct TpchConfig {
+  std::uint64_t seed = 11;
+  // Scale factor: rows = base * scale (paper's 10x..150x axis).
+  double scale = 1.0;
+  std::uint64_t base_customers = 1'500;
+
+  std::uint64_t NumCustomers() const {
+    return static_cast<std::uint64_t>(static_cast<double>(base_customers) * scale);
+  }
+  std::uint64_t NumOrders() const { return NumCustomers() * 10; }
+  std::uint64_t NumLineItems() const { return NumCustomers() * 40; }
+};
+
+std::uint64_t ForEachCustomer(const TpchConfig& config,
+                              const std::function<void(const Customer&)>& fn);
+std::uint64_t ForEachOrder(const TpchConfig& config, const std::function<void(const Order&)>& fn);
+std::uint64_t ForEachLineItem(const TpchConfig& config,
+                              const std::function<void(const LineItem&)>& fn);
+
+}  // namespace itask::workloads
+
+#endif  // ITASK_WORKLOADS_TPCH_H_

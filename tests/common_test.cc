@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "common/byte_buffer.h"
+#include "common/rng.h"
+#include "common/spin.h"
+#include "common/table_printer.h"
+
+namespace itask::common {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(7), 7u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, SamplesWithinUniverse) {
+  Rng rng(17);
+  ZipfSampler zipf(1000, 1.0);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto k = zipf.Sample(rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 1000u);
+  }
+}
+
+TEST(ZipfTest, RankOneDominates) {
+  Rng rng(17);
+  ZipfSampler zipf(10'000, 1.0);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100'000; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  // Rank 1 should be the most frequent, and much more frequent than rank 100.
+  int max_count = 0;
+  std::uint64_t max_rank = 0;
+  for (const auto& [rank, count] : counts) {
+    if (count > max_count) {
+      max_count = count;
+      max_rank = rank;
+    }
+  }
+  EXPECT_EQ(max_rank, 1u);
+  EXPECT_GT(counts[1], 10 * counts[100]);
+}
+
+class ZipfThetaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfThetaTest, DistributionIsMonotoneInRankBuckets) {
+  Rng rng(3);
+  ZipfSampler zipf(1'000, GetParam());
+  std::vector<int> bucket(3, 0);
+  for (int i = 0; i < 50'000; ++i) {
+    const auto k = zipf.Sample(rng);
+    if (k <= 10) {
+      ++bucket[0];
+    } else if (k <= 100) {
+      ++bucket[1];
+    } else {
+      ++bucket[2];
+    }
+  }
+  // Per-rank density must decrease across buckets.
+  const double d0 = bucket[0] / 10.0;
+  const double d1 = bucket[1] / 90.0;
+  const double d2 = bucket[2] / 900.0;
+  EXPECT_GT(d0, d1);
+  EXPECT_GT(d1, d2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfThetaTest, ::testing::Values(0.8, 0.99, 1.0, 1.2));
+
+TEST(ByteBufferTest, AppendRead) {
+  ByteBuffer buf;
+  const int x = 42;
+  const double y = 3.5;
+  buf.Append(&x, sizeof(x));
+  buf.Append(&y, sizeof(y));
+  int rx = 0;
+  double ry = 0;
+  buf.Read(&rx, sizeof(rx));
+  buf.Read(&ry, sizeof(ry));
+  EXPECT_EQ(rx, 42);
+  EXPECT_EQ(ry, 3.5);
+  EXPECT_TRUE(buf.AtEnd());
+}
+
+TEST(ByteBufferTest, ReadPastEndThrows) {
+  ByteBuffer buf;
+  char c = 'a';
+  buf.Append(&c, 1);
+  char out[2];
+  EXPECT_THROW(buf.Read(out, 2), std::out_of_range);
+}
+
+TEST(ByteBufferTest, ResetCursorAllowsRereading) {
+  ByteBuffer buf;
+  int x = 7;
+  buf.Append(&x, sizeof(x));
+  int out = 0;
+  buf.Read(&out, sizeof(out));
+  buf.ResetCursor();
+  out = 0;
+  buf.Read(&out, sizeof(out));
+  EXPECT_EQ(out, 7);
+}
+
+TEST(BlockingQueueTest, PushPopOrder) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_EQ(q.Pop().value(), 3);
+}
+
+TEST(BlockingQueueTest, CloseDrainsThenReturnsNullopt) {
+  BlockingQueue<int> q;
+  q.Push(5);
+  q.Close();
+  EXPECT_EQ(q.Pop().value(), 5);
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_FALSE(q.Push(6));
+}
+
+TEST(BlockingQueueTest, MultiThreadedTransfersAllItems) {
+  BlockingQueue<int> q;
+  constexpr int kItems = 10'000;
+  std::set<int> received;
+  std::mutex mu;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = q.Pop()) {
+        std::lock_guard lock(mu);
+        received.insert(*item);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = p; i < kItems; i += 2) {
+        q.Push(i);
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  q.Close();
+  for (auto& t : consumers) {
+    t.join();
+  }
+  EXPECT_EQ(received.size(), static_cast<std::size_t>(kItems));
+}
+
+TEST(SpinTest, SpinsForApproximateDuration) {
+  Stopwatch watch;
+  SpinFor(std::chrono::milliseconds(5));
+  EXPECT_GE(watch.ElapsedMs(), 4.9);
+  EXPECT_LT(watch.ElapsedMs(), 50.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"Name", "Value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "22"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("|--"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatHelpers) {
+  EXPECT_EQ(FormatMs(1500.0), "1.50s");
+  EXPECT_EQ(FormatMs(12.3), "12.3ms");
+  EXPECT_EQ(FormatPct(0.5), "50.0%");
+  EXPECT_EQ(FormatRatio(2.0), "2.00x");
+}
+
+}  // namespace
+}  // namespace itask::common

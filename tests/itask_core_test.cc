@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "itask/job_state.h"
+#include "itask/partition_queue.h"
+#include "itask/task_graph.h"
+#include "itask/typed_partition.h"
+
+namespace itask::core {
+namespace {
+
+struct U64Traits {
+  using Tuple = std::uint64_t;
+  static std::uint64_t SizeOf(const Tuple&) { return 16; }  // 8 data + 8 "header".
+  static void Write(serde::Writer& w, const Tuple& t) { w.WriteVarint(t); }
+  static Tuple Read(serde::Reader& r) { return r.ReadVarint(); }
+};
+
+struct CountTraits {
+  using Key = std::string;
+  using Value = std::uint64_t;
+  static std::uint64_t EntryOverhead() { return 48; }
+  static std::uint64_t KeyBytes(const Key& k) { return k.size(); }
+  static std::uint64_t ValueBytes(const Value&) { return 8; }
+  static void WriteEntry(serde::Writer& w, const Key& k, const Value& v) {
+    w.WriteString(k);
+    w.WriteVarint(v);
+  }
+  static std::pair<Key, Value> ReadEntry(serde::Reader& r) {
+    Key k = r.ReadString();
+    Value v = r.ReadVarint();
+    return {std::move(k), v};
+  }
+};
+
+memsim::HeapConfig FastHeap(std::uint64_t capacity = 16 << 20) {
+  memsim::HeapConfig config;
+  config.capacity_bytes = capacity;
+  config.real_pauses = false;
+  return config;
+}
+
+class PartitionTest : public ::testing::Test {
+ protected:
+  PartitionTest()
+      : heap_(FastHeap()), spill_(std::filesystem::temp_directory_path(), "parttest") {}
+
+  TypeId type_ = TypeIds::Get("test.u64");
+  memsim::ManagedHeap heap_;
+  serde::SpillManager spill_;
+};
+
+TEST_F(PartitionTest, AppendChargesHeap) {
+  VectorPartition<U64Traits> p(type_, &heap_, &spill_);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    p.Append(i);
+  }
+  EXPECT_EQ(p.TupleCount(), 100u);
+  EXPECT_EQ(p.PayloadBytes(), 1600u);
+  EXPECT_EQ(heap_.live_bytes(), 1600u);
+}
+
+TEST_F(PartitionTest, SpillFreesHeapAndLoadRestores) {
+  auto p = std::make_shared<VectorPartition<U64Traits>>(type_, &heap_, &spill_);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    p->Append(i * 3);
+  }
+  const std::uint64_t freed = p->Spill();
+  EXPECT_EQ(freed, 800u);
+  EXPECT_FALSE(p->resident());
+  EXPECT_EQ(heap_.live_bytes(), 0u);
+
+  p->EnsureResident();
+  EXPECT_TRUE(p->resident());
+  EXPECT_EQ(p->TupleCount(), 50u);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(p->At(i), i * 3);
+  }
+}
+
+TEST_F(PartitionTest, SpillSerializesOnlyUnprocessedSuffix) {
+  VectorPartition<U64Traits> p(type_, &heap_, &spill_);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    p.Append(i);
+  }
+  p.set_cursor(4);
+  p.Spill();
+  p.EnsureResident();
+  EXPECT_EQ(p.TupleCount(), 6u);
+  EXPECT_EQ(p.cursor(), 0u);
+  EXPECT_EQ(p.At(0), 4u);  // First unprocessed tuple.
+}
+
+TEST_F(PartitionTest, ReleaseProcessedPrefixFreesBytes) {
+  VectorPartition<U64Traits> p(type_, &heap_, &spill_);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    p.Append(i);
+  }
+  p.set_cursor(7);
+  const std::uint64_t freed = p.ReleaseProcessedPrefix();
+  EXPECT_EQ(freed, 7u * 16u);
+  EXPECT_EQ(p.TupleCount(), 3u);
+  EXPECT_EQ(p.cursor(), 0u);
+  EXPECT_EQ(p.At(0), 7u);
+  EXPECT_EQ(heap_.live_bytes(), 3u * 16u);
+}
+
+TEST_F(PartitionTest, DoubleSpillIsNoop) {
+  VectorPartition<U64Traits> p(type_, &heap_, &spill_);
+  p.Append(1);
+  EXPECT_GT(p.Spill(), 0u);
+  EXPECT_EQ(p.Spill(), 0u);
+}
+
+TEST_F(PartitionTest, TransferMovesChargeBetweenHeaps) {
+  memsim::ManagedHeap other(FastHeap());
+  serde::SpillManager other_spill(std::filesystem::temp_directory_path(), "other");
+  VectorPartition<U64Traits> p(type_, &heap_, &spill_);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    p.Append(i);
+  }
+  p.TransferTo(&other, &other_spill);
+  EXPECT_EQ(heap_.live_bytes(), 0u);
+  EXPECT_EQ(other.live_bytes(), 20u * 16u);
+  EXPECT_EQ(p.TupleCount(), 20u);
+  EXPECT_EQ(p.At(19), 19u);
+}
+
+TEST_F(PartitionTest, HashAggUpsertAggregates) {
+  TypeId t = TypeIds::Get("test.counts");
+  HashAggPartition<CountTraits> p(t, &heap_, &spill_);
+  auto add = [](std::uint64_t& v) {
+    ++v;
+    return 0;
+  };
+  p.Upsert("a", add);
+  p.Upsert("b", add);
+  p.Upsert("a", add);
+  EXPECT_EQ(p.EntryCount(), 2u);
+  EXPECT_EQ(p.map().at("a"), 2u);
+  // 2 entries: overhead 48 + key 1 each.
+  EXPECT_EQ(p.PayloadBytes(), 2u * 49u);
+}
+
+TEST_F(PartitionTest, HashAggFreezeAndIterate) {
+  TypeId t = TypeIds::Get("test.counts");
+  HashAggPartition<CountTraits> p(t, &heap_, &spill_);
+  p.Upsert("x", [](std::uint64_t& v) {
+    v = 5;
+    return 0;
+  });
+  EXPECT_FALSE(p.frozen());
+  const auto& tuple = p.At(0);
+  EXPECT_TRUE(p.frozen());
+  EXPECT_EQ(tuple.first, "x");
+  EXPECT_EQ(tuple.second, 5u);
+}
+
+TEST_F(PartitionTest, HashAggSpillRoundTrip) {
+  TypeId t = TypeIds::Get("test.counts");
+  auto p = std::make_shared<HashAggPartition<CountTraits>>(t, &heap_, &spill_);
+  p->Upsert("k1", [](std::uint64_t& v) {
+    v = 10;
+    return 0;
+  });
+  p->Upsert("k2", [](std::uint64_t& v) {
+    v = 20;
+    return 0;
+  });
+  p->set_tag(7);
+  p->Spill();
+  EXPECT_EQ(heap_.live_bytes(), 0u);
+  p->EnsureResident();
+  EXPECT_EQ(p->tag(), 7);
+  EXPECT_EQ(p->TupleCount(), 2u);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < p->TupleCount(); ++i) {
+    total += p->At(i).second;
+  }
+  EXPECT_EQ(total, 30u);
+}
+
+class QueueTest : public ::testing::Test {
+ protected:
+  QueueTest()
+      : heap_(FastHeap()),
+        spill_(std::filesystem::temp_directory_path(), "queuetest"),
+        queue_(&state_) {}
+
+  PartitionPtr Make(TypeId type, Tag tag, int tuples = 3) {
+    auto p = std::make_shared<VectorPartition<U64Traits>>(type, &heap_, &spill_);
+    for (int i = 0; i < tuples; ++i) {
+      p->Append(static_cast<std::uint64_t>(i));
+    }
+    p->set_tag(tag);
+    return p;
+  }
+
+  memsim::ManagedHeap heap_;
+  serde::SpillManager spill_;
+  JobState state_;
+  PartitionQueue queue_;
+};
+
+TEST_F(QueueTest, PushPopUpdatesJobState) {
+  const TypeId t = TypeIds::Get("q.a");
+  queue_.Push(Make(t, kNoTag));
+  EXPECT_EQ(state_.queued_by_type[t].load(), 1u);
+  EXPECT_EQ(state_.total_queued.load(), 1u);
+  auto dp = queue_.PopOne(t);
+  ASSERT_NE(dp, nullptr);
+  EXPECT_TRUE(dp->pinned());
+  EXPECT_EQ(state_.total_queued.load(), 0u);
+}
+
+TEST_F(QueueTest, PopPrefersResident) {
+  const TypeId t = TypeIds::Get("q.b");
+  auto spilled = Make(t, kNoTag);
+  spilled->Spill();
+  auto resident = Make(t, kNoTag);
+  queue_.Push(spilled);
+  queue_.Push(resident);
+  auto dp = queue_.PopOne(t);
+  EXPECT_TRUE(dp->resident());
+}
+
+TEST_F(QueueTest, PopTagGroupTakesWholeTag) {
+  const TypeId t = TypeIds::Get("q.c");
+  queue_.Push(Make(t, 1));
+  queue_.Push(Make(t, 1));
+  queue_.Push(Make(t, 2));
+  auto group = queue_.PopTagGroup(t);
+  EXPECT_EQ(group.size(), 2u);
+  EXPECT_EQ(group[0]->tag(), group[1]->tag());
+  EXPECT_TRUE(queue_.HasAny(t));  // Tag 2 remains.
+}
+
+TEST_F(QueueTest, ResidentSnapshotSkipsPinnedAndSpilled) {
+  const TypeId t = TypeIds::Get("q.d");
+  auto a = Make(t, kNoTag);
+  auto b = Make(t, kNoTag);
+  b->Spill();
+  queue_.Push(a);
+  queue_.Push(b);
+  EXPECT_EQ(queue_.ResidentSnapshot().size(), 1u);
+  queue_.PopOne(t);  // Pops (and pins) the resident one.
+  EXPECT_TRUE(queue_.ResidentSnapshot().empty());
+}
+
+TEST_F(QueueTest, PopEmptyTypeReturnsNull) {
+  EXPECT_EQ(queue_.PopOne(TypeIds::Get("q.never")), nullptr);
+  EXPECT_TRUE(queue_.PopTagGroup(TypeIds::Get("q.never")).empty());
+}
+
+class GraphTest : public ::testing::Test {
+ protected:
+  static TaskSpec Spec(const std::string& name, const std::string& in, const std::string& out,
+                       bool merge = false) {
+    TaskSpec spec;
+    spec.name = name;
+    spec.input_type = TypeIds::Get(in);
+    spec.output_type = TypeIds::Get(out);
+    spec.is_merge = merge;
+    spec.factory = [] { return std::unique_ptr<ITaskBase>(); };
+    return spec;
+  }
+};
+
+TEST_F(GraphTest, FinishDistances) {
+  TaskGraph graph;
+  graph.Register(Spec("map", "g.in", "g.mid"));
+  graph.Register(Spec("reduce", "g.mid", "g.out"));
+  graph.Register(Spec("merge", "g.out", "g.out", /*merge=*/true));
+  graph.ComputeFinishDistances();
+  EXPECT_EQ(graph.spec(2).finish_distance, 0);  // Merge self-loop is terminal.
+  EXPECT_EQ(graph.spec(1).finish_distance, 1);
+  EXPECT_EQ(graph.spec(0).finish_distance, 2);
+}
+
+TEST_F(GraphTest, ConsumerAndProducers) {
+  TaskGraph graph;
+  graph.Register(Spec("map", "g2.in", "g2.mid"));
+  graph.Register(Spec("reduce", "g2.mid", "g2.out"));
+  EXPECT_EQ(graph.ConsumerOf(TypeIds::Get("g2.mid"))->name, "reduce");
+  EXPECT_EQ(graph.ConsumerOf(TypeIds::Get("g2.out")), nullptr);
+  EXPECT_EQ(graph.ProducersOf(TypeIds::Get("g2.mid")).size(), 1u);
+}
+
+TEST_F(GraphTest, DuplicateConsumerRejected) {
+  TaskGraph graph;
+  graph.Register(Spec("a", "g3.in", "g3.x"));
+  EXPECT_THROW(graph.Register(Spec("b", "g3.in", "g3.y")), std::runtime_error);
+}
+
+TEST_F(GraphTest, UpstreamQuiescence) {
+  TaskGraph graph;
+  const int map_id = graph.Register(Spec("map", "g4.in", "g4.mid"));
+  const int reduce_id = graph.Register(Spec("reduce", "g4.mid", "g4.agg"));
+  graph.Register(Spec("merge", "g4.agg", "g4.agg", /*merge=*/true));
+  graph.ComputeFinishDistances();
+  const TaskSpec& merge = graph.spec(2);
+
+  JobState state;
+  // External input still flowing: not quiescent.
+  EXPECT_FALSE(graph.UpstreamQuiescent(merge, state));
+  state.external_done.store(true);
+  EXPECT_TRUE(graph.UpstreamQuiescent(merge, state));
+
+  // A running upstream producer blocks merges.
+  state.NoteStart(reduce_id);
+  EXPECT_FALSE(graph.UpstreamQuiescent(merge, state));
+  state.NoteFinish(reduce_id);
+
+  state.NoteStart(map_id);
+  EXPECT_FALSE(graph.UpstreamQuiescent(merge, state));
+  state.NoteFinish(map_id);
+
+  // Queued upstream inputs block merges.
+  state.NotePush(TypeIds::Get("g4.in"));
+  EXPECT_FALSE(graph.UpstreamQuiescent(merge, state));
+  state.NotePop(TypeIds::Get("g4.in"));
+  EXPECT_TRUE(graph.UpstreamQuiescent(merge, state));
+
+  // The merge's own queued inputs do not block it.
+  state.NotePush(TypeIds::Get("g4.agg"));
+  EXPECT_TRUE(graph.UpstreamQuiescent(merge, state));
+}
+
+}  // namespace
+}  // namespace itask::core

@@ -1,0 +1,162 @@
+// Tests of the Hadoop-flavored MapReduce facade (paper §4.2): the classic
+// Mapper/Reducer pair runs as ITasks, survives pressured heaps, and produces
+// the same result as a direct sequential computation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "mapreduce/mapreduce.h"
+#include "workloads/text.h"
+
+namespace itask::mapreduce {
+namespace {
+
+struct DocTraits {
+  using Tuple = std::string;
+  static std::uint64_t SizeOf(const Tuple& t) { return t.size() + 48; }
+  static void Write(serde::Writer& w, const Tuple& t) { w.WriteString(t); }
+  static Tuple Read(serde::Reader& r) { return r.ReadString(); }
+};
+
+struct WordCountKv {
+  using InTraits = DocTraits;
+  using Key = std::string;
+  using Value = std::uint64_t;
+  static std::uint64_t EntryOverhead() { return 48; }
+  static std::uint64_t KeyBytes(const Key& k) { return k.size(); }
+  static std::uint64_t ValueBytes(const Value&) { return 8; }
+  static void WriteEntry(serde::Writer& w, const Key& k, const Value& v) {
+    w.WriteString(k);
+    w.WriteVarint(v);
+  }
+  static std::pair<Key, Value> ReadEntry(serde::Reader& r) {
+    Key k = r.ReadString();
+    Value v = r.ReadVarint();
+    return {std::move(k), v};
+  }
+  static std::uint64_t HashKey(const Key& k) {
+    return apps::HashString(k);
+  }
+};
+
+class WordCountMapper : public Mapper<WordCountKv> {
+ public:
+  void Map(const std::string& doc, Emitter& emit, memsim::ManagedHeap& /*heap*/) override {
+    std::istringstream stream(doc);
+    std::string word;
+    while (stream >> word) {
+      emit.Emit(word, 1);
+    }
+  }
+};
+
+class SumReducer : public Reducer<WordCountKv> {
+ public:
+  std::int64_t Reduce(const std::string& /*key*/, std::uint64_t& into,
+                      const std::uint64_t& from) override {
+    into += from;
+    return 0;
+  }
+};
+
+std::map<std::string, std::uint64_t> RunJob(std::uint64_t heap_bytes, std::uint64_t corpus_bytes,
+                                            bool* ok_out = nullptr) {
+  cluster::ClusterConfig cc;
+  cc.num_nodes = 2;
+  cc.heap.capacity_bytes = heap_bytes;
+  cc.heap.real_pauses = false;
+  cluster::Cluster cl(cc);
+
+  MapReduceConfig config;
+  config.max_workers_per_node = 4;
+  config.split_bytes = 32 << 10;
+  MapReduceJob<WordCountKv> job(cl, "mrtest", config);
+  job.SetMapper([] { return std::make_unique<WordCountMapper>(); });
+  job.SetReducer([] { return std::make_unique<SumReducer>(); });
+
+  std::map<std::string, std::uint64_t> counts;
+  std::mutex mu;
+  job.SetResultHandler([&](const std::string& word, const std::uint64_t& n) {
+    std::lock_guard lock(mu);
+    counts[word] += n;
+  });
+
+  workloads::TextConfig tc;
+  tc.target_bytes = corpus_bytes;
+  tc.vocabulary = 1'500;
+  const auto metrics = job.Run([&](const std::function<void(std::string, std::uint64_t)>& push) {
+    workloads::ForEachDocument(tc, [&](const std::string& doc) {
+      push(doc, DocTraits::SizeOf(doc));
+    });
+  });
+  if (ok_out != nullptr) {
+    *ok_out = metrics.succeeded;
+  }
+  return counts;
+}
+
+std::map<std::string, std::uint64_t> Reference(std::uint64_t corpus_bytes) {
+  workloads::TextConfig tc;
+  tc.target_bytes = corpus_bytes;
+  tc.vocabulary = 1'500;
+  std::map<std::string, std::uint64_t> counts;
+  workloads::ForEachDocument(tc, [&](const std::string& doc) {
+    std::istringstream stream(doc);
+    std::string word;
+    while (stream >> word) {
+      ++counts[word];
+    }
+  });
+  return counts;
+}
+
+TEST(MapReduceTest, WordCountMatchesReference) {
+  bool ok = false;
+  const auto counts = RunJob(64 << 20, 256 << 10, &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(counts, Reference(256 << 10));
+}
+
+TEST(MapReduceTest, SurvivesPressuredHeapWithSameResult) {
+  bool ok = false;
+  const auto counts = RunJob(1 << 20, 512 << 10, &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(counts, Reference(512 << 10));
+}
+
+TEST(MapReduceTest, EachKeyReportedExactlyOnce) {
+  // The per-channel MITask emits a key only from its Cleanup, so the result
+  // handler must never see a key twice (per channel).
+  cluster::ClusterConfig cc;
+  cc.num_nodes = 1;
+  cc.heap.capacity_bytes = 8 << 20;
+  cc.heap.real_pauses = false;
+  cluster::Cluster cl(cc);
+
+  MapReduceConfig config;
+  MapReduceJob<WordCountKv> job(cl, "mrdup", config);
+  job.SetMapper([] { return std::make_unique<WordCountMapper>(); });
+  job.SetReducer([] { return std::make_unique<SumReducer>(); });
+
+  std::map<std::string, int> seen;
+  std::mutex mu;
+  job.SetResultHandler([&](const std::string& word, const std::uint64_t&) {
+    std::lock_guard lock(mu);
+    ++seen[word];
+  });
+  const auto metrics = job.Run([&](const std::function<void(std::string, std::uint64_t)>& push) {
+    for (int i = 0; i < 1'000; ++i) {
+      push("alpha beta gamma", 64);
+    }
+  });
+  ASSERT_TRUE(metrics.succeeded);
+  ASSERT_EQ(seen.size(), 3u);
+  for (const auto& [word, times] : seen) {
+    EXPECT_EQ(times, 1) << word;
+  }
+}
+
+}  // namespace
+}  // namespace itask::mapreduce

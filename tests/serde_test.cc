@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/byte_buffer.h"
+#include "common/rng.h"
+#include "serde/serializer.h"
+#include "serde/spill_manager.h"
+
+namespace itask::serde {
+namespace {
+
+TEST(SerializerTest, VarintRoundTrip) {
+  common::ByteBuffer buf;
+  Writer w(&buf);
+  const std::uint64_t values[] = {0, 1, 127, 128, 300, 1ULL << 20, 1ULL << 40, ~0ULL};
+  for (auto v : values) {
+    w.WriteVarint(v);
+  }
+  Reader r(&buf);
+  for (auto v : values) {
+    EXPECT_EQ(r.ReadVarint(), v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializerTest, VarintRoundTripRandomized) {
+  common::Rng rng(1234);
+  common::ByteBuffer buf;
+  Writer w(&buf);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 10'000; ++i) {
+    // Mix of magnitudes.
+    const int shift = static_cast<int>(rng.NextBelow(64));
+    values.push_back(rng.NextU64() >> shift);
+    w.WriteVarint(values.back());
+  }
+  Reader r(&buf);
+  for (auto v : values) {
+    ASSERT_EQ(r.ReadVarint(), v);
+  }
+}
+
+TEST(SerializerTest, ZigZagRoundTrip) {
+  const std::int64_t values[] = {0, -1, 1, -1000, 1000, INT64_MIN, INT64_MAX};
+  for (auto v : values) {
+    EXPECT_EQ(Reader::UnZigZag(Writer::ZigZag(v)), v);
+  }
+}
+
+TEST(SerializerTest, SignedRoundTrip) {
+  common::ByteBuffer buf;
+  Writer w(&buf);
+  w.WriteI64(-42);
+  w.WriteI64(42);
+  Reader r(&buf);
+  EXPECT_EQ(r.ReadI64(), -42);
+  EXPECT_EQ(r.ReadI64(), 42);
+}
+
+TEST(SerializerTest, StringRoundTrip) {
+  common::ByteBuffer buf;
+  Writer w(&buf);
+  w.WriteString("");
+  w.WriteString("hello");
+  w.WriteString(std::string(10'000, 'z'));
+  Reader r(&buf);
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_EQ(r.ReadString(), "hello");
+  EXPECT_EQ(r.ReadString().size(), 10'000u);
+}
+
+TEST(SerializerTest, MixedPayloadRoundTrip) {
+  common::ByteBuffer buf;
+  Writer w(&buf);
+  w.WriteU8(7);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(1ULL << 50);
+  w.WriteDouble(2.718);
+  w.WriteString("key");
+  Reader r(&buf);
+  EXPECT_EQ(r.ReadU8(), 7);
+  EXPECT_EQ(r.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64(), 1ULL << 50);
+  EXPECT_EQ(r.ReadDouble(), 2.718);
+  EXPECT_EQ(r.ReadString(), "key");
+}
+
+class SpillManagerTest : public ::testing::Test {
+ protected:
+  SpillManagerTest() : spill_(std::filesystem::temp_directory_path(), "test") {}
+  SpillManager spill_;
+};
+
+TEST_F(SpillManagerTest, SpillLoadRoundTrip) {
+  common::ByteBuffer buf;
+  Writer w(&buf);
+  w.WriteString("payload");
+  w.WriteU64(99);
+  const auto id = spill_.Spill(buf);
+  common::ByteBuffer loaded = spill_.LoadAndRemove(id);
+  Reader r(&loaded);
+  EXPECT_EQ(r.ReadString(), "payload");
+  EXPECT_EQ(r.ReadU64(), 99u);
+}
+
+TEST_F(SpillManagerTest, StatsTrackBytes) {
+  common::ByteBuffer buf;
+  buf.bytes().resize(1000, 0x5a);
+  const auto id1 = spill_.Spill(buf);
+  const auto id2 = spill_.Spill(buf);
+  auto stats = spill_.Stats();
+  EXPECT_EQ(stats.spilled_bytes, 2000u);
+  EXPECT_EQ(stats.live_files, 2u);
+  spill_.LoadAndRemove(id1);
+  spill_.Remove(id2);
+  stats = spill_.Stats();
+  EXPECT_EQ(stats.loaded_bytes, 1000u);
+  EXPECT_EQ(stats.live_files, 0u);
+  EXPECT_EQ(stats.live_file_bytes, 0u);
+}
+
+TEST_F(SpillManagerTest, LoadUnknownIdThrows) {
+  EXPECT_THROW(spill_.LoadAndRemove(12345), std::runtime_error);
+}
+
+TEST_F(SpillManagerTest, LoadedFileIsRemovedFromDisk) {
+  common::ByteBuffer buf;
+  buf.bytes().resize(10, 1);
+  const auto id = spill_.Spill(buf);
+  spill_.LoadAndRemove(id);
+  EXPECT_THROW(spill_.LoadAndRemove(id), std::runtime_error);
+}
+
+TEST(SpillManagerLifetimeTest, DirectoryRemovedOnDestruction) {
+  std::filesystem::path dir;
+  {
+    SpillManager spill(std::filesystem::temp_directory_path(), "lifetime");
+    dir = spill.directory();
+    EXPECT_TRUE(std::filesystem::exists(dir));
+  }
+  EXPECT_FALSE(std::filesystem::exists(dir));
+}
+
+}  // namespace
+}  // namespace itask::serde

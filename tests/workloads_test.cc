@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workloads/graph.h"
+#include "workloads/posts.h"
+#include "workloads/reviews.h"
+#include "workloads/text.h"
+#include "workloads/tpch.h"
+
+namespace itask::workloads {
+namespace {
+
+TEST(TextTest, GeneratesRequestedBytes) {
+  TextConfig tc;
+  tc.target_bytes = 100'000;
+  std::uint64_t seen = 0;
+  const std::uint64_t reported = ForEachDocument(tc, [&](const std::string& doc) {
+    seen += doc.size() + 1;
+    EXPECT_FALSE(doc.empty());
+  });
+  EXPECT_EQ(seen, reported);
+  EXPECT_GE(reported, tc.target_bytes);
+  EXPECT_LT(reported, tc.target_bytes + 4096);
+}
+
+TEST(TextTest, Deterministic) {
+  TextConfig tc;
+  tc.target_bytes = 10'000;
+  std::vector<std::string> a, b;
+  ForEachDocument(tc, [&](const std::string& d) { a.push_back(d); });
+  ForEachDocument(tc, [&](const std::string& d) { b.push_back(d); });
+  EXPECT_EQ(a, b);
+}
+
+TEST(TextTest, ZipfSkewInWords) {
+  TextConfig tc;
+  tc.target_bytes = 200'000;
+  tc.vocabulary = 10'000;
+  std::map<std::string, int> counts;
+  ForEachWord(tc, [&](const std::string& w) { ++counts[w]; });
+  EXPECT_GT(counts["w1"], counts["w100"] * 5);
+}
+
+TEST(PostsTest, HotPostsReceiveMostComments) {
+  PostsConfig pc;
+  pc.target_bytes = 500'000;
+  pc.num_posts = 1'000;
+  std::map<std::uint64_t, int> per_post;
+  std::uint64_t total = 0;
+  ForEachComment(pc, [&](const Comment& c) {
+    ++per_post[c.post_id];
+    ++total;
+  });
+  // The hottest post holds a disproportionate share.
+  int max_count = 0;
+  for (const auto& [id, n] : per_post) {
+    max_count = std::max(max_count, n);
+  }
+  EXPECT_GT(static_cast<double>(max_count), 0.05 * static_cast<double>(total));
+}
+
+TEST(TpchTest, RowCountsFollowScale) {
+  TpchConfig tc;
+  tc.scale = 2.0;
+  EXPECT_EQ(tc.NumCustomers(), 3'000u);
+  EXPECT_EQ(tc.NumOrders(), 30'000u);
+  EXPECT_EQ(tc.NumLineItems(), 120'000u);
+}
+
+TEST(TpchTest, ForeignKeysInRange) {
+  TpchConfig tc;
+  tc.scale = 0.5;
+  const std::uint64_t customers = tc.NumCustomers();
+  const std::uint64_t orders = tc.NumOrders();
+  ForEachOrder(tc, [&](const Order& o) {
+    EXPECT_GE(o.cust_key, 1u);
+    EXPECT_LE(o.cust_key, customers);
+  });
+  ForEachLineItem(tc, [&](const LineItem& li) {
+    EXPECT_GE(li.order_key, 1u);
+    EXPECT_LE(li.order_key, orders);
+  });
+}
+
+TEST(TpchTest, CustomerKeysAreDense) {
+  TpchConfig tc;
+  tc.scale = 0.1;
+  std::set<std::uint64_t> keys;
+  ForEachCustomer(tc, [&](const Customer& c) { keys.insert(c.cust_key); });
+  EXPECT_EQ(keys.size(), tc.NumCustomers());
+  EXPECT_EQ(*keys.begin(), 1u);
+  EXPECT_EQ(*keys.rbegin(), tc.NumCustomers());
+}
+
+TEST(GraphTest, EdgeEndpointsInRange) {
+  GraphConfig gc;
+  gc.num_vertices = 1'000;
+  gc.num_edges = 10'000;
+  ForEachEdge(gc, [&](const Edge& e) {
+    EXPECT_GE(e.src, 1u);
+    EXPECT_LE(e.src, gc.num_vertices);
+    EXPECT_GE(e.dst, 1u);
+    EXPECT_LE(e.dst, gc.num_vertices);
+  });
+}
+
+TEST(GraphTest, InDegreeIsSkewed) {
+  GraphConfig gc;
+  gc.num_vertices = 10'000;
+  gc.num_edges = 100'000;
+  std::map<std::uint64_t, int> in_degree;
+  ForEachEdge(gc, [&](const Edge& e) { ++in_degree[e.dst]; });
+  EXPECT_GT(in_degree[1], 50 * (in_degree[5000] + 1));
+}
+
+TEST(GraphTest, GraphForBytesMatchesPaperRatio) {
+  const auto gc = GraphForBytes(16 << 20);
+  EXPECT_EQ(gc.num_edges, (16u << 20) / 16u);
+  const double ratio = static_cast<double>(gc.num_edges) / static_cast<double>(gc.num_vertices);
+  EXPECT_NEAR(ratio, 5.7, 0.2);
+}
+
+TEST(ReviewsTest, MostSentencesShortSomeVeryLong) {
+  ReviewsConfig rc;
+  rc.target_bytes = 2 << 20;
+  rc.long_sentence_probability = 0.01;
+  std::size_t longest = 0;
+  std::size_t count = 0;
+  std::uint64_t total_len = 0;
+  ForEachSentence(rc, [&](const std::string& s) {
+    longest = std::max(longest, s.size());
+    total_len += s.size();
+    ++count;
+  });
+  const double avg = static_cast<double>(total_len) / static_cast<double>(count);
+  EXPECT_GT(static_cast<double>(longest), 10.0 * avg);
+}
+
+TEST(LemmatizerSimTest, ChargesAmplifiedTemporaries) {
+  memsim::HeapConfig hc;
+  hc.capacity_bytes = 1 << 20;
+  hc.real_pauses = false;
+  memsim::ManagedHeap heap(hc);
+  LemmatizerSim lemmatizer(&heap, 1'000);
+  const auto lemmas = lemmatizer.Lemmatize("cats dogs bird");
+  ASSERT_EQ(lemmas.size(), 3u);
+  EXPECT_EQ(lemmas[0], "cat");
+  EXPECT_EQ(lemmas[1], "dog");
+  EXPECT_EQ(lemmas[2], "bird");
+  // Temporaries were charged and released as garbage.
+  EXPECT_EQ(heap.live_bytes(), 0u);
+  EXPECT_GE(heap.garbage_bytes(), 14'000u);
+}
+
+TEST(LemmatizerSimTest, LongSentenceOverflowsSmallHeap) {
+  memsim::HeapConfig hc;
+  hc.capacity_bytes = 64 << 10;
+  hc.real_pauses = false;
+  memsim::ManagedHeap heap(hc);
+  LemmatizerSim lemmatizer(&heap, 1'000);
+  const std::string long_sentence(100, 'a');  // 100KB of temporaries > 64KB heap.
+  EXPECT_THROW(lemmatizer.Lemmatize(long_sentence), memsim::OutOfMemoryError);
+}
+
+}  // namespace
+}  // namespace itask::workloads
