@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_heaps.dir/bench_fig11_heaps.cc.o"
+  "CMakeFiles/bench_fig11_heaps.dir/bench_fig11_heaps.cc.o.d"
+  "bench_fig11_heaps"
+  "bench_fig11_heaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_heaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_hadoop.dir/bench_table1_hadoop.cc.o"
+  "CMakeFiles/bench_table1_hadoop.dir/bench_table1_hadoop.cc.o.d"
+  "bench_table1_hadoop"
+  "bench_table1_hadoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_hadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

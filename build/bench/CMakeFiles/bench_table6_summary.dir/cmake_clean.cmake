@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_summary.dir/bench_table6_summary.cc.o"
+  "CMakeFiles/bench_table6_summary.dir/bench_table6_summary.cc.o.d"
+  "bench_table6_summary"
+  "bench_table6_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/review_pipeline.dir/review_pipeline.cpp.o"
+  "CMakeFiles/review_pipeline.dir/review_pipeline.cpp.o.d"
+  "review_pipeline"
+  "review_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/review_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/stackoverflow_posts.cpp" "examples/CMakeFiles/stackoverflow_posts.dir/stackoverflow_posts.cpp.o" "gcc" "examples/CMakeFiles/stackoverflow_posts.dir/stackoverflow_posts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/itask_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/itask_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/itask/CMakeFiles/itask_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/itask_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/itask_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/itask_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/itask_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

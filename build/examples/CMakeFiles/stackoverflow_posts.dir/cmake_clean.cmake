@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stackoverflow_posts.dir/stackoverflow_posts.cpp.o"
+  "CMakeFiles/stackoverflow_posts.dir/stackoverflow_posts.cpp.o.d"
+  "stackoverflow_posts"
+  "stackoverflow_posts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stackoverflow_posts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for stackoverflow_posts.
+# This may be replaced when dependencies are built.

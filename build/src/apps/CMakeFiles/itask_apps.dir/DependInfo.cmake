@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/hadoop_problems.cc" "src/apps/CMakeFiles/itask_apps.dir/hadoop_problems.cc.o" "gcc" "src/apps/CMakeFiles/itask_apps.dir/hadoop_problems.cc.o.d"
+  "/root/repo/src/apps/hashjoin.cc" "src/apps/CMakeFiles/itask_apps.dir/hashjoin.cc.o" "gcc" "src/apps/CMakeFiles/itask_apps.dir/hashjoin.cc.o.d"
+  "/root/repo/src/apps/heapsort.cc" "src/apps/CMakeFiles/itask_apps.dir/heapsort.cc.o" "gcc" "src/apps/CMakeFiles/itask_apps.dir/heapsort.cc.o.d"
+  "/root/repo/src/apps/hyracks_agg_apps.cc" "src/apps/CMakeFiles/itask_apps.dir/hyracks_agg_apps.cc.o" "gcc" "src/apps/CMakeFiles/itask_apps.dir/hyracks_agg_apps.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/itask_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/itask/CMakeFiles/itask_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/itask_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/itask_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/itask_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/itask_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

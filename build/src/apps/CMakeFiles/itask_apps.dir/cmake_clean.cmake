@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itask_apps.dir/hadoop_problems.cc.o"
+  "CMakeFiles/itask_apps.dir/hadoop_problems.cc.o.d"
+  "CMakeFiles/itask_apps.dir/hashjoin.cc.o"
+  "CMakeFiles/itask_apps.dir/hashjoin.cc.o.d"
+  "CMakeFiles/itask_apps.dir/heapsort.cc.o"
+  "CMakeFiles/itask_apps.dir/heapsort.cc.o.d"
+  "CMakeFiles/itask_apps.dir/hyracks_agg_apps.cc.o"
+  "CMakeFiles/itask_apps.dir/hyracks_agg_apps.cc.o.d"
+  "libitask_apps.a"
+  "libitask_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itask_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

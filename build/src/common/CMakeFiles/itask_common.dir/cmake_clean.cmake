@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itask_common.dir/logging.cc.o"
+  "CMakeFiles/itask_common.dir/logging.cc.o.d"
+  "CMakeFiles/itask_common.dir/metrics.cc.o"
+  "CMakeFiles/itask_common.dir/metrics.cc.o.d"
+  "CMakeFiles/itask_common.dir/rng.cc.o"
+  "CMakeFiles/itask_common.dir/rng.cc.o.d"
+  "CMakeFiles/itask_common.dir/spin.cc.o"
+  "CMakeFiles/itask_common.dir/spin.cc.o.d"
+  "CMakeFiles/itask_common.dir/table_printer.cc.o"
+  "CMakeFiles/itask_common.dir/table_printer.cc.o.d"
+  "libitask_common.a"
+  "libitask_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itask_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

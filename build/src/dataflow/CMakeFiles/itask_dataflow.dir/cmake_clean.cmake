@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itask_dataflow.dir/regular.cc.o"
+  "CMakeFiles/itask_dataflow.dir/regular.cc.o.d"
+  "libitask_dataflow.a"
+  "libitask_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itask_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

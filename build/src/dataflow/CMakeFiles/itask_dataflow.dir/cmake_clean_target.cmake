@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libitask_dataflow.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/itask/coordinator.cc" "src/itask/CMakeFiles/itask_core.dir/coordinator.cc.o" "gcc" "src/itask/CMakeFiles/itask_core.dir/coordinator.cc.o.d"
+  "/root/repo/src/itask/partition.cc" "src/itask/CMakeFiles/itask_core.dir/partition.cc.o" "gcc" "src/itask/CMakeFiles/itask_core.dir/partition.cc.o.d"
+  "/root/repo/src/itask/partition_manager.cc" "src/itask/CMakeFiles/itask_core.dir/partition_manager.cc.o" "gcc" "src/itask/CMakeFiles/itask_core.dir/partition_manager.cc.o.d"
+  "/root/repo/src/itask/partition_queue.cc" "src/itask/CMakeFiles/itask_core.dir/partition_queue.cc.o" "gcc" "src/itask/CMakeFiles/itask_core.dir/partition_queue.cc.o.d"
+  "/root/repo/src/itask/runtime.cc" "src/itask/CMakeFiles/itask_core.dir/runtime.cc.o" "gcc" "src/itask/CMakeFiles/itask_core.dir/runtime.cc.o.d"
+  "/root/repo/src/itask/scheduler.cc" "src/itask/CMakeFiles/itask_core.dir/scheduler.cc.o" "gcc" "src/itask/CMakeFiles/itask_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/itask/task.cc" "src/itask/CMakeFiles/itask_core.dir/task.cc.o" "gcc" "src/itask/CMakeFiles/itask_core.dir/task.cc.o.d"
+  "/root/repo/src/itask/task_graph.cc" "src/itask/CMakeFiles/itask_core.dir/task_graph.cc.o" "gcc" "src/itask/CMakeFiles/itask_core.dir/task_graph.cc.o.d"
+  "/root/repo/src/itask/types.cc" "src/itask/CMakeFiles/itask_core.dir/types.cc.o" "gcc" "src/itask/CMakeFiles/itask_core.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/itask_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/itask_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/itask_serde.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

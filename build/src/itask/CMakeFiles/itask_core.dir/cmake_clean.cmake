@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itask_core.dir/coordinator.cc.o"
+  "CMakeFiles/itask_core.dir/coordinator.cc.o.d"
+  "CMakeFiles/itask_core.dir/partition.cc.o"
+  "CMakeFiles/itask_core.dir/partition.cc.o.d"
+  "CMakeFiles/itask_core.dir/partition_manager.cc.o"
+  "CMakeFiles/itask_core.dir/partition_manager.cc.o.d"
+  "CMakeFiles/itask_core.dir/partition_queue.cc.o"
+  "CMakeFiles/itask_core.dir/partition_queue.cc.o.d"
+  "CMakeFiles/itask_core.dir/runtime.cc.o"
+  "CMakeFiles/itask_core.dir/runtime.cc.o.d"
+  "CMakeFiles/itask_core.dir/scheduler.cc.o"
+  "CMakeFiles/itask_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/itask_core.dir/task.cc.o"
+  "CMakeFiles/itask_core.dir/task.cc.o.d"
+  "CMakeFiles/itask_core.dir/task_graph.cc.o"
+  "CMakeFiles/itask_core.dir/task_graph.cc.o.d"
+  "CMakeFiles/itask_core.dir/types.cc.o"
+  "CMakeFiles/itask_core.dir/types.cc.o.d"
+  "libitask_core.a"
+  "libitask_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itask_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

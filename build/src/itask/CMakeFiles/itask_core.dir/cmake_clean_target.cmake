@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libitask_core.a"
+)

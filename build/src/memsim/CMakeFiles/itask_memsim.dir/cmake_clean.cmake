@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itask_memsim.dir/managed_heap.cc.o"
+  "CMakeFiles/itask_memsim.dir/managed_heap.cc.o.d"
+  "libitask_memsim.a"
+  "libitask_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itask_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itask_serde.dir/serializer.cc.o"
+  "CMakeFiles/itask_serde.dir/serializer.cc.o.d"
+  "CMakeFiles/itask_serde.dir/spill_manager.cc.o"
+  "CMakeFiles/itask_serde.dir/spill_manager.cc.o.d"
+  "libitask_serde.a"
+  "libitask_serde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itask_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/graph.cc" "src/workloads/CMakeFiles/itask_workloads.dir/graph.cc.o" "gcc" "src/workloads/CMakeFiles/itask_workloads.dir/graph.cc.o.d"
+  "/root/repo/src/workloads/posts.cc" "src/workloads/CMakeFiles/itask_workloads.dir/posts.cc.o" "gcc" "src/workloads/CMakeFiles/itask_workloads.dir/posts.cc.o.d"
+  "/root/repo/src/workloads/reviews.cc" "src/workloads/CMakeFiles/itask_workloads.dir/reviews.cc.o" "gcc" "src/workloads/CMakeFiles/itask_workloads.dir/reviews.cc.o.d"
+  "/root/repo/src/workloads/text.cc" "src/workloads/CMakeFiles/itask_workloads.dir/text.cc.o" "gcc" "src/workloads/CMakeFiles/itask_workloads.dir/text.cc.o.d"
+  "/root/repo/src/workloads/tpch.cc" "src/workloads/CMakeFiles/itask_workloads.dir/tpch.cc.o" "gcc" "src/workloads/CMakeFiles/itask_workloads.dir/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/itask_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/itask_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

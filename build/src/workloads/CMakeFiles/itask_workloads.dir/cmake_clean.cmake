@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itask_workloads.dir/graph.cc.o"
+  "CMakeFiles/itask_workloads.dir/graph.cc.o.d"
+  "CMakeFiles/itask_workloads.dir/posts.cc.o"
+  "CMakeFiles/itask_workloads.dir/posts.cc.o.d"
+  "CMakeFiles/itask_workloads.dir/reviews.cc.o"
+  "CMakeFiles/itask_workloads.dir/reviews.cc.o.d"
+  "CMakeFiles/itask_workloads.dir/text.cc.o"
+  "CMakeFiles/itask_workloads.dir/text.cc.o.d"
+  "CMakeFiles/itask_workloads.dir/tpch.cc.o"
+  "CMakeFiles/itask_workloads.dir/tpch.cc.o.d"
+  "libitask_workloads.a"
+  "libitask_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itask_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

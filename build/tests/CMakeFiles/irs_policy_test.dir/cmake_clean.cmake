@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irs_policy_test.dir/irs_policy_test.cc.o"
+  "CMakeFiles/irs_policy_test.dir/irs_policy_test.cc.o.d"
+  "irs_policy_test"
+  "irs_policy_test.pdb"
+  "irs_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irs_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irs_runtime_test.dir/irs_runtime_test.cc.o"
+  "CMakeFiles/irs_runtime_test.dir/irs_runtime_test.cc.o.d"
+  "irs_runtime_test"
+  "irs_runtime_test.pdb"
+  "irs_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irs_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itask_core_test.dir/itask_core_test.cc.o"
+  "CMakeFiles/itask_core_test.dir/itask_core_test.cc.o.d"
+  "itask_core_test"
+  "itask_core_test.pdb"
+  "itask_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itask_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
