@@ -10,6 +10,8 @@
 #include "common/rng.h"
 #include "itask/typed_partition.h"
 #include "memsim/managed_heap.h"
+#include "obs/histogram.h"
+#include "obs/tracer.h"
 #include "serde/serializer.h"
 #include "serde/spill_manager.h"
 
@@ -129,6 +131,42 @@ void BM_HashAggMergeEntry(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 4096);
 }
 BENCHMARK(BM_HashAggMergeEntry);
+
+// The tracing cost every runtime hot path pays when tracing is off: one
+// relaxed flag load. The enabled path adds the clock read and ring store.
+void BM_TracerEmitDisabled(benchmark::State& state) {
+  obs::Tracer tracer;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    tracer.Emit(obs::EventKind::kSpillWrite, 0, i++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerEmitDisabled);
+
+// Shared across the multi-threaded runs below: per-thread rings mean the
+// emitters never contend even on one tracer.
+obs::Tracer g_bench_tracer;
+
+void BM_TracerEmitEnabled(benchmark::State& state) {
+  g_bench_tracer.set_enabled(true);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    g_bench_tracer.Emit(obs::EventKind::kSpillWrite, 0, i++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerEmitEnabled)->Threads(1)->Threads(4);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Histogram hist(obs::GcPauseBoundsNs());
+  common::Rng rng(11);
+  for (auto _ : state) {
+    hist.Observe(rng.NextBelow(100'000'000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve);
 
 }  // namespace
 

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify (full build + ctest) plus an ASan/UBSan build
+# of the concurrency-sensitive test suites (obs tracer, IRS core/runtime).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "=== tier 1: build + full test suite ==="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+echo "=== tier 2: ASan/UBSan on obs + itask suites ==="
+SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
+  -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}"
+cmake --build build-asan -j --target obs_test itask_core_test irs_runtime_test irs_policy_test
+for t in obs_test itask_core_test irs_runtime_test irs_policy_test; do
+  echo "--- ${t} (sanitized) ---"
+  "./build-asan/tests/${t}"
+done
+
+echo "ci.sh: all green"

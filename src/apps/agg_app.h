@@ -275,6 +275,7 @@ class AggApp {
     result.metrics.result_records = result.records;
     if (config.trace_active) {
       result.trace = job.runtime(0).trace();
+      result.events = cluster.tracer().Snapshot();
     }
     return result;
   }

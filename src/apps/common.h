@@ -44,6 +44,9 @@ struct AppResult {
   std::uint64_t checksum = 0;  // Order-independent result fingerprint.
   std::uint64_t records = 0;   // Final result records.
   std::vector<core::IrsRuntime::TraceSample> trace;  // Node 0, if enabled.
+  // Full cluster-wide event stream (trace_active runs only) — feed it to
+  // obs::WriteChromeTrace / WriteTraceSummary or tools/trace_dump.
+  std::vector<obs::Event> events;
 };
 
 // 64-bit mixer (splitmix finalizer) for fingerprints.
@@ -118,6 +121,9 @@ class PartitionFeeder {
 
  private:
   void FlushCurrent() {
+    cluster_.tracer().Emit(obs::EventKind::kPartitionCreated,
+                           static_cast<std::uint16_t>(next_node_), current_->PayloadBytes(), 0,
+                           static_cast<std::uint32_t>(type_));
     current_->Spill();  // Inputs start on disk, like HDFS blocks.
     push_(next_node_, std::move(current_));
     current_.reset();

@@ -293,6 +293,7 @@ AppResult RunHashJoinITask(cluster::Cluster& cluster, const AppConfig& config) {
   result.metrics.result_records = result.records;
   if (config.trace_active) {
     result.trace = job.runtime(0).trace();
+    result.events = cluster.tracer().Snapshot();
   }
   return result;
 }

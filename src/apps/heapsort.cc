@@ -194,6 +194,7 @@ AppResult RunHeapSortITask(cluster::Cluster& cluster, const AppConfig& config) {
   result.metrics.result_records = result.records;
   if (config.trace_active) {
     result.trace = job.runtime(0).trace();
+    result.events = cluster.tracer().Snapshot();
   }
   return result;
 }

@@ -1,4 +1,6 @@
-// Cluster: a fixed set of simulated nodes sharing nothing but the process.
+// Cluster: a fixed set of simulated nodes sharing nothing but the process —
+// and one obs::Tracer, the job-wide event stream all nodes emit into
+// (disabled by default; enabling it is a single atomic flag).
 #ifndef ITASK_CLUSTER_CLUSTER_H_
 #define ITASK_CLUSTER_CLUSTER_H_
 
@@ -7,6 +9,7 @@
 #include <vector>
 
 #include "cluster/node.h"
+#include "obs/tracer.h"
 
 namespace itask::cluster {
 
@@ -14,19 +17,25 @@ struct ClusterConfig {
   int num_nodes = 4;
   memsim::HeapConfig heap;
   std::filesystem::path spill_root = std::filesystem::temp_directory_path();
+  // Per-thread tracer ring capacity (events). Long traced runs (Fig 3 /
+  // Fig 11c timelines) should size this to cover the whole run; the monitor
+  // emits a handful of events per tick.
+  std::size_t trace_ring_capacity = obs::Tracer::kDefaultRingCapacity;
 };
 
 class Cluster {
  public:
-  explicit Cluster(const ClusterConfig& config) : config_(config) {
+  explicit Cluster(const ClusterConfig& config)
+      : config_(config), tracer_(config.trace_ring_capacity) {
     for (int i = 0; i < config.num_nodes; ++i) {
-      nodes_.push_back(std::make_unique<Node>(i, config.heap, config.spill_root));
+      nodes_.push_back(std::make_unique<Node>(i, config.heap, config.spill_root, &tracer_));
     }
   }
 
   int size() const { return static_cast<int>(nodes_.size()); }
   Node& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
   const ClusterConfig& config() const { return config_; }
+  obs::Tracer& tracer() { return tracer_; }
 
   // The node a key hashes to (shuffle routing).
   int NodeForHash(std::uint64_t hash) const {
@@ -35,6 +44,7 @@ class Cluster {
 
  private:
   ClusterConfig config_;
+  obs::Tracer tracer_;
   std::vector<std::unique_ptr<Node>> nodes_;
 };
 

@@ -1,6 +1,10 @@
 // Node: one simulated cluster machine — a managed heap, a spill directory and
 // a name. The paper's evaluation runs on an 11-node EC2 cluster; here nodes
 // are in-process so per-node memory pressure can be reproduced deterministically.
+//
+// When the owning cluster hands the node a tracer, the node bridges its
+// substrates into it: every heap collection becomes a kGc event (reclaim
+// bytes, live-after, pause, LUGC flag) and the spill manager reports its I/O.
 #ifndef ITASK_CLUSTER_NODE_H_
 #define ITASK_CLUSTER_NODE_H_
 
@@ -9,26 +13,41 @@
 #include <string>
 
 #include "memsim/managed_heap.h"
+#include "obs/tracer.h"
 #include "serde/spill_manager.h"
 
 namespace itask::cluster {
 
 class Node {
  public:
-  Node(int id, const memsim::HeapConfig& heap_config, const std::filesystem::path& spill_root)
+  Node(int id, const memsim::HeapConfig& heap_config, const std::filesystem::path& spill_root,
+       obs::Tracer* tracer = nullptr)
       : id_(id),
         name_("node" + std::to_string(id)),
+        tracer_(tracer),
         heap_(heap_config),
-        spill_(spill_root, name_) {}
+        spill_(spill_root, name_) {
+    if (tracer_ != nullptr) {
+      spill_.SetTracer(tracer_, id_);
+      heap_.AddGcListener([this](const memsim::GcEvent& event) {
+        tracer_->Emit(obs::EventKind::kGc, static_cast<std::uint16_t>(id_),
+                      event.reclaimed_bytes, event.live_after,
+                      static_cast<std::uint32_t>(event.pause_ns / 1000),
+                      event.useless ? obs::kFlagLugc : 0);
+      });
+    }
+  }
 
   int id() const { return id_; }
   const std::string& name() const { return name_; }
   memsim::ManagedHeap& heap() { return heap_; }
   serde::SpillManager& spill() { return spill_; }
+  obs::Tracer* tracer() { return tracer_; }
 
  private:
   int id_;
   std::string name_;
+  obs::Tracer* tracer_;
   memsim::ManagedHeap heap_;
   serde::SpillManager spill_;
 };

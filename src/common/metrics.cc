@@ -19,17 +19,26 @@ void RunMetrics::AccumulateNode(const RunMetrics& node) {
   released_final_result_bytes += node.released_final_result_bytes;
   parked_intermediate_bytes += node.parked_intermediate_bytes;
   lazy_serialized_bytes += node.lazy_serialized_bytes;
+  gc_pause_hist.Merge(node.gc_pause_hist);
+  interrupt_latency_hist.Merge(node.interrupt_latency_hist);
   out_of_memory = out_of_memory || node.out_of_memory;
 }
 
 std::string RunMetrics::Summary() const {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "%s wall=%.1fms gc=%.1fms (%llu GCs, %llu LUGC) peak=%s interrupts=%llu",
-                succeeded ? "ok" : (out_of_memory ? "OME" : "failed"), wall_ms, gc_ms,
-                static_cast<unsigned long long>(gc_count),
-                static_cast<unsigned long long>(lugc_count), FormatBytes(peak_heap_bytes).c_str(),
-                static_cast<unsigned long long>(interrupts));
+  char buf[320];
+  int n = std::snprintf(buf, sizeof(buf),
+                        "%s wall=%.1fms gc=%.1fms (%llu GCs, %llu LUGC) peak=%s interrupts=%llu",
+                        succeeded ? "ok" : (out_of_memory ? "OME" : "failed"), wall_ms, gc_ms,
+                        static_cast<unsigned long long>(gc_count),
+                        static_cast<unsigned long long>(lugc_count),
+                        FormatBytes(peak_heap_bytes).c_str(),
+                        static_cast<unsigned long long>(interrupts));
+  if (gc_pause_hist.count > 0 && n > 0 && static_cast<std::size_t>(n) < sizeof(buf)) {
+    std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                  " gc_pause[p50=%.2fms p95=%.2fms max=%.2fms]",
+                  gc_pause_hist.Quantile(0.5) / 1e6, gc_pause_hist.Quantile(0.95) / 1e6,
+                  static_cast<double>(gc_pause_hist.max) / 1e6);
+  }
   return buf;
 }
 

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/histogram.h"  // Header-only; no link dependency on itask_obs.
+
 namespace itask::common {
 
 // Outcome of one execution of a data-parallel job on the simulated cluster.
@@ -36,7 +38,15 @@ struct RunMetrics {
   std::uint64_t result_checksum = 0;
   std::uint64_t result_records = 0;
 
-  double ComputeMs() const { return wall_ms > gc_ms ? wall_ms - gc_ms : 0.0; }
+  // Latency distributions from the obs registry (merged bucket-wise across
+  // nodes in AccumulateNode; empty for regular executions).
+  obs::HistogramSnapshot gc_pause_hist;
+  obs::HistogramSnapshot interrupt_latency_hist;
+
+  // Wall time net of collector pauses. gc_ms sums per-node pause time, so on
+  // a multi-node run (pauses overlap in wall time) it can exceed wall_ms;
+  // clamp at zero rather than report a negative compute time.
+  double ComputeMs() const { return wall_ms - std::min(gc_ms, wall_ms); }
 
   // Merges per-node metrics into a job-level aggregate (sums counters, maxes
   // peaks; wall time is taken from the caller's stopwatch, not merged).

@@ -8,6 +8,11 @@
 
 namespace itask::core {
 
+PartitionManager::PartitionManager(IrsRuntime* runtime, std::chrono::milliseconds thrash_window)
+    : runtime_(runtime),
+      thrash_window_(thrash_window),
+      lazy_serialized_(&runtime->metrics().counter("irs.lazy_serialized_bytes")) {}
+
 std::uint64_t PartitionManager::SpillStep(std::uint64_t bytes_goal) {
   std::vector<PartitionPtr> candidates = runtime_->queue().ResidentSnapshot();
   if (candidates.empty()) {
@@ -33,6 +38,18 @@ std::uint64_t PartitionManager::SpillStep(std::uint64_t bytes_goal) {
                      return a->PayloadBytes() > b->PayloadBytes();
                    });
 
+  obs::Tracer* tracer = runtime_->tracer();
+  const std::uint16_t node = runtime_->trace_node();
+  auto spill_one = [&](const PartitionPtr& dp) {
+    const std::uint64_t bytes = dp->Spill();
+    if (bytes > 0) {
+      tracer->Emit(obs::EventKind::kPartitionSerialized, node, bytes,
+                   static_cast<std::uint64_t>(distance_of(dp)),
+                   static_cast<std::uint32_t>(dp->type()));
+    }
+    return bytes;
+  };
+
   std::uint64_t freed = 0;
   std::vector<PartitionPtr> recently_loaded;
   for (const PartitionPtr& dp : candidates) {
@@ -47,7 +64,7 @@ std::uint64_t PartitionManager::SpillStep(std::uint64_t bytes_goal) {
       recently_loaded.push_back(dp);
       continue;
     }
-    freed += dp->Spill();
+    freed += spill_one(dp);
   }
   if (freed < bytes_goal && !recently_loaded.empty()) {
     // All remaining candidates are recent: spill the oldest-loaded ones
@@ -61,17 +78,34 @@ std::uint64_t PartitionManager::SpillStep(std::uint64_t bytes_goal) {
         break;
       }
       if (!dp->pinned() && dp->resident()) {
-        freed += dp->Spill();
+        freed += spill_one(dp);
       }
     }
   }
   if (freed > 0) {
-    lazy_serialized_.fetch_add(freed, std::memory_order_relaxed);
+    lazy_serialized_->Add(freed);
+    tracer->Emit(obs::EventKind::kSignalSerialize, node, bytes_goal, freed);
     LOG_DEBUG() << "PartitionManager spilled " << freed << " bytes (goal " << bytes_goal << ")";
   }
   return freed;
 }
 
-void PartitionManager::EnsureResident(const PartitionPtr& dp) { dp->EnsureResident(); }
+void PartitionManager::EnsureResident(const PartitionPtr& dp) {
+  const bool was_resident = dp->resident();
+  dp->EnsureResident();
+  if (!was_resident) {
+    runtime_->tracer()->Emit(obs::EventKind::kPartitionLoaded, runtime_->trace_node(),
+                             dp->PayloadBytes(), 0, static_cast<std::uint32_t>(dp->type()));
+  }
+}
+
+void PartitionManager::SpillDirect(const PartitionPtr& dp) {
+  const std::uint64_t bytes = dp->Spill();
+  if (bytes > 0) {
+    lazy_serialized_->Add(bytes);
+    runtime_->tracer()->Emit(obs::EventKind::kPartitionSerialized, runtime_->trace_node(), bytes, 0,
+                             static_cast<std::uint32_t>(dp->type()));
+  }
+}
 
 }  // namespace itask::core

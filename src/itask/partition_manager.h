@@ -9,11 +9,11 @@
 #ifndef ITASK_ITASK_PARTITION_MANAGER_H_
 #define ITASK_ITASK_PARTITION_MANAGER_H_
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 
 #include "itask/partition.h"
+#include "obs/metrics_registry.h"
 
 namespace itask::core {
 
@@ -21,8 +21,7 @@ class IrsRuntime;
 
 class PartitionManager {
  public:
-  PartitionManager(IrsRuntime* runtime, std::chrono::milliseconds thrash_window)
-      : runtime_(runtime), thrash_window_(thrash_window) {}
+  PartitionManager(IrsRuntime* runtime, std::chrono::milliseconds thrash_window);
 
   // Spills queued, unpinned partitions until at least |bytes_goal| managed
   // bytes are freed or no candidates remain. Returns the bytes freed.
@@ -34,18 +33,14 @@ class PartitionManager {
   // Spills one specific partition (e.g. the unreached members of an
   // interrupted merge group, which are pinned and thus invisible to
   // SpillStep). Counts toward lazy serialization.
-  void SpillDirect(const PartitionPtr& dp) {
-    lazy_serialized_.fetch_add(dp->Spill(), std::memory_order_relaxed);
-  }
+  void SpillDirect(const PartitionPtr& dp);
 
-  std::uint64_t lazy_serialized_bytes() const {
-    return lazy_serialized_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t lazy_serialized_bytes() const { return lazy_serialized_->value(); }
 
  private:
   IrsRuntime* runtime_;
   std::chrono::milliseconds thrash_window_;
-  std::atomic<std::uint64_t> lazy_serialized_{0};
+  obs::Counter* lazy_serialized_;  // Lives in the runtime's registry.
 };
 
 }  // namespace itask::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 
 #include "common/logging.h"
 
@@ -12,14 +13,35 @@ IrsRuntime::IrsRuntime(NodeServices services, IrsConfig config, std::shared_ptr<
     : services_(std::move(services)),
       config_(config),
       state_(std::move(state)),
+      tracer_(services_.tracer),
       queue_(state_.get()),
       pm_(this, config.thrash_window),
       sched_(this, config.max_workers) {
+  if (tracer_ == nullptr) {
+    own_tracer_ = std::make_unique<obs::Tracer>();
+    tracer_ = own_tracer_.get();
+  }
+  if (config_.trace_active) {
+    tracer_->set_enabled(true);
+  }
+  released_processed_input_ = &metrics_.counter("irs.released_processed_input_bytes");
+  released_final_result_ = &metrics_.counter("irs.released_final_result_bytes");
+  parked_intermediate_ = &metrics_.counter("irs.parked_intermediate_bytes");
+  ome_interrupts_ = &metrics_.counter("irs.ome_interrupts");
+  sink_records_ = &metrics_.counter("irs.sink_records");
+  gc_pause_hist_ = &metrics_.histogram("gc.pause_ns", obs::GcPauseBoundsNs());
+  interrupt_latency_hist_ =
+      &metrics_.histogram("irs.interrupt_latency_ns", obs::InterruptLatencyBoundsNs());
   sink_ = [this](PartitionPtr out) { DefaultSink(out); };
-  // The monitor keys off LUGC events from this node's heap (paper §5.2).
+  // The monitor keys off LUGC events from this node's heap (paper §5.2). The
+  // same listener feeds the GC-pause histogram and the pressure-transition
+  // events (the cluster's Node emits the kGc trace events themselves).
   services_.heap->AddGcListener([this](const memsim::GcEvent& event) {
+    gc_pause_hist_->Observe(event.pause_ns);
     if (event.useless) {
-      pressure_.store(true, std::memory_order_relaxed);
+      if (!pressure_.exchange(true, std::memory_order_relaxed)) {
+        tracer_->Emit(obs::EventKind::kPressureOn, trace_node());
+      }
     }
   });
 }
@@ -32,6 +54,8 @@ void IrsRuntime::Start() {
   }
   started_ = true;
   job_watch_.Reset();
+  start_t_ns_ = tracer_->NowNs();
+  tracer_->Emit(obs::EventKind::kRuntimeStart, trace_node());
   sched_.Start();
   monitor_thread_ = std::thread([this] { MonitorLoop(); });
 }
@@ -45,6 +69,7 @@ void IrsRuntime::Stop() {
     monitor_thread_.join();
   }
   sched_.Stop();
+  tracer_->Emit(obs::EventKind::kRuntimeStop, trace_node(), tracer_->NowNs() - start_t_ns_);
   started_ = false;
 }
 
@@ -122,6 +147,16 @@ WorkAssignment IrsRuntime::SelectWork() {
     if (spec->is_merge) {
       work.group = queue_.PopTagGroup(spec->input_type);
       if (!work.group.empty()) {
+        if (tracer_->enabled()) {
+          std::uint64_t resident_bytes = 0;
+          for (const PartitionPtr& dp : work.group) {
+            if (dp->resident()) {
+              resident_bytes += dp->PayloadBytes();
+            }
+          }
+          tracer_->Emit(obs::EventKind::kPartitionMerged, trace_node(), work.group.size(),
+                        resident_bytes, static_cast<std::uint32_t>(spec->input_type));
+        }
         return work;
       }
     } else {
@@ -185,9 +220,11 @@ void IrsRuntime::CountEmitMetrics(const TaskSpec& spec, const DataPartition& out
   const bool intermediate =
       !spec.route_output && consumer != nullptr && consumer->is_merge;
   if (intermediate) {
-    parked_intermediate_.fetch_add(out.PayloadBytes(), std::memory_order_relaxed);
+    parked_intermediate_->Add(out.PayloadBytes());
+    tracer_->Emit(obs::EventKind::kPartitionParked, trace_node(), out.PayloadBytes(), 0,
+                  static_cast<std::uint32_t>(out.type()));
   } else {
-    released_final_result_.fetch_add(out.PayloadBytes(), std::memory_order_relaxed);
+    released_final_result_->Add(out.PayloadBytes());
   }
 }
 
@@ -206,9 +243,13 @@ void IrsRuntime::Route(const TaskSpec& spec, PartitionPtr out, bool at_interrupt
 }
 
 void IrsRuntime::NoteOmeInterrupt(const PartitionPtr& dp, std::size_t tuples_processed) {
-  ome_interrupts_.fetch_add(1, std::memory_order_relaxed);
+  ome_interrupts_->Add(1);
+  tracer_->Emit(obs::EventKind::kOmeInterrupt, trace_node(), tuples_processed, 0,
+                static_cast<std::uint32_t>(dp->type()));
   // An OME is itself evidence of pressure even if no LUGC fired yet.
-  pressure_.store(true, std::memory_order_relaxed);
+  if (!pressure_.exchange(true, std::memory_order_relaxed)) {
+    tracer_->Emit(obs::EventKind::kPressureOn, trace_node());
+  }
   // Relieve pressure synchronously on the failing thread: retries would
   // otherwise spin faster than the monitor period.
   const std::uint64_t needed = BytesNeededForSafeZone();
@@ -233,7 +274,7 @@ void IrsRuntime::NoteOmeInterrupt(const PartitionPtr& dp, std::size_t tuples_pro
 }
 
 void IrsRuntime::DefaultSink(const PartitionPtr& out) {
-  sink_records_.fetch_add(out->TupleCount(), std::memory_order_relaxed);
+  sink_records_->Add(out->TupleCount());
   out->DropPayload();
 }
 
@@ -250,7 +291,9 @@ void IrsRuntime::MonitorLoop() {
     if (pressure_.load(std::memory_order_relaxed)) {
       if (avail >= n_fraction * capacity) {
         pressure_.store(false, std::memory_order_relaxed);
+        tracer_->Emit(obs::EventKind::kPressureOff, trace_node());
       } else {
+        tracer_->Emit(obs::EventKind::kSignalReduce, trace_node(), BytesNeededForSafeZone());
         sched_.OnReduceSignal();
       }
       headroom_streak_ = 0;
@@ -260,6 +303,7 @@ void IrsRuntime::MonitorLoop() {
       // parallelism straight back into an OME storm.
       if (++headroom_streak_ >= 3) {
         headroom_streak_ = 0;
+        tracer_->Emit(obs::EventKind::kSignalGrow, trace_node(), 0, 0, /*aux=*/0);
         sched_.OnGrowSignal(/*force=*/false);
       }
     } else if (sched_.active_count() == 0 && queue_.TotalCount() > 0 &&
@@ -267,15 +311,24 @@ void IrsRuntime::MonitorLoop() {
       // Livelock guard: nothing is running but work remains. Collect spilled
       // garbage and force a single worker so the job keeps making progress.
       services_.heap->Collect();
+      tracer_->Emit(obs::EventKind::kSignalGrow, trace_node(), 0, 0, /*aux=*/1);
       sched_.OnGrowSignal(/*force=*/true);
     }
 
     if (config_.trace_active) {
-      TraceSample sample;
-      sample.t_ms = job_watch_.ElapsedMs();
-      sched_.ActiveBySpec(sample.by_spec);
-      sample.total = sched_.active_count();
-      trace_.push_back(sample);
+      // One kActiveSample per tick plus one kActiveSpecCount per spec with a
+      // running instance, all correlated by a per-node sample sequence.
+      const std::uint32_t seq = ++active_sample_seq_;
+      std::array<int, kMaxSpecs> by_spec{};
+      sched_.ActiveBySpec(by_spec);
+      tracer_->Emit(obs::EventKind::kActiveSample, trace_node(),
+                    static_cast<std::uint64_t>(sched_.active_count()), 0, seq);
+      for (std::size_t spec = 0; spec < by_spec.size(); ++spec) {
+        if (by_spec[spec] != 0) {
+          tracer_->Emit(obs::EventKind::kActiveSpecCount, trace_node(), spec,
+                        static_cast<std::uint64_t>(by_spec[spec]), seq);
+        }
+      }
     }
 
     // Diagnostic heartbeat (ITASK_DEBUG_MONITOR=1): where is live memory?
@@ -315,15 +368,46 @@ common::RunMetrics IrsRuntime::NodeMetrics() const {
 
   const Scheduler::Stats sched = sched_.stats();
   m.interrupts = sched.interrupts;
-  m.ome_interrupts = ome_interrupts_.load(std::memory_order_relaxed);
   m.reactivations = sched.reactivations;
 
-  m.released_processed_input_bytes = released_processed_input_.load(std::memory_order_relaxed);
-  m.released_final_result_bytes = released_final_result_.load(std::memory_order_relaxed);
-  m.parked_intermediate_bytes = parked_intermediate_.load(std::memory_order_relaxed);
-  m.lazy_serialized_bytes = pm_.lazy_serialized_bytes();
-  m.result_records = sink_records_.load(std::memory_order_relaxed);
+  // Staged-release breakdown (Table 2) and distributions come from the obs
+  // registry — the single instrumentation substrate — not hand-summed fields.
+  m.ome_interrupts = ome_interrupts_->value();
+  m.released_processed_input_bytes = released_processed_input_->value();
+  m.released_final_result_bytes = released_final_result_->value();
+  m.parked_intermediate_bytes = parked_intermediate_->value();
+  m.lazy_serialized_bytes = metrics_.CounterValue("irs.lazy_serialized_bytes");
+  m.result_records = sink_records_->value();
+  m.gc_pause_hist = gc_pause_hist_->snapshot();
+  m.interrupt_latency_hist = interrupt_latency_hist_->snapshot();
   return m;
+}
+
+std::vector<IrsRuntime::TraceSample> IrsRuntime::trace() const {
+  // Rebuild the Figure-11c series from this node's sample events. Events from
+  // before the last Start() (t_ns < start_t_ns_) belong to a previous run and
+  // are skipped.
+  std::vector<TraceSample> out;
+  std::map<std::uint32_t, std::size_t> index_by_seq;
+  for (const obs::Event& event : tracer_->Snapshot()) {
+    if (event.node != trace_node() || event.t_ns < start_t_ns_) {
+      continue;
+    }
+    if (event.kind == obs::EventKind::kActiveSample) {
+      TraceSample sample;
+      sample.t_ms = static_cast<double>(event.t_ns - start_t_ns_) / 1e6;
+      sample.total = static_cast<int>(event.a);
+      index_by_seq[event.aux] = out.size();
+      out.push_back(sample);
+    } else if (event.kind == obs::EventKind::kActiveSpecCount) {
+      const auto it = index_by_seq.find(event.aux);
+      if (it != index_by_seq.end() && event.a < kMaxSpecs) {
+        out[it->second].by_spec[static_cast<std::size_t>(event.a)] =
+            static_cast<int>(event.b);
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace itask::core

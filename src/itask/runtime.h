@@ -6,6 +6,12 @@
 //
 // One IrsRuntime exists per simulated node per job; a JobCoordinator (see
 // coordinator.h) drives a set of runtimes that share a JobState.
+//
+// Observability: every runtime emits structured events (signals, interrupts,
+// partition transitions) into an obs::Tracer — the cluster-wide one from
+// NodeServices when present, otherwise a private instance — and maintains an
+// obs::MetricsRegistry holding the staged-release counters and the GC-pause /
+// interrupt-latency histograms that NodeMetrics() reports.
 #ifndef ITASK_ITASK_RUNTIME_H_
 #define ITASK_ITASK_RUNTIME_H_
 
@@ -25,6 +31,8 @@
 #include "itask/task.h"
 #include "itask/task_graph.h"
 #include "memsim/managed_heap.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 #include "serde/spill_manager.h"
 
 namespace itask::core {
@@ -34,6 +42,7 @@ struct NodeServices {
   std::string name;
   memsim::ManagedHeap* heap = nullptr;
   serde::SpillManager* spill = nullptr;
+  obs::Tracer* tracer = nullptr;  // Optional shared event stream.
 };
 
 struct IrsConfig {
@@ -44,6 +53,8 @@ struct IrsConfig {
   // aborts (a single tuple that can never fit).
   int max_no_progress = 32;
   // Record an active-worker trace sample every monitor tick (Figure 11c).
+  // Samples are obs events (kActiveSample/kActiveSpecCount); trace()
+  // reconstructs the time series from the tracer.
   bool trace_active = false;
 
   // ---- Policy ablations (§6.1's naïve-technique comparison) ----
@@ -105,7 +116,7 @@ class IrsRuntime {
   bool ShouldInterrupt(int worker_id);
   void CountTuple(int worker_id) { sched_.CountTuple(worker_id); }
   void NoteProcessedInputReleased(std::uint64_t bytes) {
-    released_processed_input_.fetch_add(bytes, std::memory_order_relaxed);
+    released_processed_input_->Add(bytes);
   }
   void NoteOmeInterrupt(const PartitionPtr& dp, std::size_t tuples_processed);
   NodeServices& services() { return services_; }
@@ -114,9 +125,17 @@ class IrsRuntime {
 
   bool pressure() const { return pressure_.load(std::memory_order_relaxed); }
 
+  // ---- Observability ----
+  // Never null: the shared cluster tracer, or this runtime's private one.
+  obs::Tracer* tracer() { return tracer_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  std::uint16_t trace_node() const { return static_cast<std::uint16_t>(services_.node_id); }
+
   // ---- Results ----
   common::RunMetrics NodeMetrics() const;
-  const std::vector<TraceSample>& trace() const { return trace_; }
+  // Figure-11c series, reconstructed from this node's kActiveSample /
+  // kActiveSpecCount events (t_ms is relative to the last Start()).
+  std::vector<TraceSample> trace() const;
 
  private:
   void MonitorLoop();
@@ -125,6 +144,19 @@ class IrsRuntime {
   NodeServices services_;
   IrsConfig config_;
   std::shared_ptr<JobState> state_;
+
+  // Observability substrate. Declared before the scheduler/partition-manager
+  // members so they can cache registry handles during construction.
+  std::unique_ptr<obs::Tracer> own_tracer_;  // Fallback when services_.tracer == nullptr.
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry metrics_;
+  obs::Counter* released_processed_input_ = nullptr;
+  obs::Counter* released_final_result_ = nullptr;
+  obs::Counter* parked_intermediate_ = nullptr;
+  obs::Counter* ome_interrupts_ = nullptr;
+  obs::Counter* sink_records_ = nullptr;
+  obs::Histogram* gc_pause_hist_ = nullptr;
+  obs::Histogram* interrupt_latency_hist_ = nullptr;
 
   TaskGraph graph_;
   PartitionQueue queue_;
@@ -137,15 +169,9 @@ class IrsRuntime {
   std::atomic<bool> stop_monitor_{false};
   std::thread monitor_thread_;
   common::Stopwatch job_watch_;
+  std::uint64_t start_t_ns_ = 0;       // Tracer timestamp of the last Start().
+  std::uint32_t active_sample_seq_ = 0;  // Monitor-thread only.
 
-  // Staged-release accounting (paper Table 2).
-  std::atomic<std::uint64_t> released_processed_input_{0};
-  std::atomic<std::uint64_t> released_final_result_{0};
-  std::atomic<std::uint64_t> parked_intermediate_{0};
-  std::atomic<std::uint64_t> ome_interrupts_{0};
-  std::atomic<std::uint64_t> sink_records_{0};
-
-  std::vector<TraceSample> trace_;
   std::uint64_t debug_tick_ = 0;
   int headroom_streak_ = 0;
   bool started_ = false;

@@ -8,7 +8,10 @@
 namespace itask::core {
 
 Scheduler::Scheduler(IrsRuntime* runtime, int max_workers)
-    : runtime_(runtime), max_workers_(max_workers) {
+    : runtime_(runtime),
+      max_workers_(max_workers),
+      interrupt_latency_(&runtime->metrics().histogram("irs.interrupt_latency_ns",
+                                                       obs::InterruptLatencyBoundsNs())) {
   workers_.reserve(static_cast<std::size_t>(max_workers_));
   for (int i = 0; i < max_workers_; ++i) {
     workers_.push_back(std::make_unique<Worker>());
@@ -89,12 +92,7 @@ void Scheduler::OnReduceSignal() {
       static std::atomic<std::uint64_t> counter{0};
       const std::uint64_t pick =
           (counter.fetch_add(0x9e3779b97f4a7c15ULL) >> 17) % busy.size();
-      busy[pick]->terminate_requested.store(true, std::memory_order_relaxed);
-      ++stats_.victim_requests;
-      const int target = target_.load(std::memory_order_relaxed);
-      if (target > 0) {
-        target_.store(target - 1, std::memory_order_relaxed);
-      }
+      RequestTerminationLocked(busy[pick], obs::InterruptRule::kRandom);
     }
     return;
   }
@@ -102,11 +100,17 @@ void Scheduler::OnReduceSignal() {
   int victim_merge = 0;
   int victim_distance = -1;
   std::uint64_t victim_tuples = 0;
+  int candidates = 0;
+  // Which of the §5.4 rules last discriminated between the victim and a peer.
+  // With a single candidate no rule ever fires and the pick is attributed to
+  // kOnlyCandidate.
+  obs::InterruptRule rule = obs::InterruptRule::kOnlyCandidate;
   for (auto& worker : workers_) {
     if (!worker->busy || worker->terminate_requested.load(std::memory_order_relaxed) ||
         worker->spec_id < 0) {
       continue;
     }
+    ++candidates;
     const TaskSpec& spec = runtime_->graph().spec(worker->spec_id);
     const int merge = spec.is_merge ? 1 : 0;
     const int distance = spec.finish_distance;
@@ -118,10 +122,13 @@ void Scheduler::OnReduceSignal() {
       better = true;
     } else if (merge != victim_merge) {
       better = merge < victim_merge;
+      rule = obs::InterruptRule::kMitaskFirst;
     } else if (distance != victim_distance) {
       better = distance > victim_distance;
+      rule = obs::InterruptRule::kFinishLine;
     } else {
       better = tuples < victim_tuples;
+      rule = obs::InterruptRule::kSpeed;
     }
     if (better) {
       victim = worker.get();
@@ -131,13 +138,23 @@ void Scheduler::OnReduceSignal() {
     }
   }
   if (victim != nullptr) {
-    victim->terminate_requested.store(true, std::memory_order_relaxed);
-    ++stats_.victim_requests;
-    const int target = target_.load(std::memory_order_relaxed);
-    if (target > 0) {
-      target_.store(target - 1, std::memory_order_relaxed);
-    }
+    RequestTerminationLocked(victim, candidates == 1 ? obs::InterruptRule::kOnlyCandidate : rule);
   }
+}
+
+void Scheduler::RequestTerminationLocked(Worker* victim, obs::InterruptRule rule) {
+  victim->terminate_rule.store(static_cast<std::uint8_t>(rule), std::memory_order_relaxed);
+  victim->terminate_request_ns.store(runtime_->tracer()->NowNs(), std::memory_order_relaxed);
+  victim->terminate_requested.store(true, std::memory_order_release);
+  ++stats_.victim_requests;
+  const int target = target_.load(std::memory_order_relaxed);
+  if (target > 0) {
+    target_.store(target - 1, std::memory_order_relaxed);
+  }
+  runtime_->tracer()->Emit(obs::EventKind::kVictimSelect, runtime_->trace_node(),
+                           victim->tuples.load(std::memory_order_relaxed), 0,
+                           static_cast<std::uint32_t>(victim->spec_id),
+                           static_cast<std::uint8_t>(rule));
 }
 
 bool Scheduler::ApproveTermination(int worker_id) {
@@ -189,6 +206,8 @@ void Scheduler::TryDispatchLocked() {
                                       [](const PartitionPtr& p) { return p->requeued(); });
     if (requeued) {
       ++stats_.reactivations;
+      runtime_->tracer()->Emit(obs::EventKind::kTaskReactivate, runtime_->trace_node(), 0, 0,
+                               static_cast<std::uint32_t>(work.spec->id));
     }
     idle->assignment = std::move(work);
     idle->busy = true;
@@ -213,12 +232,31 @@ void Scheduler::WorkerLoop(int id) {
     self.assignment.Clear();
     lock.unlock();
 
+    const int spec_id = work.spec->id;  // ExecuteActivation clears |work|.
     const bool completed = runtime_->ExecuteActivation(id, work);
+
+    // Interrupt latency: monitor-request stamp -> the scale loop yielding.
+    const std::uint64_t request_ns =
+        self.terminate_request_ns.exchange(0, std::memory_order_relaxed);
+    if (!completed) {
+      const auto rule =
+          static_cast<obs::InterruptRule>(self.terminate_rule.load(std::memory_order_relaxed));
+      std::uint64_t latency_ns = 0;
+      if (request_ns != 0) {
+        const std::uint64_t now = runtime_->tracer()->NowNs();
+        latency_ns = now > request_ns ? now - request_ns : 0;
+        interrupt_latency_->Observe(latency_ns);
+      }
+      runtime_->tracer()->Emit(obs::EventKind::kTaskInterrupt, runtime_->trace_node(), latency_ns,
+                               0, static_cast<std::uint32_t>(spec_id),
+                               static_cast<std::uint8_t>(rule));
+    }
 
     lock.lock();
     if (!completed) {
       ++stats_.interrupts;
     }
+    self.terminate_rule.store(0, std::memory_order_relaxed);
     self.busy = false;
     self.spec_id = -1;
     self.terminate_requested.store(false, std::memory_order_relaxed);

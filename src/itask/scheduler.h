@@ -22,6 +22,8 @@
 
 #include "itask/partition.h"
 #include "itask/types.h"
+#include "obs/event.h"
+#include "obs/metrics_registry.h"
 
 namespace itask::core {
 
@@ -85,13 +87,20 @@ class Scheduler {
     std::atomic<bool> terminate_requested{false};
     std::atomic<std::uint64_t> tuples{0};  // Since activation start.
     int spec_id = -1;                      // Guarded by Scheduler::mu_.
+    // Interrupt attribution: stamped with the request time and the §5.4 rule
+    // that picked this worker, read back when the scale loop actually yields
+    // (request -> interrupt delta feeds the latency histogram).
+    std::atomic<std::uint64_t> terminate_request_ns{0};
+    std::atomic<std::uint8_t> terminate_rule{0};  // obs::InterruptRule.
   };
 
   void WorkerLoop(int id);
   void TryDispatchLocked();
+  void RequestTerminationLocked(Worker* victim, obs::InterruptRule rule);
 
   IrsRuntime* runtime_;
   const int max_workers_;
+  obs::Histogram* interrupt_latency_;  // Lives in the runtime's registry.
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

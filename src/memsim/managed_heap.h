@@ -64,6 +64,15 @@ struct GcEvent {
   std::uint64_t free_after = 0;
   std::uint64_t pause_ns = 0;
   bool useless = false;  // LUGC
+
+  // Fraction of the scanned heap the collection recovered (0 for an empty
+  // scan). The obs tracer records this with every GC event; a low ratio is
+  // the LUGC signature the monitor keys off.
+  double ReclaimRatio() const {
+    const std::uint64_t scanned = live_after + reclaimed_bytes;
+    return scanned == 0 ? 0.0
+                        : static_cast<double>(reclaimed_bytes) / static_cast<double>(scanned);
+  }
 };
 
 struct HeapStats {

@@ -1,0 +1,109 @@
+// Event taxonomy for the IRS observability subsystem.
+//
+// Every runtime-visible incident — a collection, a monitor signal, an
+// interrupt, a partition lifecycle transition, a spill — is one fixed-size
+// POD Event stamped with nanoseconds since the owning tracer's epoch. The
+// payload fields (a, b, aux, flags) are kind-specific; the table next to each
+// enumerator documents the encoding so exporters and tests agree on it.
+#ifndef ITASK_OBS_EVENT_H_
+#define ITASK_OBS_EVENT_H_
+
+#include <cstdint>
+
+namespace itask::obs {
+
+enum class EventKind : std::uint8_t {
+  kRuntimeStart = 0,     // (per-node IRS started)
+  kRuntimeStop,          // a=wall_ns since start
+  kGc,                   // a=reclaimed_bytes b=live_after aux=pause_us flags&kFlagLugc
+  kPressureOn,           // (monitor entered the pressure state)
+  kPressureOff,          // (free memory recovered past N%)
+  kSignalReduce,         // a=bytes still needed for the safe zone
+  kSignalGrow,           // aux=1 when forced (livelock guard)
+  kSignalSerialize,      // a=bytes_goal b=bytes_freed (one SpillStep pass)
+  kVictimSelect,         // aux=spec_id flags=InterruptRule
+  kTaskInterrupt,        // aux=spec_id a=latency_ns (request->interrupt) flags=InterruptRule
+  kTaskReactivate,       // aux=spec_id (dispatch of a re-queued partition)
+  kOmeInterrupt,         // aux=type_id a=tuples_processed before the failure
+  kPartitionCreated,     // aux=type_id a=payload_bytes (fed into the job)
+  kPartitionParked,      // aux=type_id a=payload_bytes (intermediate parked for merge)
+  kPartitionSerialized,  // aux=type_id a=bytes freed from the heap
+  kPartitionLoaded,      // aux=type_id a=bytes re-charged onto the heap
+  kPartitionMerged,      // aux=type_id a=group_size b=resident_bytes (MITask pop)
+  kSpillWrite,           // a=bytes written to disk
+  kSpillRead,            // a=bytes read back from disk
+  kActiveSample,         // aux=sample_seq a=total active workers (Fig 11c)
+  kActiveSpecCount,      // aux=sample_seq a=spec_id b=active count for that spec
+  kKindCount,            // sentinel — keep last
+};
+
+// Why an interrupt victim was chosen (the paper's §5.4 priority rules).
+enum class InterruptRule : std::uint8_t {
+  kNone = 0,
+  kMitaskFirst,     // Lost to an MITask peer: non-merge instances die first.
+  kFinishLine,      // Farther from the finish line than the alternatives.
+  kSpeed,           // Slowest instance (fewest tuples since activation).
+  kOnlyCandidate,   // Sole running instance; no rule needed.
+  kRandom,          // random_victims ablation.
+  kOme,             // Allocation failure forced the interrupt.
+  kAbort,           // Job abort unwound the activation.
+};
+
+inline constexpr std::uint8_t kFlagLugc = 0x1;  // kGc: the collection was useless.
+
+struct Event {
+  std::uint64_t t_ns = 0;  // Nanoseconds since the owning tracer's epoch.
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint32_t aux = 0;
+  std::uint16_t node = 0;
+  std::uint16_t tid = 0;   // Tracer-assigned emitting-thread index.
+  EventKind kind = EventKind::kRuntimeStart;
+  std::uint8_t flags = 0;
+};
+
+constexpr const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRuntimeStart: return "runtime_start";
+    case EventKind::kRuntimeStop: return "runtime_stop";
+    case EventKind::kGc: return "gc";
+    case EventKind::kPressureOn: return "pressure_on";
+    case EventKind::kPressureOff: return "pressure_off";
+    case EventKind::kSignalReduce: return "signal_reduce";
+    case EventKind::kSignalGrow: return "signal_grow";
+    case EventKind::kSignalSerialize: return "signal_serialize";
+    case EventKind::kVictimSelect: return "victim_select";
+    case EventKind::kTaskInterrupt: return "task_interrupt";
+    case EventKind::kTaskReactivate: return "task_reactivate";
+    case EventKind::kOmeInterrupt: return "ome_interrupt";
+    case EventKind::kPartitionCreated: return "partition_created";
+    case EventKind::kPartitionParked: return "partition_parked";
+    case EventKind::kPartitionSerialized: return "partition_serialized";
+    case EventKind::kPartitionLoaded: return "partition_loaded";
+    case EventKind::kPartitionMerged: return "partition_merged";
+    case EventKind::kSpillWrite: return "spill_write";
+    case EventKind::kSpillRead: return "spill_read";
+    case EventKind::kActiveSample: return "active_sample";
+    case EventKind::kActiveSpecCount: return "active_spec_count";
+    case EventKind::kKindCount: break;
+  }
+  return "unknown";
+}
+
+constexpr const char* InterruptRuleName(InterruptRule rule) {
+  switch (rule) {
+    case InterruptRule::kNone: return "none";
+    case InterruptRule::kMitaskFirst: return "mitask_first";
+    case InterruptRule::kFinishLine: return "finish_line";
+    case InterruptRule::kSpeed: return "speed";
+    case InterruptRule::kOnlyCandidate: return "only_candidate";
+    case InterruptRule::kRandom: return "random";
+    case InterruptRule::kOme: return "ome";
+    case InterruptRule::kAbort: return "abort";
+  }
+  return "unknown";
+}
+
+}  // namespace itask::obs
+
+#endif  // ITASK_OBS_EVENT_H_

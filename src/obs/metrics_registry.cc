@@ -1,0 +1,66 @@
+#include "obs/metrics_registry.h"
+
+#include <iomanip>
+
+namespace itask::obs {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<std::uint64_t> bounds) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+std::uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+HistogramSnapshot MetricsRegistry::HistogramValue(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramSnapshot{} : it->second->snapshot();
+}
+
+void MetricsRegistry::Render(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    os << name << " " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    os << name << " " << gauge->value() << "\n";
+  }
+  const auto flags = os.flags();
+  os << std::fixed << std::setprecision(1);
+  for (const auto& [name, histogram] : histograms_) {
+    const HistogramSnapshot snap = histogram->snapshot();
+    os << name << " count=" << snap.count << " mean=" << snap.Mean()
+       << " p50=" << snap.Quantile(0.5) << " p95=" << snap.Quantile(0.95)
+       << " max=" << snap.max << "\n";
+  }
+  os.flags(flags);
+}
+
+}  // namespace itask::obs

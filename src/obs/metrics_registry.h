@@ -1,0 +1,71 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// One registry exists per IRS instance (per node); RunMetrics reads it at the
+// end of a run instead of scraping hand-maintained atomics scattered through
+// the runtime. Lookup by name takes a mutex and is meant for construction
+// time — hot paths cache the returned pointer, which stays valid for the
+// registry's lifetime.
+#ifndef ITASK_OBS_METRICS_REGISTRY_H_
+#define ITASK_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace itask::obs {
+
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create; returned references live as long as the registry.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  // |bounds| applies only on first creation of |name|.
+  Histogram& histogram(const std::string& name, std::vector<std::uint64_t> bounds);
+
+  std::uint64_t CounterValue(const std::string& name) const;  // 0 when absent.
+  HistogramSnapshot HistogramValue(const std::string& name) const;  // Empty when absent.
+
+  // Sorted plain-text dump ("name value" per line; histograms render
+  // count/mean/p50/p95/max).
+  void Render(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace itask::obs
+
+#endif  // ITASK_OBS_METRICS_REGISTRY_H_

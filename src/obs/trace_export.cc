@@ -1,0 +1,227 @@
+#include "obs/trace_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace itask::obs {
+
+namespace {
+
+// One Chrome trace_event object. GC events carry their pause as a duration
+// slice ending at the emission timestamp (the listener runs at GC end); all
+// other kinds are instants.
+void AppendEventJson(std::string& out, const Event& event) {
+  char buf[256];
+  const bool is_gc = event.kind == EventKind::kGc;
+  const double pause_us = static_cast<double>(event.aux);
+  double ts_us = static_cast<double>(event.t_ns) / 1000.0;
+  if (is_gc) {
+    ts_us = ts_us > pause_us ? ts_us - pause_us : 0.0;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"cat\":\"irs\",\"ph\":\"%s\",\"ts\":%.3f,",
+                EventKindName(event.kind), is_gc ? "X" : "i", ts_us);
+  out += buf;
+  if (is_gc) {
+    std::snprintf(buf, sizeof(buf), "\"dur\":%.3f,", pause_us);
+    out += buf;
+  } else {
+    out += "\"s\":\"t\",";
+  }
+  std::snprintf(buf, sizeof(buf), "\"pid\":%u,\"tid\":%u,\"args\":{\"a\":%" PRIu64
+                ",\"b\":%" PRIu64 ",\"aux\":%u,\"flags\":%u",
+                event.node, event.tid, event.a, event.b, event.aux, event.flags);
+  out += buf;
+  switch (event.kind) {
+    case EventKind::kGc:
+      std::snprintf(buf, sizeof(buf), ",\"lugc\":%d", (event.flags & kFlagLugc) ? 1 : 0);
+      out += buf;
+      break;
+    case EventKind::kVictimSelect:
+    case EventKind::kTaskInterrupt:
+      std::snprintf(buf, sizeof(buf), ",\"rule\":\"%s\"",
+                    InterruptRuleName(static_cast<InterruptRule>(event.flags)));
+      out += buf;
+      break;
+    default:
+      break;
+  }
+  out += "}}";
+}
+
+bool FindRawField(const std::string& line, const std::string& key, std::string* value) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  std::size_t start = pos + needle.size();
+  std::size_t end = start;
+  if (start < line.size() && line[start] == '"') {
+    ++start;
+    end = line.find('"', start);
+    if (end == std::string::npos) {
+      return false;
+    }
+  } else {
+    while (end < line.size() && line[end] != ',' && line[end] != '}') {
+      ++end;
+    }
+  }
+  *value = line.substr(start, end - start);
+  return true;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<Event>& events) {
+  std::string out;
+  out.reserve(events.size() * 160 + 64);
+  out += "{\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    AppendEventJson(out, events[i]);
+    if (i + 1 < events.size()) {
+      out += ',';
+    }
+    out += '\n';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+void WriteChromeTrace(std::ostream& os, const std::vector<Event>& events) {
+  os << ChromeTraceJson(events);
+}
+
+bool ParseChromeTrace(const std::string& json, std::vector<ParsedEvent>* out,
+                      std::string* error) {
+  const auto fail = [error](const std::string& why) {
+    if (error != nullptr) {
+      *error = why;
+    }
+    return false;
+  };
+  if (json.find("{\"traceEvents\":[") == std::string::npos) {
+    return fail("missing traceEvents envelope");
+  }
+  long depth = 0;
+  for (const char c : json) {
+    if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      if (--depth < 0) {
+        return fail("unbalanced braces");
+      }
+    }
+  }
+  if (depth != 0) {
+    return fail("unbalanced braces");
+  }
+  std::istringstream is(json);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find("\"name\":") == std::string::npos) {
+      continue;  // Envelope lines.
+    }
+    ParsedEvent event;
+    std::string raw;
+    if (!FindRawField(line, "name", &event.name) || !FindRawField(line, "ph", &event.ph)) {
+      return fail("event line missing name/ph: " + line);
+    }
+    if (!FindRawField(line, "ts", &raw)) {
+      return fail("event line missing ts: " + line);
+    }
+    event.ts_us = std::atof(raw.c_str());
+    if (FindRawField(line, "dur", &raw)) {
+      event.dur_us = std::atof(raw.c_str());
+    }
+    if (!FindRawField(line, "pid", &raw)) {
+      return fail("event line missing pid: " + line);
+    }
+    event.pid = std::atoi(raw.c_str());
+    if (!FindRawField(line, "tid", &raw)) {
+      return fail("event line missing tid: " + line);
+    }
+    event.tid = std::atoi(raw.c_str());
+    out->push_back(std::move(event));
+  }
+  return true;
+}
+
+void WriteTraceSummary(std::ostream& os, const std::vector<Event>& events,
+                       const TracerStats* stats) {
+  std::map<std::string, std::uint64_t> by_kind;
+  std::uint64_t lugcs = 0;
+  std::uint64_t gc_pause_us = 0;
+  std::uint64_t spill_write_bytes = 0;
+  std::uint64_t spill_read_bytes = 0;
+  std::map<std::string, std::uint64_t> interrupts_by_rule;
+  for (const Event& event : events) {
+    ++by_kind[EventKindName(event.kind)];
+    switch (event.kind) {
+      case EventKind::kGc:
+        gc_pause_us += event.aux;
+        if (event.flags & kFlagLugc) {
+          ++lugcs;
+        }
+        break;
+      case EventKind::kSpillWrite:
+        spill_write_bytes += event.a;
+        break;
+      case EventKind::kSpillRead:
+        spill_read_bytes += event.a;
+        break;
+      case EventKind::kTaskInterrupt:
+        ++interrupts_by_rule[InterruptRuleName(static_cast<InterruptRule>(event.flags))];
+        break;
+      default:
+        break;
+    }
+  }
+  os << "trace summary: " << events.size() << " events";
+  if (stats != nullptr) {
+    os << " (emitted=" << stats->emitted << " dropped=" << stats->dropped
+       << " threads=" << stats->threads << ")";
+  }
+  os << "\n";
+  for (const auto& [name, count] : by_kind) {
+    os << "  " << name << ": " << count << "\n";
+  }
+  if (by_kind.count("gc") != 0) {
+    os << "  gc detail: lugc=" << lugcs << " total_pause_ms="
+       << static_cast<double>(gc_pause_us) / 1000.0 << "\n";
+  }
+  if (!interrupts_by_rule.empty()) {
+    os << "  interrupt rules:";
+    for (const auto& [rule, count] : interrupts_by_rule) {
+      os << " " << rule << "=" << count;
+    }
+    os << "\n";
+  }
+  if (spill_write_bytes != 0 || spill_read_bytes != 0) {
+    os << "  spill io: written=" << spill_write_bytes << "B read=" << spill_read_bytes
+       << "B\n";
+  }
+}
+
+void WriteTraceTimeline(std::ostream& os, const std::vector<Event>& events,
+                        std::size_t max_lines) {
+  char buf[192];
+  std::size_t emitted = 0;
+  for (const Event& event : events) {
+    if (max_lines != 0 && emitted >= max_lines) {
+      os << "  ... (" << events.size() - emitted << " more)\n";
+      return;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  %10.3fms node%u/t%u %-20s a=%" PRIu64 " b=%" PRIu64 " aux=%u flags=%u\n",
+                  static_cast<double>(event.t_ns) / 1e6, event.node, event.tid,
+                  EventKindName(event.kind), event.a, event.b, event.aux, event.flags);
+    os << buf;
+    ++emitted;
+  }
+}
+
+}  // namespace itask::obs

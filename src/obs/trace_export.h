@@ -1,0 +1,49 @@
+// Exporters for tracer snapshots:
+//  - Chrome trace_event JSON (load in chrome://tracing or ui.perfetto.dev);
+//    one event per line so the companion parser and diff-based golden tests
+//    stay trivial. GC events render as duration slices ("ph":"X"), everything
+//    else as thread-scoped instants ("ph":"i").
+//  - Plain-text summary (per-kind counts + headline stats) and timeline.
+//  - A minimal parser for the exporter's own output, used by tools/trace_dump
+//    and the round-trip tests. It is not a general JSON parser.
+#ifndef ITASK_OBS_TRACE_EXPORT_H_
+#define ITASK_OBS_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+#include "obs/tracer.h"
+
+namespace itask::obs {
+
+void WriteChromeTrace(std::ostream& os, const std::vector<Event>& events);
+std::string ChromeTraceJson(const std::vector<Event>& events);
+
+struct ParsedEvent {
+  std::string name;
+  std::string ph;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int pid = 0;
+  int tid = 0;
+};
+
+// Parses WriteChromeTrace output. Returns false (with |error| set) on
+// structural problems: missing envelope, unbalanced braces, missing fields.
+bool ParseChromeTrace(const std::string& json, std::vector<ParsedEvent>* out,
+                      std::string* error);
+
+// Per-kind counts, LUGC/interrupt/spill headline numbers, and drop accounting.
+void WriteTraceSummary(std::ostream& os, const std::vector<Event>& events,
+                       const TracerStats* stats = nullptr);
+
+// Chronological human-readable listing; |max_lines| == 0 means unlimited.
+void WriteTraceTimeline(std::ostream& os, const std::vector<Event>& events,
+                        std::size_t max_lines = 0);
+
+}  // namespace itask::obs
+
+#endif  // ITASK_OBS_TRACE_EXPORT_H_

@@ -1,0 +1,147 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+
+namespace itask::obs {
+
+namespace {
+
+std::uint64_t NextTracerId() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 64;  // Floor: a ring smaller than this is all drops.
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+// Per-thread cache of (tracer id -> ring). Entries for destroyed tracers are
+// never dereferenced (ids are process-unique and never reused), they just
+// occupy a few bytes until the thread exits.
+struct TlsEntry {
+  std::uint64_t tracer_id;
+  void* ring;
+};
+thread_local std::vector<TlsEntry> tls_rings;
+
+}  // namespace
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : id_(NextTracerId()),
+      ring_capacity_(RoundUpPow2(ring_capacity)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::ThreadRing* Tracer::RingForThisThread() {
+  for (const TlsEntry& entry : tls_rings) {
+    if (entry.tracer_id == id_) {
+      return static_cast<ThreadRing*>(entry.ring);
+    }
+  }
+  auto ring = std::make_unique<ThreadRing>(ring_capacity_);
+  ThreadRing* ptr = ring.get();
+  {
+    std::lock_guard lock(rings_mu_);
+    ptr->tid = static_cast<std::uint16_t>(rings_.size());
+    rings_.push_back(std::move(ring));
+  }
+  tls_rings.push_back({id_, ptr});
+  return ptr;
+}
+
+void Tracer::Record(const Event& event) {
+  ThreadRing* ring = RingForThisThread();
+  // Single-writer ring: only this thread advances head, so a plain load plus
+  // a release store (ordering the slot write before the new head) suffices.
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  Event& slot = ring->slots[head & ring->mask];
+  slot = event;
+  slot.tid = ring->tid;
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+void Tracer::EmitAt(std::uint64_t t_ns, EventKind kind, std::uint16_t node, std::uint16_t tid,
+                    std::uint64_t a, std::uint64_t b, std::uint32_t aux, std::uint8_t flags) {
+  Event event;
+  event.t_ns = t_ns;
+  event.a = a;
+  event.b = b;
+  event.aux = aux;
+  event.node = node;
+  event.kind = kind;
+  event.flags = flags;
+  Record(event);
+  // Record() stamps the ring's tid; honour the caller's choice instead.
+  ThreadRing* ring = RingForThisThread();
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  ring->slots[(head - 1) & ring->mask].tid = tid;
+}
+
+void Tracer::AppendRing(const ThreadRing& ring, std::vector<Event>& out) const {
+  const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+  const std::uint64_t capacity = ring.mask + 1;
+  const std::uint64_t n = head < capacity ? head : capacity;
+  for (std::uint64_t i = head - n; i < head; ++i) {
+    out.push_back(ring.slots[i & ring.mask]);
+  }
+}
+
+std::vector<Event> Tracer::Snapshot() const {
+  std::vector<Event> out;
+  {
+    std::lock_guard lock(rings_mu_);
+    std::size_t total = 0;
+    for (const auto& ring : rings_) {
+      const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+      const std::uint64_t capacity = ring->mask + 1;
+      total += static_cast<std::size_t>(head < capacity ? head : capacity);
+    }
+    out.reserve(total);
+    for (const auto& ring : rings_) {
+      AppendRing(*ring, out);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Event& x, const Event& y) {
+    if (x.t_ns != y.t_ns) {
+      return x.t_ns < y.t_ns;
+    }
+    if (x.node != y.node) {
+      return x.node < y.node;
+    }
+    return x.tid < y.tid;
+  });
+  return out;
+}
+
+void Tracer::Drain(EventSink& sink) const {
+  for (const Event& event : Snapshot()) {
+    sink.Consume(event);
+  }
+}
+
+TracerStats Tracer::stats() const {
+  TracerStats stats;
+  std::lock_guard lock(rings_mu_);
+  stats.threads = rings_.size();
+  for (const auto& ring : rings_) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t capacity = ring->mask + 1;
+    stats.emitted += head;
+    stats.dropped += head > capacity ? head - capacity : 0;
+  }
+  return stats;
+}
+
+void Tracer::Clear() {
+  std::lock_guard lock(rings_mu_);
+  for (const auto& ring : rings_) {
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+}  // namespace itask::obs

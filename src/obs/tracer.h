@@ -1,0 +1,129 @@
+// Lock-light structured event tracer.
+//
+// Each emitting thread owns a private ring buffer (registered on first emit
+// through a thread-local cache), so the steady-state Emit path is: one relaxed
+// enabled-flag load, a clock read, a slot store, and a release head store —
+// no locks, no allocation, no sharing between emitters. When the ring wraps,
+// the oldest events are overwritten and counted as dropped.
+//
+// Snapshot()/Drain() merge all rings into timestamp order. They are safe to
+// call while emitters run (the monitor's live heartbeat does), but only a
+// quiesced tracer — all emitting threads joined or idle — is guaranteed
+// complete and tear-free; the runtime drains after Stop().
+//
+// Disabling: set_enabled(false) (the default) reduces Emit to the flag load;
+// compiling with -DITASK_OBS_DISABLED removes the call entirely.
+#ifndef ITASK_OBS_TRACER_H_
+#define ITASK_OBS_TRACER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace itask::obs {
+
+// Abstract consumer for Drain(); lets exporters stream events without an
+// intermediate vector.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void Consume(const Event& event) = 0;
+};
+
+struct TracerStats {
+  std::uint64_t emitted = 0;  // Total events accepted while enabled.
+  std::uint64_t dropped = 0;  // Overwritten by ring wrap before a drain.
+  std::uint64_t threads = 0;  // Rings registered (one per emitting thread).
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 1 << 14;  // Per thread.
+
+  explicit Tracer(std::size_t ring_capacity = kDefaultRingCapacity);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_release); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Nanoseconds since this tracer's construction (the trace epoch).
+  std::uint64_t NowNs() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  void Emit(EventKind kind, std::uint16_t node, std::uint64_t a = 0, std::uint64_t b = 0,
+            std::uint32_t aux = 0, std::uint8_t flags = 0) {
+#ifndef ITASK_OBS_DISABLED
+    if (!enabled_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    Event event;
+    event.t_ns = NowNs();
+    event.a = a;
+    event.b = b;
+    event.aux = aux;
+    event.node = node;
+    event.kind = kind;
+    event.flags = flags;
+    Record(event);
+#else
+    (void)kind; (void)node; (void)a; (void)b; (void)aux; (void)flags;
+#endif
+  }
+
+  // Deterministic-timestamp emission for tests and golden files. Bypasses the
+  // enabled flag so fixtures need no global state.
+  void EmitAt(std::uint64_t t_ns, EventKind kind, std::uint16_t node, std::uint16_t tid,
+              std::uint64_t a = 0, std::uint64_t b = 0, std::uint32_t aux = 0,
+              std::uint8_t flags = 0);
+
+  // Merged, timestamp-ordered copy of every ring's surviving events.
+  std::vector<Event> Snapshot() const;
+
+  // Streams the snapshot through |sink| in timestamp order.
+  void Drain(EventSink& sink) const;
+
+  TracerStats stats() const;
+
+  // Resets every ring and the drop counters. Caller must ensure no emitter is
+  // concurrently active (rings are kept alive, so cached thread pointers stay
+  // valid).
+  void Clear();
+
+ private:
+  struct ThreadRing {
+    explicit ThreadRing(std::size_t capacity)
+        : slots(capacity), mask(capacity - 1) {}
+    std::vector<Event> slots;       // Power-of-two capacity.
+    const std::uint64_t mask;
+    std::atomic<std::uint64_t> head{0};  // Events ever written; owner-only writes.
+    std::uint16_t tid = 0;
+  };
+
+  void Record(const Event& event);
+  ThreadRing* RingForThisThread();
+  void AppendRing(const ThreadRing& ring, std::vector<Event>& out) const;
+
+  const std::uint64_t id_;  // Process-unique; keys the thread-local ring cache.
+  const std::size_t ring_capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+
+  mutable std::mutex rings_mu_;  // Guards ring registration only.
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+};
+
+}  // namespace itask::obs
+
+#endif  // ITASK_OBS_TRACER_H_

@@ -55,6 +55,9 @@ SpillManager::SpillId SpillManager::Spill(const common::ByteBuffer& buffer) {
     stats_.live_file_bytes += buffer.size();
     stats_.write_ms += watch.ElapsedMs();
   }
+  if (tracer_ != nullptr) {
+    tracer_->Emit(obs::EventKind::kSpillWrite, trace_node_, buffer.size());
+  }
   return id;
 }
 
@@ -85,6 +88,9 @@ common::ByteBuffer SpillManager::LoadAndRemove(SpillId id) {
     stats_.loaded_bytes += expected;
     ++stats_.load_count;
     stats_.read_ms += watch.ElapsedMs();
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Emit(obs::EventKind::kSpillRead, trace_node_, expected);
   }
   return common::ByteBuffer(std::move(data));
 }

@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "common/byte_buffer.h"
+#include "obs/tracer.h"
 
 namespace itask::serde {
 
@@ -54,9 +55,18 @@ class SpillManager {
   SpillStats Stats() const;
   const std::filesystem::path& directory() const { return dir_; }
 
+  // Emits kSpillWrite/kSpillRead events (byte counts) into |tracer|, stamped
+  // with |node_id|. Wired by the owning cluster::Node.
+  void SetTracer(obs::Tracer* tracer, int node_id) {
+    tracer_ = tracer;
+    trace_node_ = static_cast<std::uint16_t>(node_id);
+  }
+
  private:
   std::filesystem::path PathFor(SpillId id) const;
 
+  obs::Tracer* tracer_ = nullptr;
+  std::uint16_t trace_node_ = 0;
   std::filesystem::path dir_;
   mutable std::mutex mu_;
   std::unordered_map<SpillId, std::uint64_t> file_bytes_;

@@ -1,0 +1,287 @@
+// Tests for the obs subsystem: tracer concurrency and ring semantics, the
+// metrics registry, histogram math, and the Chrome trace_event exporter
+// (including a golden-file check of the exact JSON; regenerate with
+// OBS_TEST_REGEN=1 ./obs_test).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/event.h"
+#include "obs/histogram.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_export.h"
+#include "obs/tracer.h"
+
+namespace itask::obs {
+namespace {
+
+TEST(TracerTest, StartsDisabledAndEmitsNothing) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  tracer.Emit(EventKind::kGc, 0, 1, 2, 3);
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  const TracerStats stats = tracer.stats();
+  EXPECT_EQ(stats.emitted, 0u);
+  EXPECT_EQ(stats.threads, 0u);  // Disabled emits never register a ring.
+}
+
+TEST(TracerTest, ConcurrentEmissionLosesNothing) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 2000;
+  Tracer tracer(1 << 14);
+  tracer.set_enabled(true);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        tracer.Emit(EventKind::kSpillWrite, /*node=*/7, /*a=*/static_cast<std::uint64_t>(t),
+                    /*b=*/i);
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+
+  const std::vector<Event> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), kThreads * kPerThread);
+  const TracerStats stats = tracer.stats();
+  EXPECT_EQ(stats.emitted, kThreads * kPerThread);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.threads, static_cast<std::uint64_t>(kThreads));
+
+  // No torn or reordered events: each emitter's sequence numbers come back
+  // complete and in emission order, and every event keeps its payload intact.
+  std::map<std::uint64_t, std::vector<std::uint64_t>> seqs_by_emitter;
+  std::map<std::uint64_t, std::uint16_t> tid_by_emitter;
+  for (const Event& event : events) {
+    EXPECT_EQ(event.kind, EventKind::kSpillWrite);
+    EXPECT_EQ(event.node, 7u);
+    seqs_by_emitter[event.a].push_back(event.b);
+    const auto [it, inserted] = tid_by_emitter.emplace(event.a, event.tid);
+    if (!inserted) {
+      EXPECT_EQ(it->second, event.tid) << "emitter " << event.a << " spread across rings";
+    }
+  }
+  ASSERT_EQ(seqs_by_emitter.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& [emitter, seqs] : seqs_by_emitter) {
+    ASSERT_EQ(seqs.size(), kPerThread) << "emitter " << emitter;
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      // Equal timestamps sort stably within a ring, so order is preserved.
+      ASSERT_EQ(seqs[i], i) << "emitter " << emitter;
+    }
+  }
+}
+
+TEST(TracerTest, RingWrapKeepsNewestAndCountsDrops) {
+  constexpr std::uint64_t kCapacity = 1024;
+  constexpr std::uint64_t kEmitted = 5000;
+  Tracer tracer(kCapacity);
+  for (std::uint64_t i = 0; i < kEmitted; ++i) {
+    tracer.EmitAt(/*t_ns=*/i, EventKind::kSpillRead, /*node=*/0, /*tid=*/0, /*a=*/i);
+  }
+  const std::vector<Event> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), kCapacity);
+  EXPECT_EQ(events.front().a, kEmitted - kCapacity);  // Oldest survivors gone.
+  EXPECT_EQ(events.back().a, kEmitted - 1);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, events[i - 1].a + 1);
+  }
+  const TracerStats stats = tracer.stats();
+  EXPECT_EQ(stats.emitted, kEmitted);
+  EXPECT_EQ(stats.dropped, kEmitted - kCapacity);
+}
+
+TEST(TracerTest, ClearResetsRings) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.Emit(EventKind::kGc, 1);
+  ASSERT_EQ(tracer.Snapshot().size(), 1u);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(tracer.stats().emitted, 0u);
+  tracer.Emit(EventKind::kGc, 1);  // The thread's cached ring still works.
+  EXPECT_EQ(tracer.Snapshot().size(), 1u);
+}
+
+TEST(TracerTest, SnapshotMergesThreadsInTimestampOrder) {
+  Tracer tracer;
+  tracer.EmitAt(30, EventKind::kSignalReduce, 0, /*tid=*/2);
+  tracer.EmitAt(10, EventKind::kSignalGrow, 0, /*tid=*/1);
+  tracer.EmitAt(20, EventKind::kPressureOn, 0, /*tid=*/0);
+  const std::vector<Event> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, EventKind::kSignalGrow);
+  EXPECT_EQ(events[1].kind, EventKind::kPressureOn);
+  EXPECT_EQ(events[2].kind, EventKind::kSignalReduce);
+}
+
+TEST(MetricsRegistryTest, FindOrCreateAndRead) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("test.bytes");
+  c.Add(5);
+  registry.counter("test.bytes").Add(7);  // Same instance.
+  EXPECT_EQ(registry.CounterValue("test.bytes"), 12u);
+  EXPECT_EQ(registry.CounterValue("absent"), 0u);
+
+  registry.gauge("test.level").Set(-3);
+  EXPECT_EQ(registry.gauge("test.level").value(), -3);
+
+  Histogram& h = registry.histogram("test.lat", {10, 100, 1000});
+  h.Observe(5);
+  h.Observe(50);
+  h.Observe(5000);
+  const HistogramSnapshot snap = registry.HistogramValue("test.lat");
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.max, 5000u);
+  EXPECT_TRUE(registry.HistogramValue("absent").empty());
+
+  std::ostringstream os;
+  registry.Render(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("test.bytes"), std::string::npos);
+  EXPECT_NE(text.find("test.lat"), std::string::npos);
+}
+
+TEST(HistogramTest, QuantilesInterpolateWithinBuckets) {
+  Histogram hist({100, 200, 400});
+  for (int i = 0; i < 100; ++i) {
+    hist.Observe(150);  // All in the (100, 200] bucket.
+  }
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_GT(snap.Quantile(0.5), 100.0);
+  EXPECT_LE(snap.Quantile(0.5), 200.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 150.0);
+}
+
+TEST(HistogramTest, MergeIsBucketwiseForMatchingBounds) {
+  Histogram a({10, 20});
+  Histogram b({10, 20});
+  a.Observe(5);
+  b.Observe(15);
+  b.Observe(100);
+  HistogramSnapshot merged = a.snapshot();
+  merged.Merge(b.snapshot());
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_EQ(merged.sum, 120u);
+  EXPECT_EQ(merged.max, 100u);
+  ASSERT_EQ(merged.counts.size(), 3u);
+  EXPECT_EQ(merged.counts[0], 1u);
+  EXPECT_EQ(merged.counts[1], 1u);
+  EXPECT_EQ(merged.counts[2], 1u);
+
+  // Mismatched bounds degrade to scalar-only stats instead of garbage buckets.
+  Histogram c({1000});
+  c.Observe(500);
+  merged.Merge(c.snapshot());
+  EXPECT_EQ(merged.count, 4u);
+  EXPECT_TRUE(merged.counts.empty());
+  EXPECT_DOUBLE_EQ(merged.Quantile(0.5), static_cast<double>(merged.max));
+}
+
+// Deterministic fixture shared by the golden and round-trip tests: one of
+// each interesting export shape (GC slice with LUGC, rule-attributed
+// interrupts, spill I/O, Fig-11c samples).
+std::vector<Event> GoldenFixture() {
+  Tracer tracer;
+  tracer.EmitAt(1'000'000, EventKind::kRuntimeStart, 0, 0);
+  tracer.EmitAt(2'500'000, EventKind::kGc, 0, 1, /*a=*/1 << 20, /*b=*/3 << 20,
+                /*aux=*/1500, /*flags=*/0);
+  tracer.EmitAt(4'000'000, EventKind::kGc, 0, 1, /*a=*/1024, /*b=*/(4 << 20),
+                /*aux=*/2000, kFlagLugc);
+  tracer.EmitAt(4'100'000, EventKind::kPressureOn, 0, 1);
+  tracer.EmitAt(4'200'000, EventKind::kSignalReduce, 0, 1, /*a=*/2 << 20);
+  tracer.EmitAt(4'300'000, EventKind::kVictimSelect, 0, 1, /*a=*/321, /*b=*/0, /*aux=*/2,
+                static_cast<std::uint8_t>(InterruptRule::kFinishLine));
+  tracer.EmitAt(4'900'000, EventKind::kTaskInterrupt, 0, 2, /*a=*/600'000, /*b=*/0, /*aux=*/2,
+                static_cast<std::uint8_t>(InterruptRule::kFinishLine));
+  tracer.EmitAt(5'000'000, EventKind::kPartitionSerialized, 0, 2, /*a=*/512 << 10, /*b=*/3,
+                /*aux=*/11);
+  tracer.EmitAt(5'100'000, EventKind::kSpillWrite, 0, 2, /*a=*/512 << 10);
+  tracer.EmitAt(6'000'000, EventKind::kActiveSample, 0, 3, /*a=*/5, /*b=*/0, /*aux=*/1);
+  tracer.EmitAt(6'000'000, EventKind::kActiveSpecCount, 0, 3, /*a=*/0, /*b=*/3, /*aux=*/1);
+  tracer.EmitAt(6'000'000, EventKind::kActiveSpecCount, 0, 3, /*a=*/1, /*b=*/2, /*aux=*/1);
+  tracer.EmitAt(7'000'000, EventKind::kRuntimeStop, 0, 0, /*a=*/6'000'000);
+  return tracer.Snapshot();
+}
+
+TEST(TraceExportTest, ChromeTraceMatchesGoldenFile) {
+  const std::string json = ChromeTraceJson(GoldenFixture());
+  const std::string golden_path = std::string(OBS_TEST_GOLDEN_DIR) + "/chrome_trace_golden.json";
+  if (std::getenv("OBS_TEST_REGEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    out << json;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << golden_path
+                  << " (run with OBS_TEST_REGEN=1 to create)";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(json, ss.str()) << "exporter output drifted from the golden file; "
+                               "verify in chrome://tracing, then OBS_TEST_REGEN=1";
+}
+
+TEST(TraceExportTest, ChromeTraceRoundTrips) {
+  const std::vector<Event> fixture = GoldenFixture();
+  const std::string json = ChromeTraceJson(fixture);
+
+  std::vector<ParsedEvent> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseChromeTrace(json, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), fixture.size());
+  for (std::size_t i = 0; i < fixture.size(); ++i) {
+    EXPECT_EQ(parsed[i].name, EventKindName(fixture[i].kind));
+    EXPECT_EQ(parsed[i].pid, fixture[i].node);
+    EXPECT_EQ(parsed[i].tid, fixture[i].tid);
+    if (fixture[i].kind == EventKind::kGc) {
+      EXPECT_EQ(parsed[i].ph, "X");
+      EXPECT_DOUBLE_EQ(parsed[i].dur_us, static_cast<double>(fixture[i].aux));
+      // The slice spans [t - pause, t]: ts was shifted back by the duration.
+      EXPECT_NEAR(parsed[i].ts_us + parsed[i].dur_us,
+                  static_cast<double>(fixture[i].t_ns) / 1000.0, 1e-6);
+    } else {
+      EXPECT_EQ(parsed[i].ph, "i");
+      EXPECT_NEAR(parsed[i].ts_us, static_cast<double>(fixture[i].t_ns) / 1000.0, 1e-6);
+    }
+  }
+}
+
+TEST(TraceExportTest, ParserRejectsMalformedInput) {
+  std::vector<ParsedEvent> parsed;
+  std::string error;
+  EXPECT_FALSE(ParseChromeTrace("[]", &parsed, &error));
+  EXPECT_NE(error.find("envelope"), std::string::npos);
+  EXPECT_FALSE(ParseChromeTrace("{\"traceEvents\":[\n{\"name\":\"gc\"\n]}", &parsed, &error));
+  EXPECT_NE(error.find("braces"), std::string::npos);
+}
+
+TEST(TraceExportTest, SummaryAggregatesHeadlines) {
+  std::ostringstream os;
+  const TracerStats stats{13, 0, 4};
+  WriteTraceSummary(os, GoldenFixture(), &stats);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("13 events"), std::string::npos);
+  EXPECT_NE(text.find("emitted=13"), std::string::npos);
+  EXPECT_NE(text.find("gc detail: lugc=1"), std::string::npos);
+  EXPECT_NE(text.find("finish_line=1"), std::string::npos);
+  EXPECT_NE(text.find("written=524288B"), std::string::npos);
+}
+
+TEST(TraceExportTest, TimelineTruncatesAtMaxLines) {
+  std::ostringstream os;
+  WriteTraceTimeline(os, GoldenFixture(), /*max_lines=*/2);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("runtime_start"), std::string::npos);
+  EXPECT_NE(text.find("more)"), std::string::npos);
+  EXPECT_EQ(text.find("runtime_stop"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace itask::obs

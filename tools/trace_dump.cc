@@ -1,0 +1,118 @@
+// trace_dump: inspect Chrome trace_event JSON files written by the obs
+// exporters (bench_fig11_heaps, or any app run with trace_active).
+//
+//   trace_dump <file.trace.json>            per-event-name counts + span
+//   trace_dump --timeline <file.trace.json> chronological listing
+//   trace_dump --demo [out.trace.json]      run a small traced WC job and
+//                                           write/summarize its trace
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "apps/hyracks_apps.h"
+#include "bench/bench_util.h"
+#include "obs/trace_export.h"
+
+namespace {
+
+using namespace itask;
+
+int DumpFile(const std::string& path, bool timeline) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_dump: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::vector<obs::ParsedEvent> events;
+  std::string error;
+  if (!obs::ParseChromeTrace(ss.str(), &events, &error)) {
+    std::fprintf(stderr, "trace_dump: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  if (events.empty()) {
+    std::printf("%s: empty trace\n", path.c_str());
+    return 0;
+  }
+  if (timeline) {
+    for (const obs::ParsedEvent& e : events) {
+      if (e.dur_us > 0) {
+        std::printf("%12.3fms pid=%d tid=%d %-22s dur=%.3fms\n", e.ts_us / 1000.0, e.pid, e.tid,
+                    e.name.c_str(), e.dur_us / 1000.0);
+      } else {
+        std::printf("%12.3fms pid=%d tid=%d %-22s\n", e.ts_us / 1000.0, e.pid, e.tid,
+                    e.name.c_str());
+      }
+    }
+    return 0;
+  }
+  std::map<std::string, std::size_t> by_name;
+  std::map<int, std::size_t> by_pid;
+  double t_min = events.front().ts_us;
+  double t_max = t_min;
+  for (const obs::ParsedEvent& e : events) {
+    ++by_name[e.name];
+    ++by_pid[e.pid];
+    t_min = std::min(t_min, e.ts_us);
+    t_max = std::max(t_max, e.ts_us + e.dur_us);
+  }
+  std::printf("%s: %zu events over %.3fms, %zu nodes\n", path.c_str(), events.size(),
+              (t_max - t_min) / 1000.0, by_pid.size());
+  for (const auto& [name, count] : by_name) {
+    std::printf("  %-22s %8zu\n", name.c_str(), count);
+  }
+  return 0;
+}
+
+int RunDemo(const std::string& out_path) {
+  cluster::Cluster cl(bench::PaperCluster());
+  apps::AppConfig config;
+  config.dataset_bytes = 2 << 20;
+  config.trace_active = true;
+  const apps::AppResult r = apps::RunWordCount(cl, config, apps::Mode::kITask);
+  std::printf("demo WC run: %s\n", r.metrics.Summary().c_str());
+  const obs::TracerStats stats = cl.tracer().stats();
+  obs::WriteTraceSummary(std::cout, r.events, &stats);
+  {
+    std::ofstream out(out_path);
+    obs::WriteChromeTrace(out, r.events);
+  }
+  std::printf("wrote %zu events to %s (open in chrome://tracing)\n", r.events.size(),
+              out_path.c_str());
+  return r.metrics.succeeded ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool timeline = false;
+  bool demo = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--timeline") == 0) {
+      timeline = true;
+    } else if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: trace_dump [--timeline] <file.trace.json>\n"
+                  "       trace_dump --demo [out.trace.json]\n");
+      return 0;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (demo) {
+    return RunDemo(path.empty() ? "demo.trace.json" : path);
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: trace_dump [--timeline] <file.trace.json> (or --demo)\n");
+    return 1;
+  }
+  return DumpFile(path, timeline);
+}
