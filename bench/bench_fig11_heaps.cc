@@ -30,11 +30,13 @@ void HeapSweep(const std::string& app) {
       config.dataset_bytes = dataset;
       config.threads = 8;
       const apps::AppResult r = apps::RunHyracksApp(app, cl, config, mode);
-      table.AddRow({common::FormatBytes(heap),
-                    mode == apps::Mode::kRegular ? "regular(8T)" : "ITask",
-                    bench::StatusOf(r.metrics), common::FormatMs(r.metrics.wall_ms),
+      const std::string version = mode == apps::Mode::kRegular ? "regular(8T)" : "ITask";
+      table.AddRow({common::FormatBytes(heap), version, bench::StatusOf(r.metrics),
+                    common::FormatMs(r.metrics.wall_ms),
                     common::FormatMs(r.metrics.gc_ms),
                     common::FormatBytes(r.metrics.peak_heap_bytes)});
+      bench::AppendBenchJsonRow("fig11_heaps", app, common::FormatBytes(heap), version,
+                                r.metrics);
     }
   }
   std::printf("--- Figure 11 (%s on fixed input, varying heap) ---\n", app.c_str());

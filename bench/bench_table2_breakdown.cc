@@ -83,6 +83,9 @@ int main() {
                   common::FormatBytes(r.metrics.parked_intermediate_bytes),
                   common::FormatBytes(r.metrics.lazy_serialized_bytes),
                   std::to_string(r.metrics.interrupts), gc_p95});
+    bench::AppendBenchJsonRow("table2_breakdown", row.name,
+                              common::FormatBytes(row.config.dataset_bytes), "ITask",
+                              r.metrics);
   }
   table.Print();
   return 0;

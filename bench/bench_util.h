@@ -9,7 +9,9 @@
 #define ITASK_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "apps/common.h"
@@ -85,6 +87,49 @@ inline apps::AppConfig ConfigForApp(const std::string& app, std::size_t size_ind
 
 inline std::string SizeLabel(const std::string& app, std::size_t size_index) {
   return UsesTpch(app) ? TpchScaleLabels()[size_index] : HyracksSizeLabels()[size_index];
+}
+
+// Appends one data point to the bench's JSON-lines file so sweeps can be
+// collected and plotted. The file is <bench>.bench.jsonl in the working
+// directory (truncated on the harness's first row), or the path named by
+// ITASK_BENCH_JSON. Rows carry the async spill I/O engine's counters —
+// spill/load bytes, read-stall time, compression ratio — next to the
+// headline numbers.
+inline void AppendBenchJsonRow(const std::string& bench, const std::string& app,
+                               const std::string& label, const std::string& version,
+                               const common::RunMetrics& m) {
+  static std::ofstream out;
+  if (!out.is_open()) {
+    const char* env = std::getenv("ITASK_BENCH_JSON");
+    const std::string path = env != nullptr ? env : "bench_" + bench + ".bench.jsonl";
+    out.open(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot open %s for JSON rows\n", path.c_str());
+      return;
+    }
+  }
+  char buf[768];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"bench\":\"%s\",\"app\":\"%s\",\"label\":\"%s\",\"version\":\"%s\","
+      "\"status\":\"%s\",\"wall_ms\":%.3f,\"gc_ms\":%.3f,\"peak_heap_bytes\":%llu,"
+      "\"spilled_bytes\":%llu,\"loaded_bytes\":%llu,"
+      "\"io_cancelled_writes\":%llu,\"io_cancelled_write_bytes\":%llu,"
+      "\"io_raw_bytes\":%llu,\"io_framed_bytes\":%llu,"
+      "\"io_compression_ratio\":%.4f,\"io_read_stall_ms\":%.3f,"
+      "\"io_read_stall_p50_ms\":%.4f,\"io_read_stall_p95_ms\":%.4f}",
+      bench.c_str(), app.c_str(), label.c_str(), version.c_str(), StatusOf(m).c_str(),
+      m.wall_ms, m.gc_ms, static_cast<unsigned long long>(m.peak_heap_bytes),
+      static_cast<unsigned long long>(m.spilled_bytes),
+      static_cast<unsigned long long>(m.loaded_bytes),
+      static_cast<unsigned long long>(m.io_cancelled_writes),
+      static_cast<unsigned long long>(m.io_cancelled_write_bytes),
+      static_cast<unsigned long long>(m.io_raw_bytes),
+      static_cast<unsigned long long>(m.io_framed_bytes), m.IoCompressionRatio(),
+      m.io_read_stall_ms, m.io_read_stall_hist.Quantile(0.50) / 1e6,
+      m.io_read_stall_hist.Quantile(0.95) / 1e6);
+  out << buf << "\n";
+  out.flush();
 }
 
 }  // namespace itask::bench

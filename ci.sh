@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify (full build + ctest) plus an ASan/UBSan build
-# of the concurrency-sensitive test suites (obs tracer, IRS core/runtime).
+# CI entry point: tier-1 verify (full build + ctest), an ASan/UBSan build of
+# the concurrency-sensitive test suites (obs tracer, async spill I/O, IRS
+# core/runtime), and a release-mode bench smoke run at a tiny scale.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -9,16 +10,23 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
-echo "=== tier 2: ASan/UBSan on obs + itask suites ==="
+echo "=== tier 2: ASan/UBSan on obs + io + itask suites ==="
 SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
   -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}"
-cmake --build build-asan -j --target obs_test itask_core_test irs_runtime_test irs_policy_test
-for t in obs_test itask_core_test irs_runtime_test irs_policy_test; do
+cmake --build build-asan -j --target obs_test io_test itask_core_test irs_runtime_test irs_policy_test
+for t in obs_test io_test itask_core_test irs_runtime_test irs_policy_test; do
   echo "--- ${t} (sanitized) ---"
   "./build-asan/tests/${t}"
 done
+
+echo "=== tier 3: release-mode bench smoke (tiny scale) ==="
+cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-rel -j --target bench_fig11_heaps
+(cd build-rel/bench && ITASK_BENCH_SCALE=0.25 ./bench_fig11_heaps > /dev/null)
+test -s build-rel/bench/bench_fig11_heaps.bench.jsonl
+echo "bench smoke ok ($(wc -l < build-rel/bench/bench_fig11_heaps.bench.jsonl) JSON rows)"
 
 echo "ci.sh: all green"

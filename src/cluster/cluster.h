@@ -4,6 +4,7 @@
 #ifndef ITASK_CLUSTER_CLUSTER_H_
 #define ITASK_CLUSTER_CLUSTER_H_
 
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <vector>
@@ -21,14 +22,46 @@ struct ClusterConfig {
   // Fig 11c timelines) should size this to cover the whole run; the monitor
   // emits a handful of events per tick.
   std::size_t trace_ring_capacity = obs::Tracer::kDefaultRingCapacity;
+  // Spill I/O engine settings, shared by every node.
+  NodeIoConfig io;
 };
+
+// Environment overrides for the I/O engine, applied on top of |base|:
+//   ITASK_IO_POOL          workers per node (0 = synchronous I/O)
+//   ITASK_IO_COMPRESSION   0 disables the block codec's RLE pass
+//   ITASK_IO_FAIL_WRITE_P  probability a spill write fails
+//   ITASK_IO_FAIL_READ_P   probability a spill read fails
+//   ITASK_IO_FAIL_NTH      fail every nth spill I/O op
+//   ITASK_IO_FAIL_SEED     seed for the injection's private RNG stream
+inline NodeIoConfig NodeIoConfigFromEnv(NodeIoConfig base) {
+  if (const char* v = std::getenv("ITASK_IO_POOL")) {
+    base.pool_size = std::atoi(v);
+  }
+  if (const char* v = std::getenv("ITASK_IO_COMPRESSION")) {
+    base.compression = std::atoi(v) != 0;
+  }
+  if (const char* v = std::getenv("ITASK_IO_FAIL_WRITE_P")) {
+    base.failure.write_probability = std::atof(v);
+  }
+  if (const char* v = std::getenv("ITASK_IO_FAIL_READ_P")) {
+    base.failure.read_probability = std::atof(v);
+  }
+  if (const char* v = std::getenv("ITASK_IO_FAIL_NTH")) {
+    base.failure.every_nth = static_cast<std::uint64_t>(std::atoll(v));
+  }
+  if (const char* v = std::getenv("ITASK_IO_FAIL_SEED")) {
+    base.failure.seed = static_cast<std::uint64_t>(std::atoll(v));
+  }
+  return base;
+}
 
 class Cluster {
  public:
   explicit Cluster(const ClusterConfig& config)
       : config_(config), tracer_(config.trace_ring_capacity) {
+    const NodeIoConfig io = NodeIoConfigFromEnv(config.io);
     for (int i = 0; i < config.num_nodes; ++i) {
-      nodes_.push_back(std::make_unique<Node>(i, config.heap, config.spill_root, &tracer_));
+      nodes_.push_back(std::make_unique<Node>(i, config.heap, config.spill_root, &tracer_, io));
     }
   }
 

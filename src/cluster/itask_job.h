@@ -23,8 +23,8 @@ class ItaskJob {
       : state_(std::make_shared<core::JobState>()) {
     for (int i = 0; i < cluster.size(); ++i) {
       Node& node = cluster.node(i);
-      core::NodeServices services{node.id(), node.name(), &node.heap(), &node.spill(),
-                                  node.tracer()};
+      core::NodeServices services{node.id(),    node.name(),  &node.heap(),
+                                  &node.spill(), node.tracer(), &node.async_spill()};
       runtimes_.push_back(std::make_unique<core::IrsRuntime>(services, config, state_));
     }
   }

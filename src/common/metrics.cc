@@ -19,8 +19,14 @@ void RunMetrics::AccumulateNode(const RunMetrics& node) {
   released_final_result_bytes += node.released_final_result_bytes;
   parked_intermediate_bytes += node.parked_intermediate_bytes;
   lazy_serialized_bytes += node.lazy_serialized_bytes;
+  io_cancelled_writes += node.io_cancelled_writes;
+  io_cancelled_write_bytes += node.io_cancelled_write_bytes;
+  io_raw_bytes += node.io_raw_bytes;
+  io_framed_bytes += node.io_framed_bytes;
+  io_read_stall_ms += node.io_read_stall_ms;
   gc_pause_hist.Merge(node.gc_pause_hist);
   interrupt_latency_hist.Merge(node.interrupt_latency_hist);
+  io_read_stall_hist.Merge(node.io_read_stall_hist);
   out_of_memory = out_of_memory || node.out_of_memory;
 }
 

@@ -34,6 +34,20 @@ struct RunMetrics {
   std::uint64_t parked_intermediate_bytes = 0;
   std::uint64_t lazy_serialized_bytes = 0;
 
+  // Async spill I/O engine counters (zero when running with synchronous I/O).
+  std::uint64_t io_cancelled_writes = 0;        // Queued writes served from memory.
+  std::uint64_t io_cancelled_write_bytes = 0;   // Bytes that never touched disk.
+  std::uint64_t io_raw_bytes = 0;               // Payload bytes the codec framed.
+  std::uint64_t io_framed_bytes = 0;            // On-disk bytes after compression.
+  double io_read_stall_ms = 0.0;                // Total consumer-visible stall.
+
+  // framed/raw over everything written; 1.0 when nothing was written.
+  double IoCompressionRatio() const {
+    return io_raw_bytes == 0
+               ? 1.0
+               : static_cast<double>(io_framed_bytes) / static_cast<double>(io_raw_bytes);
+  }
+
   // Result fingerprint for cross-checking regular vs ITask runs.
   std::uint64_t result_checksum = 0;
   std::uint64_t result_records = 0;
@@ -42,6 +56,7 @@ struct RunMetrics {
   // nodes in AccumulateNode; empty for regular executions).
   obs::HistogramSnapshot gc_pause_hist;
   obs::HistogramSnapshot interrupt_latency_hist;
+  obs::HistogramSnapshot io_read_stall_hist;
 
   // Wall time net of collector pauses. gc_ms sums per-node pause time, so on
   // a multi-node run (pauses overlap in wall time) it can exceed wall_ms;

@@ -1,0 +1,288 @@
+#include "io/async_spill_manager.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/spin.h"
+
+namespace itask::io {
+
+AsyncSpillManager::AsyncSpillManager(const std::filesystem::path& root,
+                                     const std::string& node_name, IoExecutor* executor,
+                                     bool compression)
+    : serde::SpillManager(root, node_name), executor_(executor), compression_(compression) {}
+
+AsyncSpillManager::~AsyncSpillManager() {
+  Drain();
+}
+
+void AsyncSpillManager::Drain() {
+  executor_->Drain();
+}
+
+serde::SpillManager::SpillId AsyncSpillManager::Spill(const common::ByteBuffer& buffer,
+                                                      int priority) {
+  SpillId id;
+  {
+    std::lock_guard lock(amu_);
+    id = next_handle_++;
+    Entry entry;
+    entry.state = State::kQueuedWrite;
+    entry.raw = common::ByteBuffer(buffer.bytes());  // The pending-cache copy.
+    entry.raw_size = buffer.size();
+    entries_.emplace(id, std::move(entry));
+    accepted_.spilled_bytes += buffer.size();
+    ++accepted_.spill_count;
+  }
+  const IoExecutor::JobId job =
+      executor_->Submit(IoClass::kWrite, priority, [this, id] { RunWrite(id); });
+  {
+    std::lock_guard lock(amu_);
+    auto it = entries_.find(id);
+    if (it == entries_.end()) {
+      // Claimed (loaded or removed) between insert and submit: the job body
+      // no-ops on a missing entry, but pull it out of the queue if it is
+      // still there so it never occupies a worker.
+      executor_->TryCancel(job);
+    } else if (it->second.job == 0) {
+      it->second.job = job;
+    }
+  }
+  return id;
+}
+
+void AsyncSpillManager::RunWrite(SpillId id) {
+  common::ByteBuffer raw;
+  {
+    std::lock_guard lock(amu_);
+    auto it = entries_.find(id);
+    if (it == entries_.end() || it->second.state != State::kQueuedWrite) {
+      return;  // Cancelled or removed while queued.
+    }
+    it->second.state = State::kWriting;
+    raw = std::move(it->second.raw);
+  }
+
+  FrameInfo info{};
+  SpillId base_id = 0;
+  std::exception_ptr error;
+  try {
+    common::ByteBuffer framed;
+    info = FrameCodec::Encode(raw, &framed, compression_);
+    base_id = serde::SpillManager::Spill(framed);
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  bool orphaned = false;
+  {
+    std::lock_guard lock(amu_);
+    auto it = entries_.find(id);
+    if (it == entries_.end()) {
+      orphaned = true;  // Removed while writing; drop the file below.
+    } else if (error != nullptr) {
+      it->second.state = State::kFailed;
+      it->second.error = error;
+      it->second.raw = std::move(raw);  // Back into the cache: nothing is lost.
+      ++io_stats_.write_failures;
+    } else {
+      it->second.state = State::kDurable;
+      it->second.base_id = base_id;
+    }
+    if (error == nullptr) {
+      io_stats_.raw_bytes += info.raw_bytes;
+      io_stats_.framed_bytes += info.framed_bytes;
+      if (info.compressed) {
+        ++io_stats_.compressed_blocks;
+      }
+    }
+  }
+  state_cv_.notify_all();
+  if (orphaned && error == nullptr) {
+    serde::SpillManager::Remove(base_id);
+  }
+  if (error == nullptr && tracer() != nullptr) {
+    tracer()->Emit(obs::EventKind::kIoCodec, trace_node(), info.raw_bytes, info.framed_bytes);
+  }
+}
+
+common::ByteBuffer AsyncSpillManager::LoadInternal(SpillId id, obs::IoLoadSource* source) {
+  std::unique_lock lock(amu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    throw std::runtime_error("AsyncSpillManager: unknown spill id " + std::to_string(id));
+  }
+
+  if (it->second.state == State::kQueuedWrite) {
+    // job == 0 means Spill() has not finished submitting yet; claiming the
+    // entry here makes the eventual job body a no-op.
+    const bool cancelled =
+        it->second.job == 0 || executor_->TryCancel(it->second.job);
+    if (cancelled) {
+      common::ByteBuffer raw = std::move(it->second.raw);
+      const std::uint64_t bytes = it->second.raw_size;
+      entries_.erase(it);
+      ++io_stats_.cancelled_writes;
+      io_stats_.cancelled_write_bytes += bytes;
+      ++io_stats_.loads_from_cache;
+      accepted_.loaded_bytes += bytes;
+      ++accepted_.load_count;
+      *source = obs::IoLoadSource::kPendingCache;
+      lock.unlock();
+      if (tracer() != nullptr) {
+        tracer()->Emit(obs::EventKind::kIoWriteCancelled, trace_node(), bytes);
+      }
+      return raw;
+    }
+    // A worker already dequeued the write; fall through and wait it out.
+  }
+
+  bool waited = false;
+  while (true) {
+    it = entries_.find(id);
+    if (it == entries_.end()) {
+      throw std::runtime_error("AsyncSpillManager: spill id " + std::to_string(id) +
+                               " removed while loading");
+    }
+    const State state = it->second.state;
+    if (state == State::kDurable) {
+      break;
+    }
+    if (state == State::kFailed) {
+      if (it->second.error != nullptr) {
+        // Surface the write failure exactly once; the entry (and its cached
+        // payload) survives, so a retry succeeds from memory.
+        std::exception_ptr error = it->second.error;
+        it->second.error = nullptr;
+        std::rethrow_exception(error);
+      }
+      common::ByteBuffer raw = std::move(it->second.raw);
+      const std::uint64_t bytes = it->second.raw_size;
+      entries_.erase(it);
+      ++io_stats_.loads_from_cache;
+      accepted_.loaded_bytes += bytes;
+      ++accepted_.load_count;
+      *source = obs::IoLoadSource::kPendingCache;
+      return raw;
+    }
+    waited = true;
+    state_cv_.wait(lock);
+  }
+
+  // Durable: claim the entry, read outside the lock, reinsert on failure so
+  // an injected read fault leaves the spill loadable.
+  Entry entry = std::move(it->second);
+  entries_.erase(it);
+  lock.unlock();
+  common::ByteBuffer framed;
+  try {
+    framed = serde::SpillManager::LoadAndRemove(entry.base_id);
+  } catch (...) {
+    std::lock_guard relock(amu_);
+    entries_.emplace(id, std::move(entry));
+    throw;
+  }
+  common::ByteBuffer raw;
+  FrameCodec::Decode(framed, &raw);
+  {
+    std::lock_guard relock(amu_);
+    if (waited) {
+      ++io_stats_.loads_inflight_wait;
+    } else {
+      ++io_stats_.loads_from_disk;
+    }
+    accepted_.loaded_bytes += raw.size();
+    ++accepted_.load_count;
+  }
+  *source = waited ? obs::IoLoadSource::kInflightWait : obs::IoLoadSource::kDisk;
+  return raw;
+}
+
+common::ByteBuffer AsyncSpillManager::LoadAndRemove(SpillId id) {
+  common::Stopwatch watch;
+  obs::IoLoadSource source = obs::IoLoadSource::kDisk;
+  common::ByteBuffer raw = LoadInternal(id, &source);
+  RecordStall(static_cast<std::uint64_t>(watch.Elapsed().count()), raw.size(), source);
+  return raw;
+}
+
+std::future<common::ByteBuffer> AsyncSpillManager::LoadAsync(SpillId id, int priority) {
+  auto promise = std::make_shared<std::promise<common::ByteBuffer>>();
+  std::future<common::ByteBuffer> future = promise->get_future();
+  executor_->Submit(IoClass::kLoad, priority, [this, id, promise] {
+    try {
+      obs::IoLoadSource source = obs::IoLoadSource::kDisk;
+      promise->set_value(LoadInternal(id, &source));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return future;
+}
+
+void AsyncSpillManager::NotePrefetchWait(std::uint64_t wait_ns, std::uint64_t bytes) {
+  RecordStall(wait_ns, bytes, obs::IoLoadSource::kPrefetched);
+}
+
+void AsyncSpillManager::RecordStall(std::uint64_t stall_ns, std::uint64_t bytes,
+                                    obs::IoLoadSource source) {
+  read_stall_.Observe(stall_ns);
+  {
+    std::lock_guard lock(amu_);
+    io_stats_.read_stall_ns += stall_ns;
+  }
+  if (tracer() != nullptr) {
+    tracer()->Emit(obs::EventKind::kIoReadStall, trace_node(), stall_ns, bytes,
+                   static_cast<std::uint32_t>(source));
+  }
+}
+
+void AsyncSpillManager::Remove(SpillId id) {
+  SpillId base_id = 0;
+  {
+    std::lock_guard lock(amu_);
+    auto it = entries_.find(id);
+    if (it == entries_.end()) {
+      return;
+    }
+    Entry& entry = it->second;
+    if (entry.state == State::kQueuedWrite && entry.job != 0) {
+      executor_->TryCancel(entry.job);  // Best effort; the body no-ops anyway.
+    }
+    if (entry.state == State::kDurable) {
+      base_id = entry.base_id;
+    }
+    // kWriting: the write job's epilogue sees the entry gone and removes the
+    // file it just made durable.
+    entries_.erase(it);
+  }
+  if (base_id != 0) {
+    serde::SpillManager::Remove(base_id);
+  }
+}
+
+serde::SpillStats AsyncSpillManager::Stats() const {
+  // Disk truth (timings, injected-failure count) from the base; byte and
+  // count accounting from the async layer, in raw-payload units, so callers
+  // see the same numbers the synchronous manager would report and cancelled
+  // writes are never double-counted.
+  const serde::SpillStats disk = serde::SpillManager::Stats();
+  std::lock_guard lock(amu_);
+  serde::SpillStats stats = accepted_;
+  stats.write_ms = disk.write_ms;
+  stats.read_ms = disk.read_ms;
+  stats.injected_failures = disk.injected_failures;
+  stats.live_files = entries_.size();
+  stats.live_file_bytes = 0;
+  for (const auto& [id, entry] : entries_) {
+    stats.live_file_bytes += entry.raw_size;
+  }
+  return stats;
+}
+
+IoStats AsyncSpillManager::io_stats() const {
+  std::lock_guard lock(amu_);
+  return io_stats_;
+}
+
+}  // namespace itask::io

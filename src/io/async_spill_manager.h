@@ -1,0 +1,136 @@
+// AsyncSpillManager: the asynchronous spill engine layered on the synchronous
+// serde::SpillManager.
+//
+// Spill() frames nothing and writes nothing on the caller's thread: it copies
+// the payload into a pending-write cache, enqueues a background write on the
+// node's IoExecutor and returns immediately — the caller's heap charge is
+// released while the bytes drain to disk behind compute. The background job
+// frames the payload through FrameCodec (checksummed, RLE when it wins) and
+// hands it to the base manager.
+//
+// The pending cache is also the cancellation point: LoadAndRemove of a spill
+// whose write is still queued cancels the write (IoExecutor::TryCancel) and
+// returns the cached payload — under thrash (spill immediately re-loaded, the
+// paper's §6.2 pathology) the disk is never touched. A load racing an
+// in-flight write waits for durability, then reads back. A load of a durable
+// spill reads and unframes from disk.
+//
+// Failure semantics: a failed background write (real or injected) parks the
+// entry as kFailed with the payload still cached and the error stored. The
+// next load for that id rethrows the error — failures surface, never silently
+// — and a subsequent retry is served from the cache, so no data is ever lost
+// or double-counted. Injected read failures propagate from the base manager
+// before any state moves, so the entry stays loadable.
+//
+// Every handle this manager returns is its own; the base manager's ids are an
+// internal detail of durable entries.
+#ifndef ITASK_IO_ASYNC_SPILL_MANAGER_H_
+#define ITASK_IO_ASYNC_SPILL_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <future>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/byte_buffer.h"
+#include "io/frame_codec.h"
+#include "io/io_executor.h"
+#include "obs/histogram.h"
+#include "serde/spill_manager.h"
+
+namespace itask::io {
+
+// Per-node async-engine counters, surfaced next to serde::SpillStats in
+// NodeMetrics and the bench JSON rows.
+struct IoStats {
+  std::uint64_t cancelled_writes = 0;       // Queued writes served from the cache.
+  std::uint64_t cancelled_write_bytes = 0;  // Raw bytes that never hit disk.
+  std::uint64_t loads_from_cache = 0;       // IoLoadSource::kPendingCache.
+  std::uint64_t loads_inflight_wait = 0;    // IoLoadSource::kInflightWait.
+  std::uint64_t loads_from_disk = 0;        // IoLoadSource::kDisk (incl. prefetch).
+  std::uint64_t raw_bytes = 0;              // Payload bytes framed so far.
+  std::uint64_t framed_bytes = 0;           // On-disk bytes after the codec.
+  std::uint64_t compressed_blocks = 0;      // Frames where RLE won.
+  std::uint64_t write_failures = 0;         // Background writes that errored.
+  std::uint64_t read_stall_ns = 0;          // Total consumer-visible stall.
+
+  // framed/raw over everything written; 1.0 when nothing compressed.
+  double CompressionRatio() const {
+    return raw_bytes == 0 ? 1.0
+                          : static_cast<double>(framed_bytes) / static_cast<double>(raw_bytes);
+  }
+};
+
+class AsyncSpillManager : public serde::SpillManager {
+ public:
+  // |executor| must outlive this manager (cluster::Node declares them in that
+  // order). |compression| == false frames blocks verbatim (checksum only).
+  AsyncSpillManager(const std::filesystem::path& root, const std::string& node_name,
+                    IoExecutor* executor, bool compression = true);
+
+  // Drains all queued/in-flight writes before the base dtor removes the dir.
+  ~AsyncSpillManager() override;
+
+  SpillId Spill(const common::ByteBuffer& buffer, int priority = 0) override;
+  common::ByteBuffer LoadAndRemove(SpillId id) override;
+  void Remove(SpillId id) override;
+
+  // Base stats (durable-file truth) corrected to the async view: pending
+  // writes count as live spilled bytes, and byte counters report raw payload
+  // sizes, not framed on-disk sizes, so callers' accounting is codec-agnostic.
+  serde::SpillStats Stats() const override;
+
+  bool SupportsAsync() const override { return executor_->async(); }
+  std::future<common::ByteBuffer> LoadAsync(SpillId id, int priority = 0) override;
+  void NotePrefetchWait(std::uint64_t wait_ns, std::uint64_t bytes) override;
+
+  // Blocks until every queued and in-flight write is durable (or failed).
+  void Drain();
+
+  IoStats io_stats() const;
+  obs::HistogramSnapshot ReadStallSnapshot() const { return read_stall_.snapshot(); }
+
+ private:
+  enum class State : std::uint8_t {
+    kQueuedWrite,  // Payload cached, write queued (cancellable).
+    kWriting,      // A worker claimed the write; durability imminent.
+    kDurable,      // On disk under base_id; cache released.
+    kFailed,       // Write errored; payload still cached, error pending.
+  };
+
+  struct Entry {
+    State state = State::kQueuedWrite;
+    common::ByteBuffer raw;            // Pending-cache payload (until durable).
+    std::uint64_t raw_size = 0;        // Payload size, kept valid in every state.
+    SpillId base_id = 0;               // Base-manager id once durable.
+    IoExecutor::JobId job = 0;         // 0 until the submit completes.
+    std::exception_ptr error;          // Set in kFailed until surfaced once.
+  };
+
+  // Background write body for handle |id|.
+  void RunWrite(SpillId id);
+
+  // Core of LoadAndRemove without stall accounting (shared with LoadAsync).
+  common::ByteBuffer LoadInternal(SpillId id, obs::IoLoadSource* source);
+
+  void RecordStall(std::uint64_t stall_ns, std::uint64_t bytes, obs::IoLoadSource source);
+
+  IoExecutor* const executor_;
+  const bool compression_;
+
+  mutable std::mutex amu_;            // Guards entries_ and io_stats_.
+  std::condition_variable state_cv_;  // Signalled on kWriting -> kDurable/kFailed.
+  std::unordered_map<SpillId, Entry> entries_;
+  SpillId next_handle_ = 1;
+  IoStats io_stats_;
+  serde::SpillStats accepted_;  // Raw-unit spill/load accounting (see Stats()).
+
+  obs::Histogram read_stall_{obs::ReadStallBoundsNs()};
+};
+
+}  // namespace itask::io
+
+#endif  // ITASK_IO_ASYNC_SPILL_MANAGER_H_

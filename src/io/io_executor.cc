@@ -1,0 +1,116 @@
+#include "io/io_executor.h"
+
+#include <utility>
+
+namespace itask::io {
+
+IoExecutor::IoExecutor(int pool_size) {
+  workers_.reserve(pool_size > 0 ? static_cast<std::size_t>(pool_size) : 0);
+  for (int i = 0; i < pool_size; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+IoExecutor::~IoExecutor() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+  // Inline mode (or jobs submitted after stop_): nothing queued by contract —
+  // Submit executes inline once workers are gone.
+}
+
+void IoExecutor::EmitDepthLocked(std::uint32_t aux) {
+  if (tracer_ != nullptr) {
+    tracer_->Emit(obs::EventKind::kIoQueueDepth, trace_node_, queue_.size(), inflight_, aux);
+  }
+}
+
+IoExecutor::JobId IoExecutor::Submit(IoClass cls, int priority, std::function<void()> fn) {
+  JobId id;
+  {
+    std::unique_lock lock(mu_);
+    id = next_id_++;
+    ++stats_.submitted;
+    if (workers_.empty() || stop_) {
+      // Inline mode: count it as executed and run on the caller's thread.
+      ++stats_.executed;
+      lock.unlock();
+      fn();
+      return id;
+    }
+    const Key key{static_cast<std::uint8_t>(cls), priority, next_seq_++};
+    queue_.emplace(key, Job{id, std::move(fn)});
+    index_.emplace(id, key);
+    if (queue_.size() > stats_.peak_queue_depth) {
+      stats_.peak_queue_depth = queue_.size();
+    }
+    EmitDepthLocked(/*aux=*/1);
+  }
+  work_cv_.notify_one();
+  return id;
+}
+
+bool IoExecutor::TryCancel(JobId id) {
+  std::lock_guard lock(mu_);
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return false;
+  }
+  queue_.erase(it->second);
+  index_.erase(it);
+  ++stats_.cancelled;
+  if (queue_.empty() && inflight_ == 0) {
+    drain_cv_.notify_all();
+  }
+  return true;
+}
+
+void IoExecutor::Drain() {
+  std::unique_lock lock(mu_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && inflight_ == 0; });
+}
+
+std::size_t IoExecutor::queue_depth() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+IoExecutorStats IoExecutor::Stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void IoExecutor::WorkerLoop() {
+  while (true) {
+    std::function<void()> fn;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ set and nothing left to run.
+      }
+      auto it = queue_.begin();
+      fn = std::move(it->second.fn);
+      index_.erase(it->second.id);
+      queue_.erase(it);
+      ++inflight_;
+      EmitDepthLocked(/*aux=*/0);
+    }
+    fn();
+    {
+      std::lock_guard lock(mu_);
+      --inflight_;
+      ++stats_.executed;
+      if (queue_.empty() && inflight_ == 0) {
+        drain_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace itask::io

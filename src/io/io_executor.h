@@ -1,0 +1,108 @@
+// IoExecutor: the node's bounded background I/O worker pool.
+//
+// Jobs are drained from a two-level priority queue: class first (loads strictly
+// ahead of spill writes — a worker starved for its next partition matters more
+// than draining dirty data), then an integer priority inside the class (the
+// partition manager passes finish-line distance, so partitions close to
+// completion page in/out ahead of parked ones), then submission order (FIFO)
+// for fairness.
+//
+// TryCancel removes a job that has not been dequeued yet — the hook the
+// pending-write cache uses to turn a spill-then-load thrash cycle into a pure
+// memory move. A pool size of zero degrades Submit to inline execution on the
+// caller's thread (async disabled, semantics identical), which keeps every
+// other layer free of special cases.
+#ifndef ITASK_IO_IO_EXECUTOR_H_
+#define ITASK_IO_IO_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/tracer.h"
+
+namespace itask::io {
+
+// Drain order: all loads before all writes.
+enum class IoClass : std::uint8_t {
+  kLoad = 0,   // Page a spilled partition back in (or prefetch it).
+  kWrite = 1,  // Make a queued spill durable.
+};
+
+struct IoExecutorStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t cancelled = 0;         // Removed by TryCancel before running.
+  std::uint64_t peak_queue_depth = 0;  // High-water mark of queued (not inflight) jobs.
+};
+
+class IoExecutor {
+ public:
+  using JobId = std::uint64_t;
+
+  // |pool_size| <= 0 runs every job inline in Submit (async disabled).
+  explicit IoExecutor(int pool_size);
+  ~IoExecutor();
+
+  IoExecutor(const IoExecutor&) = delete;
+  IoExecutor& operator=(const IoExecutor&) = delete;
+
+  // Enqueues |fn| (runs it inline when the pool is empty). Lower |priority|
+  // drains sooner within its class. Jobs must not throw; escaped exceptions
+  // terminate (callers capture errors into their own state).
+  JobId Submit(IoClass cls, int priority, std::function<void()> fn);
+
+  // Removes a still-queued job. Returns false if it already started (or
+  // finished, or was never queued) — the caller must then wait it out.
+  bool TryCancel(JobId id);
+
+  // Blocks until the queue is empty and no job is inflight.
+  void Drain();
+
+  bool async() const { return !workers_.empty(); }
+  std::size_t queue_depth() const;
+  IoExecutorStats Stats() const;
+
+  // Emits kIoQueueDepth events (a=queued, b=inflight, aux=1 submit / 0 start).
+  void SetTracer(obs::Tracer* tracer, int node_id) {
+    tracer_ = tracer;
+    trace_node_ = static_cast<std::uint16_t>(node_id);
+  }
+
+ private:
+  // (class, priority, seq): loads first, then low priority, then FIFO.
+  using Key = std::tuple<std::uint8_t, int, std::uint64_t>;
+
+  void WorkerLoop();
+  void EmitDepthLocked(std::uint32_t aux);
+
+  obs::Tracer* tracer_ = nullptr;
+  std::uint16_t trace_node_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // Signalled on submit and shutdown.
+  std::condition_variable drain_cv_;  // Signalled when the pool goes idle.
+  struct Job {
+    JobId id = 0;
+    std::function<void()> fn;
+  };
+  std::map<Key, Job> queue_;
+  std::unordered_map<JobId, Key> index_;  // Live queued jobs, for TryCancel.
+  JobId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t inflight_ = 0;
+  bool stop_ = false;
+  IoExecutorStats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace itask::io
+
+#endif  // ITASK_IO_IO_EXECUTOR_H_

@@ -4,15 +4,16 @@
 #include <thread>
 
 #include "common/byte_buffer.h"
+#include "common/spin.h"
 
 namespace itask::core {
 
-std::uint64_t DataPartition::Spill() {
+std::uint64_t DataPartition::Spill(int priority) {
   std::lock_guard lock(state_mu_);
-  return SpillLocked();
+  return SpillLocked(priority);
 }
 
-std::uint64_t DataPartition::SpillLocked() {
+std::uint64_t DataPartition::SpillLocked(int priority) {
   if (!resident_) {
     return 0;
   }
@@ -20,7 +21,7 @@ std::uint64_t DataPartition::SpillLocked() {
   serde::Writer writer(&buffer);
   SerializeTo(writer);
   const std::uint64_t freed = PayloadBytes();
-  spill_id_ = spill_->Spill(buffer);
+  spill_id_ = spill_->Spill(buffer, priority);
   DropPayload();
   cursor_ = 0;
   resident_ = false;
@@ -32,6 +33,19 @@ void DataPartition::EnsureResident() {
   EnsureResidentLocked();
 }
 
+bool DataPartition::StartPrefetch(int priority) {
+  std::unique_lock lock(state_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    return false;  // Someone is spilling/loading it right now; skip.
+  }
+  if (resident_ || !spill_id_.has_value() || prefetch_.valid() ||
+      !spill_->SupportsAsync()) {
+    return false;
+  }
+  prefetch_ = spill_->LoadAsync(*spill_id_, priority);
+  return true;
+}
+
 void DataPartition::EnsureResidentLocked() {
   if (resident_) {
     return;
@@ -39,7 +53,24 @@ void DataPartition::EnsureResidentLocked() {
   if (!spill_id_.has_value()) {
     throw std::runtime_error("DataPartition: not resident and not spilled");
   }
-  common::ByteBuffer buffer = spill_->LoadAndRemove(*spill_id_);
+  common::ByteBuffer buffer;
+  bool loaded = false;
+  if (prefetch_.valid()) {
+    common::Stopwatch wait;
+    try {
+      buffer = prefetch_.get();
+      loaded = true;
+      spill_->NotePrefetchWait(static_cast<std::uint64_t>(wait.Elapsed().count()),
+                               buffer.size());
+    } catch (...) {
+      // A failed prefetch (injected read fault, surfaced write error) leaves
+      // the spill loadable; fall back to the synchronous path.
+    }
+    prefetch_ = {};
+  }
+  if (!loaded) {
+    buffer = spill_->LoadAndRemove(*spill_id_);
+  }
   spill_id_.reset();
   resident_ = true;  // Set before deserializing so an OME mid-load leaves a
                      // resident-but-partial payload that DropPayload can clear.

@@ -13,10 +13,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
 
+#include "common/byte_buffer.h"
 #include "memsim/managed_heap.h"
 #include "serde/serializer.h"
 #include "serde/spill_manager.h"
@@ -72,11 +74,22 @@ class DataPartition {
 
   // Serializes the unprocessed remainder to disk and drops the payload.
   // No-op when already spilled. Returns bytes freed from the heap.
-  std::uint64_t Spill();
+  // |priority| orders the write in the async I/O queue (the partition manager
+  // passes finish-line distance: spills of far-from-done partitions drain
+  // last, so they stay cancellable longest).
+  std::uint64_t Spill(int priority = 0);
 
   // Loads a spilled payload back into memory (charging the heap) and resets
-  // the cursor to 0 (only unprocessed tuples were spilled).
+  // the cursor to 0 (only unprocessed tuples were spilled). Consumes a
+  // pending prefetch first, falling back to a synchronous load if the
+  // prefetch failed.
   void EnsureResident();
+
+  // Starts a background load of a spilled payload (double-buffered
+  // read-ahead: MITask prefetches group k+1 while merging group k). No-op —
+  // returning false — when the partition is resident, already prefetching,
+  // contended, or the spill manager has no async engine.
+  bool StartPrefetch(int priority = 0);
 
   // Moves the partition's charge to another node's heap/spill (models the
   // serialize-transfer-deserialize of a shuffle hop).
@@ -127,7 +140,7 @@ class DataPartition {
   void ReleaseAllBytes() { ReleaseBytes(payload_bytes_.load(std::memory_order_relaxed)); }
 
  private:
-  std::uint64_t SpillLocked();
+  std::uint64_t SpillLocked(int priority);
   void EnsureResidentLocked();
 
   TypeId type_;
@@ -137,6 +150,7 @@ class DataPartition {
   std::size_t cursor_ = 0;
   bool resident_ = true;
   std::optional<serde::SpillManager::SpillId> spill_id_;
+  std::future<common::ByteBuffer> prefetch_;  // In-flight read-ahead, if any.
   std::chrono::steady_clock::time_point last_load_ = std::chrono::steady_clock::now();
   std::atomic<std::uint64_t> payload_bytes_{0};
   std::atomic<bool> pinned_{false};

@@ -40,8 +40,19 @@ std::uint64_t PartitionManager::SpillStep(std::uint64_t bytes_goal) {
 
   obs::Tracer* tracer = runtime_->tracer();
   const std::uint16_t node = runtime_->trace_node();
-  auto spill_one = [&](const PartitionPtr& dp) {
-    const std::uint64_t bytes = dp->Spill();
+  auto spill_one = [&](const PartitionPtr& dp) -> std::uint64_t {
+    // Finish-line distance doubles as the async write priority: spills of
+    // partitions near completion drain first, parked ones linger in the
+    // queue where a reload can still cancel them.
+    std::uint64_t bytes = 0;
+    try {
+      bytes = dp->Spill(distance_of(dp));
+    } catch (const std::exception& e) {
+      // A failed spill write (injected or real) leaves the partition resident
+      // and intact; skip this victim and try the next one.
+      LOG_WARN() << "spill failed for type " << dp->type() << ": " << e.what();
+      return 0;
+    }
     if (bytes > 0) {
       tracer->Emit(obs::EventKind::kPartitionSerialized, node, bytes,
                    static_cast<std::uint64_t>(distance_of(dp)),

@@ -24,6 +24,7 @@
 
 #include "common/metrics.h"
 #include "common/spin.h"
+#include "io/async_spill_manager.h"
 #include "itask/job_state.h"
 #include "itask/partition_manager.h"
 #include "itask/partition_queue.h"
@@ -43,6 +44,9 @@ struct NodeServices {
   memsim::ManagedHeap* heap = nullptr;
   serde::SpillManager* spill = nullptr;
   obs::Tracer* tracer = nullptr;  // Optional shared event stream.
+  // Set when |spill| is actually the node's async engine; NodeMetrics reads
+  // its cancellation/codec/stall counters through it.
+  io::AsyncSpillManager* async_spill = nullptr;
 };
 
 struct IrsConfig {

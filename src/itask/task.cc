@@ -39,6 +39,10 @@ void TaskContext::SpillOwned(const PartitionPtr& dp) {
   runtime_->partition_manager().SpillDirect(dp);
 }
 
+void TaskContext::Prefetch(const PartitionPtr& dp) {
+  dp->StartPrefetch(/*priority=*/0);
+}
+
 void TaskContext::CountTuple() { runtime_->CountTuple(worker_id_); }
 
 void TaskContext::NoteProcessedInputReleased(std::uint64_t bytes) {

@@ -59,6 +59,11 @@ class TaskContext {
   // out-of-core PartitionIterator step.
   void EnsureResident(const PartitionPtr& dp);
 
+  // Starts a background read-ahead of a spilled partition this activation
+  // will need next (double buffering: MITask prefetches group member k+1
+  // while merging member k). No-op without the async I/O engine.
+  void Prefetch(const PartitionPtr& dp);
+
   // Serializes a partition this activation owns to relieve pressure (used by
   // the merge interrupt path for unreached group members).
   void SpillOwned(const PartitionPtr& dp);
@@ -286,6 +291,11 @@ class MITask : public ITaskBase {
         ctx.NoteOmeInterrupt(dp, processed);
         interrupt_from(gi);
         return false;
+      }
+      if (gi + 1 < group.size()) {
+        // Double-buffered read-ahead: page in the next group member while
+        // this one merges, so the iterator never stalls on a cold load.
+        ctx.Prefetch(group[gi + 1]);
       }
       auto* in = static_cast<InPartition*>(dp.get());
       while (!dp->Exhausted()) {

@@ -34,7 +34,19 @@ enum class EventKind : std::uint8_t {
   kSpillRead,            // a=bytes read back from disk
   kActiveSample,         // aux=sample_seq a=total active workers (Fig 11c)
   kActiveSpecCount,      // aux=sample_seq a=spec_id b=active count for that spec
+  kIoQueueDepth,         // a=queued jobs b=inflight jobs aux=1 on submit, 0 on job start
+  kIoWriteCancelled,     // a=raw bytes of a queued write served from the pending cache
+  kIoReadStall,          // a=stall_ns b=raw bytes aux=IoLoadSource
+  kIoCodec,              // a=raw bytes b=framed (on-disk) bytes for one block
   kKindCount,            // sentinel — keep last
+};
+
+// Where an async load was served from (kIoReadStall aux).
+enum class IoLoadSource : std::uint8_t {
+  kPendingCache = 0,  // Queued write cancelled; served from memory.
+  kInflightWait = 1,  // Waited for the in-flight write, then read the file.
+  kDisk = 2,          // Durable on disk; plain read.
+  kPrefetched = 3,    // Consumer waited on an already-running prefetch future.
 };
 
 // Why an interrupt victim was chosen (the paper's §5.4 priority rules).
@@ -85,6 +97,10 @@ constexpr const char* EventKindName(EventKind kind) {
     case EventKind::kSpillRead: return "spill_read";
     case EventKind::kActiveSample: return "active_sample";
     case EventKind::kActiveSpecCount: return "active_spec_count";
+    case EventKind::kIoQueueDepth: return "io_queue_depth";
+    case EventKind::kIoWriteCancelled: return "io_write_cancelled";
+    case EventKind::kIoReadStall: return "io_read_stall";
+    case EventKind::kIoCodec: return "io_codec";
     case EventKind::kKindCount: break;
   }
   return "unknown";

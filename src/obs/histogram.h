@@ -154,6 +154,15 @@ inline std::vector<std::uint64_t> InterruptLatencyBoundsNs() {
           5'000'000, 10'000'000, 50'000'000, 100'000'000, 500'000'000};
 }
 
+// Read-stall ladder (§6.2): the time a consumer blocks waiting for a spilled
+// partition. Pending-cache hits land in the sub-10µs buckets, prefetched loads
+// in the tens of µs, cold demand reads in the ms range.
+inline std::vector<std::uint64_t> ReadStallBoundsNs() {
+  return {1'000,      5'000,      10'000,     50'000,      100'000,     500'000,
+          1'000'000,  5'000'000,  10'000'000, 50'000'000,  100'000'000, 500'000'000,
+          1'000'000'000};
+}
+
 }  // namespace itask::obs
 
 #endif  // ITASK_OBS_HISTOGRAM_H_

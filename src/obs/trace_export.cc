@@ -1,7 +1,9 @@
 #include "obs/trace_export.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <sstream>
 
@@ -145,6 +147,17 @@ bool ParseChromeTrace(const std::string& json, std::vector<ParsedEvent>* out,
       return fail("event line missing tid: " + line);
     }
     event.tid = std::atoi(raw.c_str());
+    // args payload (optional for forward compatibility with hand-written
+    // fixtures; the exporter always writes all three).
+    if (FindRawField(line, "a", &raw)) {
+      event.a = std::strtoull(raw.c_str(), nullptr, 10);
+    }
+    if (FindRawField(line, "b", &raw)) {
+      event.b = std::strtoull(raw.c_str(), nullptr, 10);
+    }
+    if (FindRawField(line, "aux", &raw)) {
+      event.aux = static_cast<std::uint32_t>(std::strtoul(raw.c_str(), nullptr, 10));
+    }
     out->push_back(std::move(event));
   }
   return true;
@@ -157,6 +170,13 @@ void WriteTraceSummary(std::ostream& os, const std::vector<Event>& events,
   std::uint64_t gc_pause_us = 0;
   std::uint64_t spill_write_bytes = 0;
   std::uint64_t spill_read_bytes = 0;
+  std::uint64_t cancelled_writes = 0;
+  std::uint64_t cancelled_write_bytes = 0;
+  std::uint64_t codec_raw_bytes = 0;
+  std::uint64_t codec_framed_bytes = 0;
+  std::uint64_t read_stalls = 0;
+  std::uint64_t read_stall_ns = 0;
+  std::uint64_t peak_queue_depth = 0;
   std::map<std::string, std::uint64_t> interrupts_by_rule;
   for (const Event& event : events) {
     ++by_kind[EventKindName(event.kind)];
@@ -172,6 +192,21 @@ void WriteTraceSummary(std::ostream& os, const std::vector<Event>& events,
         break;
       case EventKind::kSpillRead:
         spill_read_bytes += event.a;
+        break;
+      case EventKind::kIoWriteCancelled:
+        ++cancelled_writes;
+        cancelled_write_bytes += event.a;
+        break;
+      case EventKind::kIoCodec:
+        codec_raw_bytes += event.a;
+        codec_framed_bytes += event.b;
+        break;
+      case EventKind::kIoReadStall:
+        ++read_stalls;
+        read_stall_ns += event.a;
+        break;
+      case EventKind::kIoQueueDepth:
+        peak_queue_depth = std::max(peak_queue_depth, event.a);
         break;
       case EventKind::kTaskInterrupt:
         ++interrupts_by_rule[InterruptRuleName(static_cast<InterruptRule>(event.flags))];
@@ -203,6 +238,21 @@ void WriteTraceSummary(std::ostream& os, const std::vector<Event>& events,
   if (spill_write_bytes != 0 || spill_read_bytes != 0) {
     os << "  spill io: written=" << spill_write_bytes << "B read=" << spill_read_bytes
        << "B\n";
+  }
+  if (cancelled_writes != 0 || codec_raw_bytes != 0 || read_stalls != 0 ||
+      peak_queue_depth != 0) {
+    os << "  async io: cancelled_writes=" << cancelled_writes << " ("
+       << cancelled_write_bytes << "B) peak_queue_depth=" << peak_queue_depth;
+    if (codec_raw_bytes != 0) {
+      os << " codec=" << codec_framed_bytes << "/" << codec_raw_bytes << "B (ratio="
+         << static_cast<double>(codec_framed_bytes) / static_cast<double>(codec_raw_bytes)
+         << ")";
+    }
+    if (read_stalls != 0) {
+      os << " read_stalls=" << read_stalls
+         << " total_stall_ms=" << static_cast<double>(read_stall_ns) / 1e6;
+    }
+    os << "\n";
   }
 }
 

@@ -29,6 +29,11 @@ struct ParsedEvent {
   double dur_us = 0.0;
   int pid = 0;
   int tid = 0;
+  // Kind-specific payload from the exported "args" object (0 when absent —
+  // every exporter-written line carries them).
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint32_t aux = 0;
 };
 
 // Parses WriteChromeTrace output. Returns false (with |error| set) on

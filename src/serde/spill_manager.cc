@@ -28,7 +28,54 @@ std::filesystem::path SpillManager::PathFor(SpillId id) const {
   return dir_ / ("part-" + std::to_string(id) + ".bin");
 }
 
-SpillManager::SpillId SpillManager::Spill(const common::ByteBuffer& buffer) {
+void SpillManager::SetFailureInjection(const SpillFailureInjection& injection) {
+  std::lock_guard lock(mu_);
+  inject_ = injection;
+  inject_ops_.store(0, std::memory_order_relaxed);
+  inject_rng_.store(injection.seed != 0 ? injection.seed : 0x5eedf00dULL,
+                    std::memory_order_relaxed);
+}
+
+void SpillManager::MaybeInjectFailure(bool is_write) {
+  SpillFailureInjection inject;
+  {
+    std::lock_guard lock(mu_);
+    inject = inject_;
+  }
+  if (!inject.enabled()) {
+    return;
+  }
+  bool fail = false;
+  if (inject.every_nth != 0) {
+    const std::uint64_t op = inject_ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+    fail = (op % inject.every_nth) == 0;
+  }
+  const double prob = is_write ? inject.write_probability : inject.read_probability;
+  if (!fail && prob > 0.0) {
+    // Private xorshift64* stream: deterministic for a fixed seed and op order.
+    std::uint64_t x = inject_rng_.load(std::memory_order_relaxed);
+    std::uint64_t next;
+    do {
+      next = x;
+      next ^= next >> 12;
+      next ^= next << 25;
+      next ^= next >> 27;
+    } while (!inject_rng_.compare_exchange_weak(x, next, std::memory_order_relaxed));
+    const double draw =
+        static_cast<double>((next * 0x2545F4914F6CDD1DULL) >> 11) / static_cast<double>(1ULL << 53);
+    fail = draw < prob;
+  }
+  if (fail) {
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.injected_failures;
+    }
+    throw std::runtime_error(std::string("SpillManager: injected ") +
+                             (is_write ? "write" : "read") + " failure");
+  }
+}
+
+SpillManager::SpillId SpillManager::Spill(const common::ByteBuffer& buffer, int /*priority*/) {
   common::Stopwatch watch;
   SpillId id;
   {
@@ -36,15 +83,29 @@ SpillManager::SpillId SpillManager::Spill(const common::ByteBuffer& buffer) {
     id = next_id_++;
   }
   const auto path = PathFor(id);
+  // A failed write must leave no trace: remove the partial file and keep
+  // file_bytes_/stats untouched (the id is simply burned).
+  const auto fail = [&path](const std::string& what) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    throw std::runtime_error(what);
+  };
+  try {
+    MaybeInjectFailure(/*is_write=*/true);
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    throw;
+  }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
-    throw std::runtime_error("SpillManager: cannot open " + path.string());
+    fail("SpillManager: cannot open " + path.string());
   }
   out.write(reinterpret_cast<const char*>(buffer.data()),
             static_cast<std::streamsize>(buffer.size()));
   out.flush();
   if (!out) {
-    throw std::runtime_error("SpillManager: write failed for " + path.string());
+    fail("SpillManager: write failed for " + path.string());
   }
   {
     std::lock_guard lock(mu_);
@@ -72,6 +133,9 @@ common::ByteBuffer SpillManager::LoadAndRemove(SpillId id) {
     }
     expected = it->second;
   }
+  // Injected read failures fire before any state mutation: the entry and the
+  // file survive, so the spill stays loadable on retry.
+  MaybeInjectFailure(/*is_write=*/false);
   const auto path = PathFor(id);
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -82,7 +146,10 @@ common::ByteBuffer SpillManager::LoadAndRemove(SpillId id) {
   if (static_cast<std::uint64_t>(in.gcount()) != expected) {
     throw std::runtime_error("SpillManager: short read from " + path.string());
   }
-  Remove(id);
+  // Qualified call: |id| is in *this* manager's namespace. Virtual dispatch
+  // would hand a derived manager an id it interprets as one of its own
+  // handles (the async engine keeps a separate handle space).
+  SpillManager::Remove(id);
   {
     std::lock_guard lock(mu_);
     stats_.loaded_bytes += expected;
@@ -110,6 +177,17 @@ void SpillManager::Remove(SpillId id) {
   }
   std::error_code ec;
   std::filesystem::remove(PathFor(id), ec);
+}
+
+std::future<common::ByteBuffer> SpillManager::LoadAsync(SpillId id, int /*priority*/) {
+  std::promise<common::ByteBuffer> promise;
+  std::future<common::ByteBuffer> future = promise.get_future();
+  try {
+    promise.set_value(LoadAndRemove(id));
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+  }
+  return future;
 }
 
 SpillStats SpillManager::Stats() const {

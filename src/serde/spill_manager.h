@@ -5,11 +5,27 @@
 // Each spill writes one file under a node-private directory; handles are
 // opaque ids. I/O byte counters feed the paper's lazy-serialization breakdown
 // (Table 2) and the read-stall discussion in §6.2.
+//
+// The core entry points (Spill / LoadAndRemove / Remove / Stats) are virtual:
+// io::AsyncSpillManager layers a background write queue, a pending-write
+// cache with cancellation, and block compression on top of this synchronous
+// base while every caller keeps talking to a SpillManager*. SupportsAsync()
+// and LoadAsync() let callers opportunistically prefetch when the node wired
+// in the async engine, with a synchronous fallback otherwise.
+//
+// Failure injection: SetFailureInjection arms a deterministic fault point
+// (probability per op, or every nth op) on the write and/or read path so
+// tests and chaos configs can force spill I/O errors. Injected and real write
+// failures both clean up the partial file and leave file_bytes_/stats
+// untouched; injected read failures throw before the entry or file is
+// removed, so the spill stays loadable.
 #ifndef ITASK_SERDE_SPILL_MANAGER_H_
 #define ITASK_SERDE_SPILL_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <future>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -26,8 +42,24 @@ struct SpillStats {
   std::uint64_t load_count = 0;
   std::uint64_t live_files = 0;
   std::uint64_t live_file_bytes = 0;
+  std::uint64_t injected_failures = 0;  // Faults fired by the injection point.
   double write_ms = 0.0;
   double read_ms = 0.0;
+};
+
+// Deterministic I/O fault point, configured per manager (ClusterConfig wires
+// the cluster-wide setting and the ITASK_IO_FAIL_* env overrides through).
+// `every_nth` == n fails every nth spill/load op (1-based); `*_probability`
+// draws from a private xorshift stream seeded with `seed` so runs replay.
+struct SpillFailureInjection {
+  double write_probability = 0.0;
+  double read_probability = 0.0;
+  std::uint64_t every_nth = 0;  // 0 = disabled.
+  std::uint64_t seed = 0x5eedf00dULL;
+
+  bool enabled() const {
+    return write_probability > 0.0 || read_probability > 0.0 || every_nth != 0;
+  }
 };
 
 class SpillManager {
@@ -37,22 +69,45 @@ class SpillManager {
   // Creates (and owns) a fresh directory under |root|; the directory and all
   // remaining files are removed on destruction.
   explicit SpillManager(const std::filesystem::path& root, const std::string& node_name);
-  ~SpillManager();
+  virtual ~SpillManager();
 
   SpillManager(const SpillManager&) = delete;
   SpillManager& operator=(const SpillManager&) = delete;
 
   // Writes |buffer| to a new file and returns its id. Throws std::runtime_error
-  // on I/O failure.
-  SpillId Spill(const common::ByteBuffer& buffer);
+  // on I/O failure. |priority| orders queued writes in the async engine
+  // (lower drains sooner); the synchronous base ignores it.
+  virtual SpillId Spill(const common::ByteBuffer& buffer, int priority = 0);
 
   // Reads the file back into a buffer and deletes it.
-  common::ByteBuffer LoadAndRemove(SpillId id);
+  virtual common::ByteBuffer LoadAndRemove(SpillId id);
 
   // Drops a spill without reading it (e.g. job aborted).
-  void Remove(SpillId id);
+  virtual void Remove(SpillId id);
 
-  SpillStats Stats() const;
+  virtual SpillStats Stats() const;
+
+  // ---- Async surface (overridden by io::AsyncSpillManager) ----
+
+  // True when LoadAsync actually overlaps with compute; prefetchers skip the
+  // call otherwise rather than stalling on the synchronous fallback.
+  virtual bool SupportsAsync() const { return false; }
+
+  // Load-and-remove as a future. The base implementation resolves it inline
+  // (synchronously); the async engine schedules it on the I/O pool at load
+  // priority (ahead of all queued writes).
+  virtual std::future<common::ByteBuffer> LoadAsync(SpillId id, int priority = 0);
+
+  // Consumer-side stall report for prefetched loads: the time a worker spent
+  // blocked on a LoadAsync future it had started ahead of need. The async
+  // engine folds it into its read-stall histogram; the base ignores it.
+  virtual void NotePrefetchWait(std::uint64_t wait_ns, std::uint64_t bytes) {
+    (void)wait_ns;
+    (void)bytes;
+  }
+
+  void SetFailureInjection(const SpillFailureInjection& injection);
+
   const std::filesystem::path& directory() const { return dir_; }
 
   // Emits kSpillWrite/kSpillRead events (byte counts) into |tracer|, stamped
@@ -61,6 +116,14 @@ class SpillManager {
     tracer_ = tracer;
     trace_node_ = static_cast<std::uint16_t>(node_id);
   }
+
+ protected:
+  obs::Tracer* tracer() const { return tracer_; }
+  std::uint16_t trace_node() const { return trace_node_; }
+
+  // Fires the injected fault for one write/read op if armed. Throws
+  // std::runtime_error (after counting the failure) when the op must fail.
+  void MaybeInjectFailure(bool is_write);
 
  private:
   std::filesystem::path PathFor(SpillId id) const;
@@ -72,6 +135,10 @@ class SpillManager {
   std::unordered_map<SpillId, std::uint64_t> file_bytes_;
   SpillId next_id_ = 1;
   SpillStats stats_;
+
+  SpillFailureInjection inject_;
+  std::atomic<std::uint64_t> inject_ops_{0};
+  std::atomic<std::uint64_t> inject_rng_{0};
 };
 
 }  // namespace itask::serde

@@ -3,6 +3,9 @@
 //
 //   trace_dump <file.trace.json>            per-event-name counts + span
 //   trace_dump --timeline <file.trace.json> chronological listing
+//   trace_dump --io <file.trace.json>       async spill I/O view: queue depth
+//                                           over time, cancelled writes, and
+//                                           per-node compression ratios
 //   trace_dump --demo [out.trace.json]      run a small traced WC job and
 //                                           write/summarize its trace
 #include <algorithm>
@@ -22,7 +25,125 @@ namespace {
 
 using namespace itask;
 
-int DumpFile(const std::string& path, bool timeline) {
+const char* LoadSourceName(std::uint32_t source) {
+  switch (source) {
+    case 0: return "pending_cache";
+    case 1: return "inflight_wait";
+    case 2: return "disk";
+    case 3: return "prefetched";
+    default: return "?";
+  }
+}
+
+// Per-node rollup of the async spill engine's events.
+struct IoNodeStats {
+  std::uint64_t cancelled = 0;
+  std::uint64_t cancelled_bytes = 0;
+  std::uint64_t codec_raw = 0;
+  std::uint64_t codec_framed = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t stall_ns = 0;
+  std::map<std::uint32_t, std::uint64_t> stalls_by_source;
+  std::uint64_t peak_depth = 0;
+};
+
+int DumpIo(const std::vector<obs::ParsedEvent>& events) {
+  std::map<int, IoNodeStats> nodes;
+  double t_min = events.front().ts_us;
+  double t_max = t_min;
+  std::size_t io_events = 0;
+  for (const obs::ParsedEvent& e : events) {
+    t_min = std::min(t_min, e.ts_us);
+    t_max = std::max(t_max, e.ts_us + e.dur_us);
+    if (e.name.rfind("io_", 0) != 0) {
+      continue;
+    }
+    ++io_events;
+    IoNodeStats& n = nodes[e.pid];
+    if (e.name == "io_write_cancelled") {
+      ++n.cancelled;
+      n.cancelled_bytes += e.a;
+    } else if (e.name == "io_codec") {
+      n.codec_raw += e.a;
+      n.codec_framed += e.b;
+    } else if (e.name == "io_read_stall") {
+      ++n.stalls;
+      n.stall_ns += e.a;
+      ++n.stalls_by_source[e.aux];
+    } else if (e.name == "io_queue_depth") {
+      n.peak_depth = std::max(n.peak_depth, e.a + e.b);
+    }
+  }
+  if (io_events == 0) {
+    std::printf("no async io events in trace (run with the I/O engine enabled)\n");
+    return 0;
+  }
+  // Queue depth over time: bucket the span and chart the max observed
+  // queued+inflight depth (across all nodes) in each bucket.
+  constexpr int kBuckets = 48;
+  const double span = std::max(t_max - t_min, 1e-9);
+  std::vector<std::uint64_t> depth(kBuckets, 0);
+  std::uint64_t global_peak = 0;
+  for (const obs::ParsedEvent& e : events) {
+    if (e.name != "io_queue_depth") {
+      continue;
+    }
+    int bucket = static_cast<int>((e.ts_us - t_min) / span * kBuckets);
+    bucket = std::min(std::max(bucket, 0), kBuckets - 1);
+    const std::uint64_t d = e.a + e.b;
+    depth[static_cast<std::size_t>(bucket)] =
+        std::max(depth[static_cast<std::size_t>(bucket)], d);
+    global_peak = std::max(global_peak, d);
+  }
+  std::printf("async io: %zu events over %.3fms, %zu nodes, peak queue depth %llu\n",
+              io_events, span / 1000.0, nodes.size(),
+              static_cast<unsigned long long>(global_peak));
+  if (global_peak > 0) {
+    constexpr int kHeight = 8;
+    std::printf("  queue depth over time (max per %.3fms bucket):\n", span / kBuckets / 1000.0);
+    for (int row = kHeight; row >= 1; --row) {
+      const double threshold = static_cast<double>(global_peak) * row / kHeight;
+      std::string line = "  ";
+      line += (row == kHeight) ? std::to_string(global_peak) : std::string(" ");
+      while (line.size() < 6) {
+        line += ' ';
+      }
+      line += '|';
+      for (int b = 0; b < kBuckets; ++b) {
+        line += static_cast<double>(depth[static_cast<std::size_t>(b)]) >= threshold ? '#' : ' ';
+      }
+      std::printf("%s\n", line.c_str());
+    }
+    std::printf("     0+%s\n", std::string(kBuckets, '-').c_str());
+  }
+  for (const auto& [pid, n] : nodes) {
+    std::printf("  node%d: cancelled_writes=%llu (%lluB) peak_depth=%llu", pid,
+                static_cast<unsigned long long>(n.cancelled),
+                static_cast<unsigned long long>(n.cancelled_bytes),
+                static_cast<unsigned long long>(n.peak_depth));
+    if (n.codec_raw > 0) {
+      std::printf(" compression=%.3f (%llu/%lluB)",
+                  static_cast<double>(n.codec_framed) / static_cast<double>(n.codec_raw),
+                  static_cast<unsigned long long>(n.codec_framed),
+                  static_cast<unsigned long long>(n.codec_raw));
+    }
+    if (n.stalls > 0) {
+      std::printf(" read_stalls=%llu (%.3fms:", static_cast<unsigned long long>(n.stalls),
+                  static_cast<double>(n.stall_ns) / 1e6);
+      bool first = true;
+      for (const auto& [source, count] : n.stalls_by_source) {
+        std::printf("%s%s=%llu", first ? " " : ", ", LoadSourceName(source),
+                    static_cast<unsigned long long>(count));
+        first = false;
+      }
+      std::printf(")");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int DumpFile(const std::string& path, bool timeline, bool io) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "trace_dump: cannot open %s\n", path.c_str());
@@ -39,6 +160,9 @@ int DumpFile(const std::string& path, bool timeline) {
   if (events.empty()) {
     std::printf("%s: empty trace\n", path.c_str());
     return 0;
+  }
+  if (io) {
+    return DumpIo(events);
   }
   if (timeline) {
     for (const obs::ParsedEvent& e : events) {
@@ -92,15 +216,18 @@ int RunDemo(const std::string& out_path) {
 
 int main(int argc, char** argv) {
   bool timeline = false;
+  bool io = false;
   bool demo = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--timeline") == 0) {
       timeline = true;
+    } else if (std::strcmp(argv[i], "--io") == 0) {
+      io = true;
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: trace_dump [--timeline] <file.trace.json>\n"
+      std::printf("usage: trace_dump [--timeline|--io] <file.trace.json>\n"
                   "       trace_dump --demo [out.trace.json]\n");
       return 0;
     } else {
@@ -111,8 +238,8 @@ int main(int argc, char** argv) {
     return RunDemo(path.empty() ? "demo.trace.json" : path);
   }
   if (path.empty()) {
-    std::fprintf(stderr, "usage: trace_dump [--timeline] <file.trace.json> (or --demo)\n");
+    std::fprintf(stderr, "usage: trace_dump [--timeline|--io] <file.trace.json> (or --demo)\n");
     return 1;
   }
-  return DumpFile(path, timeline);
+  return DumpFile(path, timeline, io);
 }
