@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verify (full build + ctest), an ASan/UBSan build of
 # the concurrency-sensitive test suites (obs tracer, async spill I/O, IRS
-# core/runtime), and a release-mode bench smoke run at a tiny scale.
+# core/runtime), a ThreadSanitizer pass over the same suites, a chaos-smoke
+# sweep of the schedule fuzzer (tools/chaos_run), and a release-mode bench
+# smoke run at a tiny scale.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -22,7 +24,23 @@ for t in obs_test io_test itask_core_test irs_runtime_test irs_policy_test; do
   "./build-asan/tests/${t}"
 done
 
-echo "=== tier 3: release-mode bench smoke (tiny scale) ==="
+echo "=== tier 3: TSan on itask core / runtime / io suites ==="
+TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="${TSAN_FLAGS}" \
+  -DCMAKE_EXE_LINKER_FLAGS="${TSAN_FLAGS}"
+cmake --build build-tsan -j --target itask_core_test irs_runtime_test io_test
+for t in itask_core_test irs_runtime_test io_test; do
+  echo "--- ${t} (tsan) ---"
+  TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/${t}"
+done
+
+echo "=== tier 4: chaos smoke (schedule-fuzzed WordCount sweep) ==="
+cmake --build build -j --target chaos_run
+./build/tools/chaos_run --seeds 32 --apps WC
+
+echo "=== tier 5: release-mode bench smoke (tiny scale) ==="
 cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-rel -j --target bench_fig11_heaps
 (cd build-rel/bench && ITASK_BENCH_SCALE=0.25 ./bench_fig11_heaps > /dev/null)

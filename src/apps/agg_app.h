@@ -269,6 +269,7 @@ class AggApp {
 
     result.metrics = job.Metrics();
     result.metrics.succeeded = ok;
+    result.audit_violations = MaybeAuditJob(job, ok);
     result.checksum = checksum.load();
     result.records = records.load();
     result.metrics.result_checksum = result.checksum;

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "chaos/auditor.h"
+#include "chaos/chaos.h"
 #include "cluster/cluster.h"
 #include "common/metrics.h"
 #include "itask/runtime.h"
@@ -47,7 +49,21 @@ struct AppResult {
   // Full cluster-wide event stream (trace_active runs only) — feed it to
   // obs::WriteChromeTrace / WriteTraceSummary or tools/trace_dump.
   std::vector<obs::Event> events;
+  // IrsAuditor findings from the job-end invariant audit. Populated only when
+  // chaos auditing is enabled (chaos::AuditEnabled()); empty means clean.
+  std::vector<std::string> audit_violations;
 };
+
+// Runs the IrsAuditor over a finished ITask job when chaos auditing is on.
+// |drained| is job.Run()'s return value (the C2 "everything drained" checks
+// only apply to a successful run). Called by each app's ITask runner — the
+// coordinator cannot do it without inverting the core/chaos layering.
+inline std::vector<std::string> MaybeAuditJob(cluster::ItaskJob& job, bool drained) {
+  if (!chaos::AuditEnabled()) {
+    return {};
+  }
+  return chaos::IrsAuditor::AuditJobEnd(job, drained);
+}
 
 // 64-bit mixer (splitmix finalizer) for fingerprints.
 inline std::uint64_t MixU64(std::uint64_t z) {

@@ -287,6 +287,7 @@ AppResult RunHashJoinITask(cluster::Cluster& cluster, const AppConfig& config) {
   }, config.deadline_ms);
   result.metrics = job.Metrics();
   result.metrics.succeeded = ok;
+  result.audit_violations = MaybeAuditJob(job, ok);
   result.checksum = checksum.load();
   result.records = matches.load();
   result.metrics.result_checksum = result.checksum;

@@ -188,6 +188,7 @@ AppResult RunHeapSortITask(cluster::Cluster& cluster, const AppConfig& config) {
   }, config.deadline_ms);
   result.metrics = job.Metrics();
   result.metrics.succeeded = ok && sorted.load();
+  result.audit_violations = MaybeAuditJob(job, ok);
   result.checksum = checksum.load();
   result.records = records.load();
   result.metrics.result_checksum = result.checksum;

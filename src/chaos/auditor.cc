@@ -1,0 +1,141 @@
+#include "chaos/auditor.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "chaos/chaos.h"
+#include "itask/types.h"
+
+namespace itask::chaos {
+namespace {
+
+void Check(std::vector<std::string>& out, bool ok, const std::string& msg) {
+  if (!ok) {
+    out.push_back(msg);
+    NoteViolation(msg);
+  }
+}
+
+std::string Fmt(const char* tag, const std::string& detail) {
+  return std::string(tag) + ": " + detail;
+}
+
+}  // namespace
+
+std::vector<std::string> IrsAuditor::AuditJobEnd(cluster::ItaskJob& job, bool succeeded) {
+  std::vector<std::string> violations;
+  core::JobState& state = job.state();
+
+  // ---- Physical queue contents across the cluster ----
+  std::map<core::TypeId, std::uint64_t> physical_by_type;
+  std::set<const core::DataPartition*> seen;
+  std::uint64_t total_physical = 0;
+  for (int n = 0; n < job.num_nodes(); ++n) {
+    const auto snapshot = job.runtime(n).queue().Snapshot();
+    total_physical += snapshot.size();
+    for (const auto& dp : snapshot) {
+      ++physical_by_type[dp->type()];
+      Check(violations, !dp->pinned(),
+            Fmt("S1", "queued partition of type " + core::TypeIds::Name(dp->type()) +
+                          " is pinned (queued and worker-owned at once)"));
+      Check(violations, seen.insert(dp.get()).second,
+            Fmt("S2", "partition of type " + core::TypeIds::Name(dp->type()) +
+                          " enqueued twice (duplicated tag data)"));
+    }
+  }
+
+  // ---- C1: counter/content conservation ----
+  {
+    const std::uint64_t counted = state.total_queued.load(std::memory_order_acquire);
+    std::ostringstream os;
+    os << "total_queued counter " << counted << " != " << total_physical
+       << " partitions physically queued";
+    Check(violations, counted == total_physical, Fmt("C1", os.str()));
+  }
+  for (std::size_t t = 0; t < core::kMaxTypes; ++t) {
+    const std::uint64_t counted = state.queued_by_type[t].load(std::memory_order_acquire);
+    const auto it = physical_by_type.find(static_cast<core::TypeId>(t));
+    const std::uint64_t physical = it == physical_by_type.end() ? 0 : it->second;
+    if (counted != physical) {
+      std::ostringstream os;
+      os << "queued_by_type[" << core::TypeIds::Name(static_cast<core::TypeId>(t)) << "] "
+         << counted << " != " << physical << " physically queued";
+      Check(violations, false, Fmt("C1", os.str()));
+    }
+  }
+
+  // ---- C2: a successful job drained everything ----
+  if (succeeded) {
+    Check(violations, total_physical == 0,
+          Fmt("C2", std::to_string(total_physical) + " partitions still queued after success"));
+    const std::uint64_t running = state.total_running.load(std::memory_order_acquire);
+    Check(violations, running == 0,
+          Fmt("C2", "total_running " + std::to_string(running) + " after success"));
+    for (std::size_t s = 0; s < core::kMaxSpecs; ++s) {
+      const std::uint64_t r = state.running_by_spec[s].load(std::memory_order_acquire);
+      Check(violations, r == 0,
+            r == 0 ? std::string()
+                   : Fmt("C2", "running_by_spec[" + std::to_string(s) + "] = " +
+                                   std::to_string(r) + " after success"));
+    }
+    for (int n = 0; n < job.num_nodes(); ++n) {
+      const std::uint64_t live = job.runtime(n).services().heap->live_bytes();
+      if (live != 0) {
+        std::ostringstream os;
+        os << "node " << n << " holds " << live
+           << " live managed bytes after success (payload leaked past staged release)";
+        Check(violations, false, Fmt("C2", os.str()));
+      }
+    }
+  }
+
+  // ---- Table-2 counter consistency ----
+  for (int n = 0; n < job.num_nodes(); ++n) {
+    const common::RunMetrics m = job.runtime(n).NodeMetrics();
+    const memsim::HeapStats heap = job.runtime(n).services().heap->Stats();
+    const std::string node = "node " + std::to_string(n) + " ";
+    const struct {
+      const char* name;
+      std::uint64_t value;
+    } byte_counters[] = {
+        {"released_processed_input_bytes", m.released_processed_input_bytes},
+        {"released_final_result_bytes", m.released_final_result_bytes},
+        {"parked_intermediate_bytes", m.parked_intermediate_bytes},
+        {"lazy_serialized_bytes", m.lazy_serialized_bytes},
+    };
+    for (const auto& c : byte_counters) {
+      if (c.value > heap.allocated_bytes_total) {
+        std::ostringstream os;
+        os << node << c.name << " " << c.value << " exceeds bytes ever allocated "
+           << heap.allocated_bytes_total;
+        Check(violations, false, Fmt("T1", os.str()));
+      }
+    }
+    if (m.ome_interrupts > heap.ome_count) {
+      std::ostringstream os;
+      os << node << "ome_interrupts " << m.ome_interrupts << " > heap OME count "
+         << heap.ome_count << " (an OME interrupt was double-counted)";
+      Check(violations, false, Fmt("T2", os.str()));
+    }
+    if (succeeded && m.interrupts > m.victim_requests + m.ome_interrupts) {
+      // On a non-aborted run a scale loop only returns false because the
+      // scheduler requested this worker's termination (one request arms one
+      // interrupt; the flag is cleared when the activation ends) or because
+      // an OME forced the interrupt. Anything beyond that sum is an interrupt
+      // with no cause — a protocol bug.
+      std::ostringstream os;
+      os << node << "interrupts " << m.interrupts << " unexplained by victim requests "
+         << m.victim_requests << " + OME interrupts " << m.ome_interrupts;
+      Check(violations, false, Fmt("T3", os.str()));
+    }
+  }
+
+  violations.erase(
+      std::remove_if(violations.begin(), violations.end(),
+                     [](const std::string& s) { return s.empty(); }),
+      violations.end());
+  return violations;
+}
+
+}  // namespace itask::chaos

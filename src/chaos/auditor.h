@@ -1,0 +1,53 @@
+// IrsAuditor: debug-mode invariant checker for the ITask Runtime System.
+//
+// Audits a finished job (after JobCoordinator::Run returned and every runtime
+// stopped) against the invariants the interrupt/reactivation protocol must
+// preserve no matter how the schedule interleaved:
+//
+//  Conservation —
+//   C1  Sum of partitions physically queued on every node equals the global
+//       JobState::total_queued counter, per type and in total (no partition
+//       lost or double-counted across Push/Pop/PushBackBatch).
+//   C2  After a successful job: every queue empty, every counter zero, and
+//       every node's managed live bytes zero (all payloads were released
+//       through the staged-release protocol — nothing leaked, nothing freed
+//       twice into negative territory).
+//
+//  Partition state machine —
+//   S1  No queued partition is pinned (pinned means "owned by a worker";
+//       queued means "owned by the queue" — never both).
+//   S2  No partition instance appears twice across the cluster's queues
+//       (a PushBackBatch that double-enqueues would duplicate tags).
+//
+//  Table-2 counter consistency —
+//   T1  Each staged-release byte counter (processed input, final result,
+//       parked intermediate, lazy serialized) does not exceed the bytes ever
+//       allocated on that node.
+//   T2  Every OME interrupt maps to a heap-reported allocation failure:
+//       ome_interrupts <= heap ome_count (no double-count per OME).
+//   T3  On non-aborted runs, every scale-loop interrupt is explained by a
+//       victim request or an OME: interrupts <= victim_requests + ome_interrupts.
+//
+// Violations are returned as human-readable strings (empty == clean) and are
+// also folded into the chaos violation log so chaos_run's exit status sees
+// them alongside the runtime's own in-path checks.
+#ifndef ITASK_CHAOS_AUDITOR_H_
+#define ITASK_CHAOS_AUDITOR_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/itask_job.h"
+
+namespace itask::chaos {
+
+class IrsAuditor {
+ public:
+  // Audits |job| after Run(); |succeeded| is Run()'s return value. Returns
+  // the violated invariants (empty when clean).
+  static std::vector<std::string> AuditJobEnd(cluster::ItaskJob& job, bool succeeded);
+};
+
+}  // namespace itask::chaos
+
+#endif  // ITASK_CHAOS_AUDITOR_H_

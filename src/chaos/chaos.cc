@@ -1,0 +1,159 @@
+#include "chaos/chaos.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+namespace itask::chaos {
+
+namespace internal {
+std::atomic<ScheduleFuzzer*> g_fuzzer{nullptr};
+std::atomic<bool> g_audit{false};
+}  // namespace internal
+
+namespace {
+
+std::uint64_t Mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Monotone across fuzzer constructions so a thread-local stream seeded by a
+// previous (possibly freed and address-reused) fuzzer is never mistaken for
+// the current one.
+std::atomic<std::uint64_t> g_epoch{0};
+
+std::mutex g_violation_mu;
+std::vector<std::string> g_violations;
+std::atomic<std::uint64_t> g_violation_count{0};
+
+}  // namespace
+
+// Each thread owns one SplitMix64 stream per fuzzer epoch, seeded from the
+// fuzzer seed and the order in which threads first hit a point. Given a fixed
+// seed and a stable thread-creation order (the IRS spawns its workers
+// deterministically), every thread replays the same decision sequence.
+struct ThreadStream {
+  std::uint64_t epoch = ~0ULL;
+  std::uint64_t state = 0;
+};
+
+namespace {
+thread_local ThreadStream t_stream;
+}  // namespace
+
+ScheduleFuzzer::ScheduleFuzzer(const FuzzConfig& config)
+    : config_(config), epoch_(g_epoch.fetch_add(1, std::memory_order_relaxed) + 1) {}
+
+std::uint64_t ScheduleFuzzer::NextU64() {
+  ThreadStream& s = t_stream;
+  if (s.epoch != epoch_) {
+    s.epoch = epoch_;
+    const std::uint64_t index = thread_counter_.fetch_add(1, std::memory_order_relaxed);
+    s.state = Mix(config_.seed ^ Mix(index + 0x9e3779b97f4a7c15ULL));
+  }
+  std::uint64_t z = (s.state += 0x9e3779b97f4a7c15ULL);
+  return Mix(z);
+}
+
+bool ScheduleFuzzer::Draw(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0) < p;
+}
+
+void ScheduleFuzzer::Perturb(const char* /*point*/) {
+  points_hit_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t draw = NextU64();
+  const double u = static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+  if (u < config_.sleep_p) {
+    const int span = config_.max_sleep_us > 0 ? config_.max_sleep_us : 1;
+    const int us = 1 + static_cast<int>((draw >> 32) % static_cast<std::uint64_t>(span));
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  } else if (u < config_.sleep_p + config_.yield_p) {
+    std::this_thread::yield();
+  }
+}
+
+int ScheduleFuzzer::DrawShuffleDelayUs() {
+  if (!Draw(config_.shuffle_delay_p)) {
+    return 0;
+  }
+  const int span = config_.shuffle_delay_max_us > 0 ? config_.shuffle_delay_max_us : 1;
+  return 1 + static_cast<int>(NextU64() % static_cast<std::uint64_t>(span));
+}
+
+void Install(ScheduleFuzzer* fuzzer) {
+  internal::g_fuzzer.store(fuzzer, std::memory_order_release);
+  if (fuzzer != nullptr) {
+    internal::g_audit.store(true, std::memory_order_relaxed);
+  }
+}
+
+void Uninstall() { internal::g_fuzzer.store(nullptr, std::memory_order_release); }
+
+void SetAuditEnabled(bool enabled) {
+  internal::g_audit.store(enabled, std::memory_order_relaxed);
+}
+
+void NoteViolation(const std::string& what) {
+  g_violation_count.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(g_violation_mu);
+  if (g_violations.size() < 64) {
+    g_violations.push_back(what);
+  }
+  std::fprintf(stderr, "[chaos] INVARIANT VIOLATION: %s\n", what.c_str());
+}
+
+std::uint64_t ViolationCount() { return g_violation_count.load(std::memory_order_relaxed); }
+
+std::vector<std::string> DrainViolations() {
+  std::lock_guard lock(g_violation_mu);
+  g_violation_count.store(0, std::memory_order_relaxed);
+  std::vector<std::string> out;
+  out.swap(g_violations);
+  return out;
+}
+
+FaultPlan FaultPlan::FromSeed(std::uint64_t seed) {
+  // Derive every knob from an independent mixed draw so adjacent seeds give
+  // unrelated plans. Ranges keep jobs completable (see header).
+  auto draw = [&seed, n = 0]() mutable {
+    return Mix(seed ^ Mix(static_cast<std::uint64_t>(++n) * 0x9e3779b97f4a7c15ULL));
+  };
+  auto unit = [](std::uint64_t v) {
+    return static_cast<double>(v >> 11) * (1.0 / 9007199254740992.0);
+  };
+
+  FaultPlan plan;
+  plan.fuzz.seed = seed;
+  plan.fuzz.yield_p = 0.05 + 0.35 * unit(draw());
+  plan.fuzz.sleep_p = 0.05 * unit(draw());
+  plan.fuzz.max_sleep_us = 1 + static_cast<int>(draw() % 100);
+  plan.fuzz.pressure_flip_p = (draw() % 4 == 0) ? 0.10 * unit(draw()) : 0.0;
+  plan.fuzz.signal_storm_p = (draw() % 4 == 0) ? 0.20 * unit(draw()) : 0.0;
+  plan.fuzz.signal_storm_burst = 1 + static_cast<int>(draw() % 4);
+  plan.fuzz.forced_ome_p = (draw() % 4 == 0) ? 0.05 * unit(draw()) : 0.0;
+  plan.fuzz.shuffle_delay_p = (draw() % 2 == 0) ? 0.25 * unit(draw()) : 0.0;
+  plan.fuzz.shuffle_delay_max_us = 1 + static_cast<int>(draw() % 300);
+  plan.spill_write_fail_p = (draw() % 4 == 0) ? 0.05 * unit(draw()) : 0.0;
+  plan.spill_fail_seed = draw();
+  return plan;
+}
+
+std::string FaultPlan::Describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "seed=%llu yield=%.3f sleep=%.3f/%dus flip=%.3f storm=%.3fx%d ome=%.3f "
+                "shuffle=%.3f/%dus spillfail=%.3f",
+                static_cast<unsigned long long>(fuzz.seed), fuzz.yield_p, fuzz.sleep_p,
+                fuzz.max_sleep_us, fuzz.pressure_flip_p, fuzz.signal_storm_p,
+                fuzz.signal_storm_burst, fuzz.forced_ome_p, fuzz.shuffle_delay_p,
+                fuzz.shuffle_delay_max_us, spill_write_fail_p);
+  return buf;
+}
+
+}  // namespace itask::chaos

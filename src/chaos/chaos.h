@@ -1,0 +1,162 @@
+// Deterministic concurrency-stress substrate for the IRS (CHESS-style
+// schedule perturbation, scaled down to seeded injection).
+//
+// The interrupt/reactivation path of the paper lives on a concurrency
+// knife-edge: the monitor raises REDUCE/GROW asynchronously while workers
+// interrupt at tuple boundaries, park tagged intermediates, and the partition
+// manager spills/reloads under pressure. Rare interleavings of those threads
+// are exactly where races hide, and they almost never occur under the happy
+// path. This module makes them reproducible:
+//
+//  - `CHAOS_POINT(name)` marks a scheduling-sensitive program point. When no
+//    fuzzer is installed the macro is one relaxed atomic load (safe to leave
+//    in hot paths, including per-tuple ones). When a ScheduleFuzzer is
+//    installed, each point draws from a seeded per-thread stream and may
+//    inject a yield or a short sleep, widening the race window at that point.
+//
+//  - `ScheduleFuzzer` also answers the fault-oriented draws the IRS consults
+//    directly: forced pressure flips, monitor signal storms, forced OMEs and
+//    shuffle delivery delays (see FuzzConfig). A single uint64 seed fixes the
+//    entire decision sequence of every per-thread stream, so a failing seed
+//    replays the same injected schedule (determinism is per-thread-index, not
+//    a full CHESS scheduler: the OS still interleaves, but the injected
+//    perturbations are reproducible and in practice re-trigger the race
+//    within a few runs).
+//
+//  - `FaultPlan::FromSeed(seed)` derives a complete stress configuration
+//    (schedule perturbation intensities + the unified fault set: spill-write
+//    failures, forced OMEs, shuffle delays, signal storms) from one seed, so
+//    `tools/chaos_run` can sweep seeds and report the first failing one.
+//
+//  - A process-global violation log collects invariant breaches detected
+//    inside the runtime (e.g. the partition queue's duplicate checks) where
+//    throwing would mask the bug; IrsAuditor and chaos_run drain it.
+//
+// Layering: this header depends only on std; anything above common/ may call
+// CHAOS_POINT (memsim, serde, io, itask all do).
+#ifndef ITASK_CHAOS_CHAOS_H_
+#define ITASK_CHAOS_CHAOS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace itask::chaos {
+
+// Perturbation intensities and fault rates. All probabilities are per-draw.
+struct FuzzConfig {
+  std::uint64_t seed = 0;
+
+  // ---- Schedule perturbation (every CHAOS_POINT) ----
+  double yield_p = 0.2;   // std::this_thread::yield() at the point.
+  double sleep_p = 0.02;  // Short sleep at the point.
+  int max_sleep_us = 50;  // Sleep duration is uniform in [1, max_sleep_us].
+
+  // ---- Fault injection (consulted at specific IRS points) ----
+  // Monitor tick: spuriously toggle the pressure flag. Spurious pressure-on
+  // forces interrupts the schedule did not need (legal by design: any task
+  // may be interrupted at any safe point); spurious pressure-off delays
+  // relief (the monitor re-detects via the next LUGC).
+  double pressure_flip_p = 0.0;
+  // Monitor tick: emit a burst of REDUCE signals regardless of heap state.
+  double signal_storm_p = 0.0;
+  int signal_storm_burst = 3;
+  // Monitor tick: arm a forced OutOfMemoryError at the node's next managed
+  // allocation (the paper's "allocation failure is the most urgent pressure
+  // signal" path).
+  double forced_ome_p = 0.0;
+  // PushRemote: delay shuffle delivery by [1, shuffle_delay_max_us].
+  double shuffle_delay_p = 0.0;
+  int shuffle_delay_max_us = 200;
+};
+
+class ScheduleFuzzer {
+ public:
+  explicit ScheduleFuzzer(const FuzzConfig& config);
+
+  // Called from CHAOS_POINT. May yield or sleep; never throws.
+  void Perturb(const char* point);
+
+  // Fault draws (each consumes one value from the calling thread's stream).
+  bool DrawPressureFlip() { return Draw(config_.pressure_flip_p); }
+  int DrawSignalStorm() {
+    return Draw(config_.signal_storm_p) ? config_.signal_storm_burst : 0;
+  }
+  bool DrawForcedOme() { return Draw(config_.forced_ome_p); }
+  // 0 when no delay; otherwise microseconds in [1, shuffle_delay_max_us].
+  int DrawShuffleDelayUs();
+
+  const FuzzConfig& config() const { return config_; }
+  std::uint64_t points_hit() const { return points_hit_.load(std::memory_order_relaxed); }
+
+ private:
+  friend struct ThreadStream;
+  bool Draw(double p);
+  std::uint64_t NextU64();  // Per-thread SplitMix64 stream.
+
+  FuzzConfig config_;
+  const std::uint64_t epoch_;  // Distinguishes sequential fuzzer instances.
+  std::atomic<std::uint64_t> thread_counter_{0};
+  std::atomic<std::uint64_t> points_hit_{0};
+};
+
+// ---- Global installation ----
+//
+// Exactly one fuzzer may be installed at a time; Install/Uninstall are not
+// thread-safe against each other (a driver installs before starting a job and
+// uninstalls after it drains). Points read the pointer with a relaxed load.
+void Install(ScheduleFuzzer* fuzzer);
+void Uninstall();
+
+namespace internal {
+extern std::atomic<ScheduleFuzzer*> g_fuzzer;
+extern std::atomic<bool> g_audit;
+}  // namespace internal
+
+inline ScheduleFuzzer* Current() {
+  return internal::g_fuzzer.load(std::memory_order_relaxed);
+}
+
+// Debug-mode invariant auditing (queue duplicate checks, job-end audits).
+// Enabled automatically by Install(); can also be enabled alone for tests.
+inline bool AuditEnabled() { return internal::g_audit.load(std::memory_order_relaxed); }
+void SetAuditEnabled(bool enabled);
+
+// ---- Violation log ----
+// Invariant breaches detected inside the runtime are recorded here instead of
+// thrown: the detection sites run on worker threads mid-protocol, where an
+// exception would be absorbed as a task failure and mask the finding.
+void NoteViolation(const std::string& what);
+std::uint64_t ViolationCount();
+// Returns and clears the accumulated messages (capped at 64 retained).
+std::vector<std::string> DrainViolations();
+
+// Marks a scheduling-sensitive point. One relaxed load when idle.
+#define CHAOS_POINT(name)                                                     \
+  do {                                                                        \
+    if (::itask::chaos::ScheduleFuzzer* chaos_f_ = ::itask::chaos::Current()) \
+      chaos_f_->Perturb(name);                                                \
+  } while (0)
+
+// ---- Per-seed fault plans ----
+//
+// A FaultPlan is the unified stress configuration chaos_run derives from one
+// sweep seed: schedule perturbation intensities plus the fault set (the
+// ITASK_IO_FAIL_* spill mechanism folded in as spill_write_fail_p). Intensity
+// ranges are chosen so jobs still complete: the point is surfacing races and
+// accounting bugs, not proving that arbitrarily hostile fault storms abort.
+struct FaultPlan {
+  FuzzConfig fuzz;
+  // Fed into serde::SpillFailureInjection::write_probability (failed spill
+  // writes leave the partition resident; the IRS must retry other victims).
+  double spill_write_fail_p = 0.0;
+  std::uint64_t spill_fail_seed = 0;
+
+  static FaultPlan FromSeed(std::uint64_t seed);
+  std::string Describe() const;
+};
+
+}  // namespace itask::chaos
+
+#endif  // ITASK_CHAOS_CHAOS_H_

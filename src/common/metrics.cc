@@ -13,6 +13,7 @@ void RunMetrics::AccumulateNode(const RunMetrics& node) {
   interrupts += node.interrupts;
   ome_interrupts += node.ome_interrupts;
   reactivations += node.reactivations;
+  victim_requests += node.victim_requests;
   spilled_bytes += node.spilled_bytes;
   loaded_bytes += node.loaded_bytes;
   released_processed_input_bytes += node.released_processed_input_bytes;

@@ -25,6 +25,10 @@ struct RunMetrics {
   std::uint64_t interrupts = 0;
   std::uint64_t ome_interrupts = 0;
   std::uint64_t reactivations = 0;
+  // Interrupt victims the scheduler selected (§5.4 rules). Every scale-loop
+  // interrupt on a non-aborted run is explained by a victim request or an
+  // OME; IrsAuditor checks that inequality (invariant T3).
+  std::uint64_t victim_requests = 0;
   std::uint64_t spilled_bytes = 0;
   std::uint64_t loaded_bytes = 0;
 

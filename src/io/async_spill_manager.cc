@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "chaos/chaos.h"
 #include "common/spin.h"
 
 namespace itask::io {
@@ -62,6 +63,9 @@ void AsyncSpillManager::RunWrite(SpillId id) {
     it->second.state = State::kWriting;
     raw = std::move(it->second.raw);
   }
+  // Claimed (kWriting) but not yet durable: the window a concurrent Load or
+  // Remove must handle via the epilogue, not by cancellation.
+  CHAOS_POINT("io.write.claimed");
 
   FrameInfo info{};
   SpillId base_id = 0;
@@ -74,6 +78,9 @@ void AsyncSpillManager::RunWrite(SpillId id) {
     error = std::current_exception();
   }
 
+  // The file is durable (or the write failed) but the entry still says
+  // kWriting until the commit below.
+  CHAOS_POINT("io.write.commit");
   bool orphaned = false;
   {
     std::lock_guard lock(amu_);

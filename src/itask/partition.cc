@@ -13,8 +13,20 @@ std::uint64_t DataPartition::Spill(int priority) {
   return SpillLocked(priority);
 }
 
+std::uint64_t DataPartition::SpillIfIdle(int priority) {
+  std::lock_guard lock(state_mu_);
+  // Pop pins before the popping worker's EnsureResident (which serializes on
+  // state_mu_), so by the time a worker iterates tuples this check is
+  // guaranteed to observe the pin and leave the payload alone. A spill that
+  // slips in between pop and EnsureResident merely forces a reload.
+  if (pinned()) {
+    return 0;
+  }
+  return SpillLocked(priority);
+}
+
 std::uint64_t DataPartition::SpillLocked(int priority) {
-  if (!resident_) {
+  if (!resident_.load(std::memory_order_relaxed)) {
     return 0;
   }
   common::ByteBuffer buffer;
@@ -24,7 +36,7 @@ std::uint64_t DataPartition::SpillLocked(int priority) {
   spill_id_ = spill_->Spill(buffer, priority);
   DropPayload();
   cursor_ = 0;
-  resident_ = false;
+  resident_.store(false, std::memory_order_release);
   return freed;
 }
 
@@ -38,8 +50,8 @@ bool DataPartition::StartPrefetch(int priority) {
   if (!lock.owns_lock()) {
     return false;  // Someone is spilling/loading it right now; skip.
   }
-  if (resident_ || !spill_id_.has_value() || prefetch_.valid() ||
-      !spill_->SupportsAsync()) {
+  if (resident_.load(std::memory_order_relaxed) || !spill_id_.has_value() ||
+      prefetch_.valid() || !spill_->SupportsAsync()) {
     return false;
   }
   prefetch_ = spill_->LoadAsync(*spill_id_, priority);
@@ -47,7 +59,7 @@ bool DataPartition::StartPrefetch(int priority) {
 }
 
 void DataPartition::EnsureResidentLocked() {
-  if (resident_) {
+  if (resident_.load(std::memory_order_relaxed)) {
     return;
   }
   if (!spill_id_.has_value()) {
@@ -69,11 +81,30 @@ void DataPartition::EnsureResidentLocked() {
     prefetch_ = {};
   }
   if (!loaded) {
-    buffer = spill_->LoadAndRemove(*spill_id_);
+    // A failed asynchronous spill write surfaces its error on the first load
+    // and keeps the payload in the pending-write cache, so an immediate retry
+    // returns it from memory (AsyncSpillManager::LoadInternal); injected read
+    // faults likewise leave the file loadable. Retry a bounded number of
+    // times before treating the fault as fatal — without this, a single lost
+    // write aborts the whole job even though nothing was actually lost.
+    constexpr int kMaxLoadAttempts = 8;
+    for (int attempt = 1;; ++attempt) {
+      try {
+        buffer = spill_->LoadAndRemove(*spill_id_);
+        break;
+      } catch (const memsim::OutOfMemoryError&) {
+        throw;  // Pressure, not an I/O fault: the interrupt machinery owns it.
+      } catch (...) {
+        if (attempt >= kMaxLoadAttempts) {
+          throw;
+        }
+      }
+    }
   }
   spill_id_.reset();
-  resident_ = true;  // Set before deserializing so an OME mid-load leaves a
-                     // resident-but-partial payload that DropPayload can clear.
+  // Set before deserializing so an OME mid-load leaves a resident-but-partial
+  // payload that DropPayload can clear.
+  resident_.store(true, std::memory_order_release);
   serde::Reader reader(&buffer);
   try {
     DeserializeFrom(reader);
@@ -82,11 +113,12 @@ void DataPartition::EnsureResidentLocked() {
     DropPayload();
     buffer.ResetCursor();
     spill_id_ = spill_->Spill(buffer);
-    resident_ = false;
+    resident_.store(false, std::memory_order_release);
     throw;
   }
   cursor_ = 0;
-  last_load_ = std::chrono::steady_clock::now();
+  last_load_ns_.store(std::chrono::steady_clock::now().time_since_epoch().count(),
+                      std::memory_order_relaxed);
 }
 
 void DataPartition::TransferTo(memsim::ManagedHeap* heap, serde::SpillManager* spill) {

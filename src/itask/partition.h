@@ -68,7 +68,11 @@ class DataPartition {
   void AdvanceCursor() { ++cursor_; }
   bool Exhausted() const { return cursor_ >= TupleCount(); }
 
-  bool resident() const { return resident_; }
+  // Residency is written under state_mu_ but read lock-free by scheduling
+  // heuristics (queue locality scans, spill-victim snapshots). Those readers
+  // only branch on the value — anything that touches the payload serializes
+  // on state_mu_ — so acquire/release is enough and no reader needs the lock.
+  bool resident() const { return resident_.load(std::memory_order_acquire); }
 
   // ---- Spill management (used by the partition manager) ----
 
@@ -78,6 +82,16 @@ class DataPartition {
   // passes finish-line distance: spills of far-from-done partitions drain
   // last, so they stay cancellable longest).
   std::uint64_t Spill(int priority = 0);
+
+  // Spill variant for the partition manager's victim pass: re-checks the pin
+  // flag under state_mu_ and refuses to spill a pinned partition. A worker
+  // pops (which pins) and then calls EnsureResident (which locks state_mu_)
+  // before touching tuples, so this re-check closes the window where the
+  // manager's snapshot predates the pop — without it the manager could drop a
+  // payload the owning worker is iterating. Plain Spill() keeps bypassing the
+  // flag for partitions the caller itself owns (SpillOwned on merge-group
+  // members, input feeding).
+  std::uint64_t SpillIfIdle(int priority = 0);
 
   // Loads a spilled payload back into memory (charging the heap) and resets
   // the cursor to 0 (only unprocessed tuples were spilled). Consumes a
@@ -95,8 +109,13 @@ class DataPartition {
   // serialize-transfer-deserialize of a shuffle hop).
   void TransferTo(memsim::ManagedHeap* heap, serde::SpillManager* spill);
 
-  // Thrash-control timestamps (paper §5.3).
-  std::chrono::steady_clock::time_point last_load_time() const { return last_load_; }
+  // Thrash-control timestamp (paper §5.3). Written under state_mu_ after a
+  // reload, read lock-free by the spill pass; relaxed is fine — the window
+  // comparison is a heuristic and tolerates a stale stamp by one reload.
+  std::chrono::steady_clock::time_point last_load_time() const {
+    return std::chrono::steady_clock::time_point(
+        std::chrono::steady_clock::duration(last_load_ns_.load(std::memory_order_relaxed)));
+  }
 
   // Pin flag: set by the queue when a worker takes the partition, so the
   // partition manager skips it when choosing spill victims.
@@ -148,10 +167,11 @@ class DataPartition {
   serde::SpillManager* spill_;
   Tag tag_ = kNoTag;
   std::size_t cursor_ = 0;
-  bool resident_ = true;
+  std::atomic<bool> resident_{true};
   std::optional<serde::SpillManager::SpillId> spill_id_;
   std::future<common::ByteBuffer> prefetch_;  // In-flight read-ahead, if any.
-  std::chrono::steady_clock::time_point last_load_ = std::chrono::steady_clock::now();
+  std::atomic<std::chrono::steady_clock::rep> last_load_ns_{
+      std::chrono::steady_clock::now().time_since_epoch().count()};
   std::atomic<std::uint64_t> payload_bytes_{0};
   std::atomic<bool> pinned_{false};
   std::atomic<bool> requeued_{false};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "chaos/chaos.h"
 #include "common/logging.h"
 #include "itask/runtime.h"
 
@@ -14,6 +15,7 @@ PartitionManager::PartitionManager(IrsRuntime* runtime, std::chrono::millisecond
       lazy_serialized_(&runtime->metrics().counter("irs.lazy_serialized_bytes")) {}
 
 std::uint64_t PartitionManager::SpillStep(std::uint64_t bytes_goal) {
+  CHAOS_POINT("pm.spill_step");
   std::vector<PartitionPtr> candidates = runtime_->queue().ResidentSnapshot();
   if (candidates.empty()) {
     return 0;
@@ -41,12 +43,17 @@ std::uint64_t PartitionManager::SpillStep(std::uint64_t bytes_goal) {
   obs::Tracer* tracer = runtime_->tracer();
   const std::uint16_t node = runtime_->trace_node();
   auto spill_one = [&](const PartitionPtr& dp) -> std::uint64_t {
+    CHAOS_POINT("pm.spill_one");
     // Finish-line distance doubles as the async write priority: spills of
     // partitions near completion drain first, parked ones linger in the
     // queue where a reload can still cancel them.
+    // SpillIfIdle re-checks the pin flag under the partition's state lock:
+    // the snapshot above is stale the moment a worker pops (pins) a
+    // candidate, and spilling a worker-owned payload mid-iteration is a
+    // use-after-free of its tuples.
     std::uint64_t bytes = 0;
     try {
-      bytes = dp->Spill(distance_of(dp));
+      bytes = dp->SpillIfIdle(distance_of(dp));
     } catch (const std::exception& e) {
       // A failed spill write (injected or real) leaves the partition resident
       // and intact; skip this victim and try the next one.

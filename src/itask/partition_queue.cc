@@ -2,28 +2,72 @@
 
 #include <algorithm>
 
+#include "chaos/chaos.h"
+#include "itask/types.h"
+
 namespace itask::core {
 
+namespace {
+
+// Debug-mode S2 check: pushing a partition that is already queued would
+// duplicate its tag data on re-activation. Logged, not thrown — the caller is
+// a worker mid-interrupt-protocol where an exception reads as a task failure.
+void AuditNotAlreadyQueued(const std::deque<PartitionPtr>& fifo, const PartitionPtr& dp) {
+  if (!chaos::AuditEnabled()) {
+    return;
+  }
+  if (std::find(fifo.begin(), fifo.end(), dp) != fifo.end()) {
+    chaos::NoteViolation("S2: partition of type " + TypeIds::Name(dp->type()) +
+                         " pushed while already queued (tag data would duplicate)");
+  }
+}
+
+}  // namespace
+
+// Counter discipline (invariant C1): NotePush precedes the physical insert
+// and NotePop follows the physical removal, both under mu_. Counter readers
+// (quiescence / merge-readiness checks) do not take mu_, so this ordering
+// guarantees they can never see fewer queued partitions counted than are
+// physically present — an under-count would let UpstreamQuiescent dispatch a
+// merge while a producer's output is in the queue but not yet counted.
 void PartitionQueue::Push(PartitionPtr dp) {
   const TypeId type = dp->type();
   dp->set_pinned(false);
-  {
-    std::lock_guard lock(mu_);
-    by_type_[type][dp->tag()].push_back(std::move(dp));
-  }
+  std::lock_guard lock(mu_);
+  auto& fifo = by_type_[type][dp->tag()];
+  AuditNotAlreadyQueued(fifo, dp);
   state_->NotePush(type);
+  try {
+    fifo.push_back(std::move(dp));
+  } catch (...) {
+    state_->NotePop(type);
+    throw;
+  }
 }
 
 void PartitionQueue::PushBatch(std::vector<PartitionPtr> items) {
-  {
-    std::lock_guard lock(mu_);
-    for (PartitionPtr& dp : items) {
+  std::lock_guard lock(mu_);
+  std::size_t inserted = 0;
+  try {
+    for (; inserted < items.size(); ++inserted) {
+      PartitionPtr& dp = items[inserted];
       dp->set_pinned(false);
-      by_type_[dp->type()][dp->tag()].push_back(dp);
+      auto& fifo = by_type_[dp->type()][dp->tag()];
+      AuditNotAlreadyQueued(fifo, dp);
+      state_->NotePush(dp->type());
+      fifo.push_back(dp);
     }
-  }
-  for (const PartitionPtr& dp : items) {
-    state_->NotePush(dp->type());
+  } catch (...) {
+    // Roll back so no partial group is ever poppable. Each inserted item is
+    // the back of its (type, tag) FIFO — nothing else can have touched the
+    // queue while mu_ is held.
+    while (inserted > 0) {
+      --inserted;
+      const PartitionPtr& dp = items[inserted];
+      by_type_[dp->type()][dp->tag()].pop_back();
+      state_->NotePop(dp->type());
+    }
+    throw;
   }
 }
 
@@ -140,6 +184,17 @@ std::size_t PartitionQueue::TotalCount() const {
     }
   }
   return n;
+}
+
+std::vector<PartitionPtr> PartitionQueue::Snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<PartitionPtr> out;
+  for (const auto& [type, tags] : by_type_) {
+    for (const auto& [tag, fifo] : tags) {
+      out.insert(out.end(), fifo.begin(), fifo.end());
+    }
+  }
+  return out;
 }
 
 std::vector<PartitionPtr> PartitionQueue::ResidentSnapshot() const {

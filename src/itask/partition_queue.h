@@ -26,6 +26,9 @@ class PartitionQueue {
 
   // Inserts all partitions under one lock so a concurrent PopTagGroup can
   // never observe a partial set (required by the MITask interrupt protocol).
+  // All-or-nothing: if any insertion throws, already-inserted items are rolled
+  // back (a half-applied batch would let a same-tag merge pop a partial
+  // output without its inputs and emit a premature final result).
   void PushBatch(std::vector<PartitionPtr> items);
 
   // Pops one partition of |type|, preferring resident ones. Null if none.
@@ -42,6 +45,10 @@ class PartitionQueue {
   // Snapshot of queued resident partitions for spill decisions; partitions
   // remain queued (the manager mutates their residency in place).
   std::vector<PartitionPtr> ResidentSnapshot() const;
+
+  // Every queued partition, resident or not (IrsAuditor's conservation and
+  // state-machine checks; meaningful only when the node is quiescent).
+  std::vector<PartitionPtr> Snapshot() const;
 
  private:
   mutable std::mutex mu_;

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <map>
 
+#include "chaos/chaos.h"
 #include "common/logging.h"
 
 namespace itask::core {
@@ -35,8 +36,14 @@ IrsRuntime::IrsRuntime(NodeServices services, IrsConfig config, std::shared_ptr<
   sink_ = [this](PartitionPtr out) { DefaultSink(out); };
   // The monitor keys off LUGC events from this node's heap (paper §5.2). The
   // same listener feeds the GC-pause histogram and the pressure-transition
-  // events (the cluster's Node emits the kGc trace events themselves).
-  services_.heap->AddGcListener([this](const memsim::GcEvent& event) {
+  // events (the cluster's Node emits the kGc trace events themselves). The
+  // heap usually outlives this runtime (one cluster, many jobs), so the
+  // listener is removed in the destructor — leaving it registered is a
+  // use-after-free the moment a later job's collection fires it.
+  gc_listener_id_ = services_.heap->AddGcListener([this](const memsim::GcEvent& event) {
+    if (stopping_.load(std::memory_order_relaxed)) {
+      return;  // A stopping runtime must not latch pressure for the next Start.
+    }
     gc_pause_hist_->Observe(event.pause_ns);
     if (event.useless) {
       if (!pressure_.exchange(true, std::memory_order_relaxed)) {
@@ -46,13 +53,23 @@ IrsRuntime::IrsRuntime(NodeServices services, IrsConfig config, std::shared_ptr<
   });
 }
 
-IrsRuntime::~IrsRuntime() { Stop(); }
+IrsRuntime::~IrsRuntime() {
+  Stop();
+  services_.heap->RemoveGcListener(gc_listener_id_);
+}
 
 void IrsRuntime::Start() {
   if (started_) {
     return;
   }
   started_ = true;
+  // Reset per-run state so Stop -> Start reuses this runtime cleanly: the
+  // previous run's monitor-stop request and any pressure latched during its
+  // shutdown must not leak into this run.
+  stop_monitor_.store(false, std::memory_order_relaxed);
+  stopping_.store(false, std::memory_order_relaxed);
+  pressure_.store(false, std::memory_order_relaxed);
+  headroom_streak_ = 0;
   job_watch_.Reset();
   start_t_ns_ = tracer_->NowNs();
   tracer_->Emit(obs::EventKind::kRuntimeStart, trace_node());
@@ -64,21 +81,38 @@ void IrsRuntime::Stop() {
   if (!started_) {
     return;
   }
+  // Order matters: quiesce signal emission first (stopping_), then stop the
+  // monitor, then the workers. The GC listener checks stopping_, so after
+  // this store no foreign thread re-latches pressure on this runtime.
+  stopping_.store(true, std::memory_order_relaxed);
   stop_monitor_.store(true, std::memory_order_relaxed);
   if (monitor_thread_.joinable()) {
     monitor_thread_.join();
   }
   sched_.Stop();
+  // The monitor may have armed a chaos OME that nothing consumed; a leftover
+  // armed fault must not hit the next job's input feeding.
+  services_.heap->DisarmForcedOme();
   tracer_->Emit(obs::EventKind::kRuntimeStop, trace_node(), tracer_->NowNs() - start_t_ns_);
   started_ = false;
 }
 
 void IrsRuntime::Push(PartitionPtr dp) {
+  CHAOS_POINT("runtime.push");
   queue_.Push(std::move(dp));
+  CHAOS_POINT("runtime.push.notify");
   sched_.NotifyWork();
 }
 
 void IrsRuntime::PushRemote(PartitionPtr dp) {
+  if (chaos::ScheduleFuzzer* fz = chaos::Current()) {
+    // Injected shuffle-delivery delay: widens the window in which the
+    // producer node looks done while its output is still in flight.
+    const int delay_us = fz->DrawShuffleDelayUs();
+    if (delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+  }
   dp->TransferTo(services_.heap, services_.spill);
   Push(std::move(dp));
 }
@@ -142,6 +176,7 @@ WorkAssignment IrsRuntime::SelectWork() {
     // Keep the running counter covering the pop so concurrent quiescence
     // checks never observe a gap (see job_state.h).
     state_->NoteStart(spec->id);
+    CHAOS_POINT("runtime.select.pop");
     WorkAssignment work;
     work.spec = spec;
     if (spec->is_merge) {
@@ -171,6 +206,7 @@ WorkAssignment IrsRuntime::SelectWork() {
 }
 
 bool IrsRuntime::ExecuteActivation(int worker_id, WorkAssignment& work) {
+  CHAOS_POINT("runtime.activate");
   const TaskSpec& spec = *work.spec;
   TaskContext ctx(this, &spec, worker_id);
   bool completed = false;
@@ -191,16 +227,19 @@ bool IrsRuntime::ExecuteActivation(int worker_id, WorkAssignment& work) {
     LOG_ERROR() << "node " << services_.name << ": task " << spec.name << " failed: " << e.what();
     state_->aborted.store(true, std::memory_order_relaxed);
   }
+  CHAOS_POINT("runtime.activation_end");
   state_->NoteFinish(spec.id);
   work.Clear();
   return completed;
 }
 
 void IrsRuntime::PushBackBatch(std::vector<PartitionPtr> items) {
+  CHAOS_POINT("runtime.pushback_batch");
   for (const PartitionPtr& dp : items) {
     dp->set_requeued(true);
   }
   queue_.PushBatch(std::move(items));
+  CHAOS_POINT("runtime.pushback_batch.notify");
   sched_.NotifyWork();
 }
 
@@ -243,6 +282,7 @@ void IrsRuntime::Route(const TaskSpec& spec, PartitionPtr out, bool at_interrupt
 }
 
 void IrsRuntime::NoteOmeInterrupt(const PartitionPtr& dp, std::size_t tuples_processed) {
+  CHAOS_POINT("runtime.ome_interrupt");
   ome_interrupts_->Add(1);
   tracer_->Emit(obs::EventKind::kOmeInterrupt, trace_node(), tuples_processed, 0,
                 static_cast<std::uint32_t>(dp->type()));
@@ -284,6 +324,27 @@ void IrsRuntime::MonitorLoop() {
   const double n_fraction = heap->config().grow_free_fraction;
   while (!stop_monitor_.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(config_.monitor_period);
+    CHAOS_POINT("monitor.tick");
+
+    // Chaos fault draws, one set per tick (see chaos::FuzzConfig). They run
+    // before the regular pressure logic so an injected flip is immediately
+    // acted on by the same tick — exactly how a mistimed real signal would
+    // interleave.
+    if (chaos::ScheduleFuzzer* fz = chaos::Current()) {
+      if (fz->DrawPressureFlip()) {
+        const bool now_on = !pressure_.load(std::memory_order_relaxed);
+        pressure_.store(now_on, std::memory_order_relaxed);
+        tracer_->Emit(now_on ? obs::EventKind::kPressureOn : obs::EventKind::kPressureOff,
+                      trace_node());
+      }
+      for (int burst = fz->DrawSignalStorm(); burst > 0; --burst) {
+        tracer_->Emit(obs::EventKind::kSignalReduce, trace_node(), BytesNeededForSafeZone());
+        sched_.OnReduceSignal();
+      }
+      if (fz->DrawForcedOme()) {
+        services_.heap->ArmForcedOme();
+      }
+    }
 
     const std::uint64_t live = heap->live_bytes();
     const double avail = capacity - static_cast<double>(live);
@@ -379,6 +440,7 @@ common::RunMetrics IrsRuntime::NodeMetrics() const {
   const Scheduler::Stats sched = sched_.stats();
   m.interrupts = sched.interrupts;
   m.reactivations = sched.reactivations;
+  m.victim_requests = sched.victim_requests;
 
   // Staged-release breakdown (Table 2) and distributions come from the obs
   // registry — the single instrumentation substrate — not hand-summed fields.

@@ -169,8 +169,29 @@ class IrsRuntime {
 
   std::function<void(PartitionPtr)> sink_;
 
+  // Memory-ordering contract for pressure_ (all accesses relaxed, audited):
+  //  - It is a monitor-refreshed *hint*, re-derived from heap occupancy every
+  //    monitor period; a stale read costs at most one period of extra (or
+  //    missing) pressure, which the protocol tolerates by design — the same
+  //    tick re-evaluates it.
+  //  - No data is published under it. The one handoff that must be ordered —
+  //    "this worker was selected as a victim, with this rule and timestamp" —
+  //    rides on Worker::terminate_requested (release in
+  //    RequestTerminationLocked, acquire in ApproveTermination), not on
+  //    pressure_. ShouldInterrupt() only uses pressure_ to decide whether to
+  //    consult that flag at all.
+  //  - The exchange() in the GC listener / NoteOmeInterrupt is for emitting
+  //    the kPressureOn edge exactly once, not for synchronization.
   std::atomic<bool> pressure_{false};
   std::atomic<bool> stop_monitor_{false};
+  // Set for the whole Stop() sequence (before the monitor is joined) and
+  // cleared by Start(). Signal-emission points that can run on foreign
+  // threads — the GC listener firing from another node's allocation, a worker
+  // draining its last activation — check it so a stopping/stopped runtime no
+  // longer flips pressure or emits signal events (a stale pressure flag would
+  // leak into the next Start on this runtime).
+  std::atomic<bool> stopping_{false};
+  int gc_listener_id_ = -1;
   std::thread monitor_thread_;
   common::Stopwatch job_watch_;
   std::uint64_t start_t_ns_ = 0;       // Tracer timestamp of the last Start().

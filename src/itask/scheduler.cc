@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "chaos/chaos.h"
 #include "common/logging.h"
 #include "itask/runtime.h"
 
@@ -22,9 +23,11 @@ Scheduler::~Scheduler() { Stop(); }
 
 void Scheduler::Start() {
   std::lock_guard lock(mu_);
-  if (stop_) {
-    return;
-  }
+  // A previous Stop() leaves stop_ set and the threads joined; clear the flag
+  // so Stop -> Start -> Stop cycles work (one runtime running several jobs).
+  // Parallelism restarts from one worker: slow start is per job (§5.1).
+  stop_ = false;
+  target_.store(1, std::memory_order_relaxed);
   for (int i = 0; i < max_workers_; ++i) {
     if (!workers_[static_cast<std::size_t>(i)]->thread.joinable()) {
       workers_[static_cast<std::size_t>(i)]->thread = std::thread([this, i] { WorkerLoop(i); });
@@ -66,6 +69,7 @@ void Scheduler::OnGrowSignal(bool force) {
 }
 
 void Scheduler::OnReduceSignal() {
+  CHAOS_POINT("sched.reduce");
   // Step 1: lazy serialization of inactive partitions often suffices
   // (paper Figure 8, lines 13-14).
   const std::uint64_t needed = runtime_->BytesNeededForSafeZone();
@@ -76,6 +80,7 @@ void Scheduler::OnReduceSignal() {
   if (freed >= needed) {
     return;
   }
+  CHAOS_POINT("sched.victim_select");
 
   // Step 2: pick one victim among running workers (lines 15-17) by the rules:
   // MITask-first (merge instances survive), finish-line, speed.
@@ -158,8 +163,13 @@ void Scheduler::RequestTerminationLocked(Worker* victim, obs::InterruptRule rule
 }
 
 bool Scheduler::ApproveTermination(int worker_id) {
+  // Acquire pairs with RequestTerminationLocked's release store: a scale loop
+  // that observes the flag must also observe the rule/request-time stamps
+  // written just before it, or the interrupt-latency attribution in
+  // WorkerLoop reads garbage. (The flag itself needs no lock — it is a
+  // single-writer-per-activation boolean the victim polls at safe points.)
   return workers_[static_cast<std::size_t>(worker_id)]->terminate_requested.load(
-      std::memory_order_relaxed);
+      std::memory_order_acquire);
 }
 
 void Scheduler::CountTuple(int worker_id) {
@@ -231,6 +241,7 @@ void Scheduler::WorkerLoop(int id) {
     WorkAssignment work = std::move(self.assignment);
     self.assignment.Clear();
     lock.unlock();
+    CHAOS_POINT("worker.run");
 
     const int spec_id = work.spec->id;  // ExecuteActivation clears |work|.
     const bool completed = runtime_->ExecuteActivation(id, work);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "chaos/chaos.h"
 #include "common/logging.h"
 #include "common/spin.h"
 
@@ -10,6 +11,10 @@ namespace itask::memsim {
 ManagedHeap::ManagedHeap(HeapConfig config) : config_(config) {}
 
 void ManagedHeap::Allocate(std::uint64_t bytes) {
+  if (bytes > 0 && forced_ome_.exchange(false, std::memory_order_relaxed)) {
+    ome_count_.fetch_add(1, std::memory_order_relaxed);
+    throw OutOfMemoryError("ManagedHeap: injected allocation failure (chaos forced OME)");
+  }
   if (!TryAllocate(bytes)) {
     ome_count_.fetch_add(1, std::memory_order_relaxed);
     throw OutOfMemoryError("ManagedHeap: cannot allocate " + std::to_string(bytes) +
@@ -147,18 +152,30 @@ GcEvent ManagedHeap::CollectLocked() {
   return event;
 }
 
-void ManagedHeap::AddGcListener(GcListener listener) {
+int ManagedHeap::AddGcListener(GcListener listener) {
   std::lock_guard lock(listener_mu_);
-  listeners_.push_back(std::move(listener));
+  const int id = next_listener_id_++;
+  listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void ManagedHeap::RemoveGcListener(int id) {
+  // Taking listener_mu_ (the dispatch lock) makes removal a barrier: any
+  // in-flight NotifyListeners completes first, and later ones skip this
+  // listener. Without this, a collection racing a runtime's destruction
+  // would invoke a listener whose captured |this| is already gone.
+  std::lock_guard lock(listener_mu_);
+  listeners_.erase(std::remove_if(listeners_.begin(), listeners_.end(),
+                                  [id](const auto& entry) { return entry.first == id; }),
+                   listeners_.end());
 }
 
 void ManagedHeap::NotifyListeners(const GcEvent& event) {
-  std::vector<GcListener> listeners;
-  {
-    std::lock_guard lock(listener_mu_);
-    listeners = listeners_;
-  }
-  for (const auto& listener : listeners) {
+  CHAOS_POINT("heap.notify_listeners");
+  // Dispatch under listener_mu_ (not a copy) so RemoveGcListener can
+  // guarantee no callback outlives it. Listeners must not re-enter the heap.
+  std::lock_guard lock(listener_mu_);
+  for (const auto& [id, listener] : listeners_) {
     listener(event);
   }
 }

@@ -110,9 +110,24 @@ class ManagedHeap {
   // Forces a full collection; returns the event describing it.
   GcEvent Collect();
 
-  // Registered listeners run after the heap lock is released, in the thread
-  // that triggered the collection.
-  void AddGcListener(GcListener listener);
+  // Registers a listener; returns an id for RemoveGcListener. Listeners run
+  // after the heap lock is released, in the thread that triggered the
+  // collection, with the listener registry lock held — so once
+  // RemoveGcListener returns, the listener is guaranteed not to be running
+  // and will never run again (required when the listener captures an object
+  // whose lifetime ends, e.g. an IrsRuntime on a longer-lived cluster heap).
+  // Listeners must therefore not call Collect() or touch the registry.
+  int AddGcListener(GcListener listener);
+  void RemoveGcListener(int id);
+
+  // Arms a one-shot injected allocation failure: the next Allocate() throws
+  // OutOfMemoryError (and counts an OME) regardless of heap state. Used by
+  // the chaos harness to exercise the paper's "allocation failure is the most
+  // urgent pressure signal" path at schedules the workload would never
+  // produce. Armed only by the IRS monitor (between Start and Stop), so
+  // driver-side feeding never trips it; Stop() disarms.
+  void ArmForcedOme() { forced_ome_.store(true, std::memory_order_relaxed); }
+  void DisarmForcedOme() { forced_ome_.store(false, std::memory_order_relaxed); }
 
   std::uint64_t capacity() const { return config_.capacity_bytes; }
   std::uint64_t live_bytes() const { return live_.load(std::memory_order_relaxed); }
@@ -159,7 +174,9 @@ class ManagedHeap {
   std::atomic<std::uint64_t> allocated_total_{0};
   std::atomic<std::uint64_t> ome_count_{0};
   std::atomic<std::uint64_t> gc_sequence_{0};
-  std::vector<GcListener> listeners_;
+  std::atomic<bool> forced_ome_{false};
+  std::vector<std::pair<int, GcListener>> listeners_;
+  int next_listener_id_ = 0;
   std::mutex listener_mu_;
 };
 

@@ -429,5 +429,173 @@ TEST(IrsMultiNodeTest, RemotePushRechargesTargetHeap) {
   EXPECT_EQ(total.load(), 5050u);
 }
 
+// ---- Lifecycle: Stop/Start cycles must be idempotent and restartable ----
+
+TEST(IrsLifecycleTest, RepeatedStartStopCyclesAreSafe) {
+  cluster::ClusterConfig cc;
+  cc.num_nodes = 1;
+  cc.heap.capacity_bytes = 4 << 20;
+  cc.heap.real_pauses = false;
+  cluster::Cluster cl(cc);
+
+  cluster::Node& node = cl.node(0);
+  NodeServices services{node.id(),    node.name(),  &node.heap(),
+                        &node.spill(), node.tracer(), &node.async_spill()};
+  IrsConfig irs;
+  irs.max_workers = 2;
+  irs.monitor_period = std::chrono::milliseconds(1);
+  IrsRuntime rt(services, irs, std::make_shared<JobState>());
+  rt.FinalizeGraph();
+
+  // Before the restart fixes, cycle 2's workers exited immediately (stale
+  // scheduler stop flag) or the monitor raced a stale pressure/stop state.
+  for (int i = 0; i < 100; ++i) {
+    rt.Start();
+    rt.Stop();
+  }
+  // Stop must also be idempotent.
+  rt.Stop();
+  rt.Stop();
+}
+
+TEST(IrsLifecycleTest, SameJobRunsTwiceOnTheSameRuntimes) {
+  cluster::ClusterConfig cc;
+  cc.num_nodes = 1;
+  cc.heap.capacity_bytes = 600 << 10;  // Pressured: interrupts both runs.
+  cc.heap.real_pauses = false;
+  cluster::Cluster cl(cc);
+
+  IrsConfig irs;
+  irs.max_workers = 4;
+  cluster::ItaskJob job(cl, irs);
+
+  const TypeId words_t = TypeIds::Get("restart.words");
+  const TypeId counts_t = TypeIds::Get("restart.counts");
+  job.RegisterTaskPerNode([&](int) {
+    TaskSpec spec;
+    spec.name = "count";
+    spec.input_type = words_t;
+    spec.output_type = counts_t;
+    spec.factory = [counts_t] { return std::make_unique<CountTask>(counts_t); };
+    return spec;
+  });
+  job.RegisterTaskPerNode([&](int) {
+    TaskSpec spec;
+    spec.name = "merge";
+    spec.input_type = counts_t;
+    spec.output_type = counts_t;
+    spec.is_merge = true;
+    spec.factory = [counts_t] { return std::make_unique<MergeCountsTask>(counts_t); };
+    return spec;
+  });
+
+  std::map<std::string, std::uint64_t> counts;
+  std::mutex sink_mu;
+  job.SetSinkPerNode([&](int) {
+    return [&](PartitionPtr out) {
+      auto* cp = static_cast<CountsPartition*>(out.get());
+      std::lock_guard lock(sink_mu);
+      for (std::size_t i = 0; i < cp->TupleCount(); ++i) {
+        counts[cp->At(i).first] += cp->At(i).second;
+      }
+      out->DropPayload();
+    };
+  });
+
+  workloads::TextConfig tc;
+  tc.target_bytes = 256 << 10;
+  tc.vocabulary = 1'000;
+  const auto feed = [&] {
+    auto& rt = job.runtime(0);
+    auto part = std::make_shared<WordsPartition>(words_t, &cl.node(0).heap(), &cl.node(0).spill());
+    workloads::ForEachWord(tc, [&](const std::string& word) {
+      part->Append(word);
+      if (part->TupleCount() >= 256) {
+        part->Spill();
+        rt.Push(std::move(part));
+        part = std::make_shared<WordsPartition>(words_t, &cl.node(0).heap(), &cl.node(0).spill());
+      }
+    });
+    if (part->TupleCount() > 0) {
+      part->Spill();
+      rt.Push(std::move(part));
+    }
+  };
+
+  const auto reference = ReferenceCounts(256 << 10, 1'000);
+  for (int run = 0; run < 2; ++run) {
+    counts.clear();
+    ASSERT_TRUE(job.Run(feed)) << "run " << run;
+    EXPECT_EQ(counts, reference) << "run " << run;
+  }
+}
+
+// ---- OME-interrupt accounting (Table 2 / abort backoff) ----
+
+class OmeAccountingTest : public ::testing::Test {
+ protected:
+  OmeAccountingTest() {
+    cc_.num_nodes = 1;
+    cc_.heap.capacity_bytes = 4 << 20;
+    cc_.heap.real_pauses = false;
+    cl_ = std::make_unique<cluster::Cluster>(cc_);
+    cluster::Node& node = cl_->node(0);
+    NodeServices services{node.id(),    node.name(),  &node.heap(),
+                          &node.spill(), node.tracer(), &node.async_spill()};
+    IrsConfig irs;
+    irs.max_workers = 2;
+    irs.monitor_period = std::chrono::milliseconds(1);
+    irs.max_no_progress = 4;
+    state_ = std::make_shared<JobState>();
+    rt_ = std::make_unique<IrsRuntime>(services, irs, state_);
+    rt_->FinalizeGraph();
+  }
+
+  PartitionPtr MakePartition() {
+    auto dp = std::make_shared<SumPartition>(TypeIds::Get("ome.acct"), &cl_->node(0).heap(),
+                                             &cl_->node(0).spill());
+    dp->Append(1);
+    return dp;
+  }
+
+  cluster::ClusterConfig cc_;
+  std::unique_ptr<cluster::Cluster> cl_;
+  std::shared_ptr<JobState> state_;
+  std::unique_ptr<IrsRuntime> rt_;
+};
+
+TEST_F(OmeAccountingTest, EachOmeCountsOnceAndRaisesPressure) {
+  const auto dp = MakePartition();
+  EXPECT_FALSE(rt_->pressure());
+  rt_->NoteOmeInterrupt(dp, /*tuples_processed=*/10);
+  EXPECT_EQ(rt_->NodeMetrics().ome_interrupts, 1u);
+  EXPECT_TRUE(rt_->pressure());
+  // One OME, one count — progress or not; the pressure edge fires once.
+  rt_->NoteOmeInterrupt(dp, /*tuples_processed=*/0);
+  EXPECT_EQ(rt_->NodeMetrics().ome_interrupts, 2u);
+}
+
+TEST_F(OmeAccountingTest, ProgressResetsNoProgressBackoff) {
+  const auto dp = MakePartition();
+  rt_->NoteOmeInterrupt(dp, 0);
+  rt_->NoteOmeInterrupt(dp, 0);
+  EXPECT_EQ(dp->no_progress(), 2);
+  rt_->NoteOmeInterrupt(dp, /*tuples_processed=*/5);
+  EXPECT_EQ(dp->no_progress(), 0);
+  EXPECT_FALSE(state_->aborted.load());
+}
+
+TEST_F(OmeAccountingTest, SustainedZeroProgressAbortsTheJob) {
+  const auto dp = MakePartition();
+  // max_no_progress = 4: the fifth consecutive zero-progress OME aborts.
+  for (int i = 0; i < 4; ++i) {
+    rt_->NoteOmeInterrupt(dp, 0);
+    EXPECT_FALSE(state_->aborted.load()) << "attempt " << i;
+  }
+  rt_->NoteOmeInterrupt(dp, 0);
+  EXPECT_TRUE(state_->aborted.load());
+  EXPECT_EQ(rt_->NodeMetrics().ome_interrupts, 5u);
+}
+
 }  // namespace
 }  // namespace itask::core

@@ -1,0 +1,219 @@
+// chaos_run: seeded stress sweep for the IRS interrupt/reactivation path.
+//
+// For each seed, derives a chaos::FaultPlan (schedule perturbation intensities
+// plus the unified fault set: spill-write failures, forced OMEs, pressure
+// flips, signal storms, shuffle delays), installs the schedule fuzzer, and
+// runs the selected applications on a tiny-heap cluster — small enough that
+// every run interrupts, parks, spills and reloads. After each run it checks:
+//
+//   - the IrsAuditor job-end invariants (conservation, partition state
+//     machine, Table-2 counter consistency) and the runtime's in-path
+//     violation log are clean,
+//   - a completed job reproduces the fault-free result fingerprint,
+//   - the job completed at all (an abort or deadline under these fault
+//     intensities means the protocol lost data or live-locked).
+//
+// Exits non-zero at the first failing seed (default) and prints the seed and
+// its fault plan so the failure replays:  chaos_run --start <seed> --seeds 1
+//
+// Usage:
+//   chaos_run [--seeds N] [--start S] [--apps WC,HS,HJ] [--keep-going]
+//             [--heap-kb K] [--dataset-kb K] [--nodes N] [--deadline-ms D]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/hyracks_apps.h"
+#include "chaos/chaos.h"
+#include "cluster/cluster.h"
+
+namespace {
+
+struct Options {
+  std::uint64_t seeds = 64;
+  std::uint64_t start = 1;
+  std::vector<std::string> apps = {"WC", "HS", "HJ"};
+  bool keep_going = false;
+  std::uint64_t heap_kb = 1536;
+  std::uint64_t dataset_kb = 256;
+  int nodes = 2;
+  double deadline_ms = 60000.0;
+};
+
+std::vector<std::string> SplitCsv(const char* s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(*p);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+bool ParseArgs(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "chaos_run: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--seeds") == 0) {
+      opt->seeds = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--start") == 0) {
+      opt->start = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--apps") == 0) {
+      opt->apps = SplitCsv(value());
+    } else if (std::strcmp(argv[i], "--keep-going") == 0) {
+      opt->keep_going = true;
+    } else if (std::strcmp(argv[i], "--heap-kb") == 0) {
+      opt->heap_kb = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--dataset-kb") == 0) {
+      opt->dataset_kb = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--nodes") == 0) {
+      opt->nodes = std::atoi(value());
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      opt->deadline_ms = std::atof(value());
+    } else {
+      std::fprintf(stderr, "chaos_run: unknown flag %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+itask::apps::AppConfig MakeAppConfig(const Options& opt) {
+  itask::apps::AppConfig config;
+  config.dataset_bytes = opt.dataset_kb << 10;
+  config.tpch_scale = 0.2;
+  config.max_workers = 4;
+  config.granularity_bytes = 16 << 10;
+  config.deadline_ms = opt.deadline_ms;
+  return config;
+}
+
+itask::cluster::Cluster MakeCluster(const Options& opt, std::uint64_t heap_kb,
+                                    const itask::chaos::FaultPlan* plan) {
+  itask::cluster::ClusterConfig cc;
+  cc.num_nodes = opt.nodes;
+  cc.heap.capacity_bytes = heap_kb << 10;
+  cc.heap.real_pauses = false;  // Pause accounting without burning CPU.
+  if (plan != nullptr && plan->spill_write_fail_p > 0.0) {
+    cc.io.failure.write_probability = plan->spill_write_fail_p;
+    cc.io.failure.seed = plan->spill_fail_seed;
+  }
+  return itask::cluster::Cluster(cc);
+}
+
+struct Failure {
+  std::uint64_t seed;
+  std::string app;
+  std::string what;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!ParseArgs(argc, argv, &opt)) {
+    return 2;
+  }
+
+  // Reference fingerprints from fault-free, pressure-free runs (audit on:
+  // the invariants must hold on the happy path too).
+  itask::chaos::SetAuditEnabled(true);
+  std::map<std::string, itask::apps::AppResult> reference;
+  for (const std::string& app : opt.apps) {
+    auto cluster = MakeCluster(opt, /*heap_kb=*/64 << 10, nullptr);
+    const auto result =
+        itask::apps::RunHyracksApp(app, cluster, MakeAppConfig(opt), itask::apps::Mode::kITask);
+    if (!result.metrics.succeeded || !result.audit_violations.empty() ||
+        itask::chaos::ViolationCount() > 0) {
+      std::fprintf(stderr, "chaos_run: reference run for %s failed: %s\n", app.c_str(),
+                   result.metrics.Summary().c_str());
+      for (const auto& v : itask::chaos::DrainViolations()) {
+        std::fprintf(stderr, "  %s\n", v.c_str());
+      }
+      return 1;
+    }
+    reference[app] = result;
+    std::printf("[ref] %s checksum=%016llx records=%llu\n", app.c_str(),
+                static_cast<unsigned long long>(result.checksum),
+                static_cast<unsigned long long>(result.records));
+  }
+
+  std::vector<Failure> failures;
+  std::uint64_t runs = 0;
+  std::uint64_t last_points = 0;
+  for (std::uint64_t seed = opt.start; seed < opt.start + opt.seeds; ++seed) {
+    const itask::chaos::FaultPlan plan = itask::chaos::FaultPlan::FromSeed(seed);
+    for (const std::string& app : opt.apps) {
+      auto cluster = MakeCluster(opt, opt.heap_kb, &plan);
+      itask::chaos::ScheduleFuzzer fuzzer(plan.fuzz);
+      itask::chaos::Install(&fuzzer);
+      const auto result =
+          itask::apps::RunHyracksApp(app, cluster, MakeAppConfig(opt), itask::apps::Mode::kITask);
+      itask::chaos::Uninstall();
+      last_points = fuzzer.points_hit();
+      ++runs;
+
+      std::string what;
+      const auto in_path = itask::chaos::DrainViolations();
+      if (!result.audit_violations.empty()) {
+        what = "audit: " + result.audit_violations.front();
+      } else if (!in_path.empty()) {
+        what = "in-path: " + in_path.front();
+      } else if (!result.metrics.succeeded) {
+        what = "job did not complete: " + result.metrics.Summary();
+      } else if (result.checksum != reference[app].checksum ||
+                 result.records != reference[app].records) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "result mismatch: checksum %016llx != %016llx",
+                      static_cast<unsigned long long>(result.checksum),
+                      static_cast<unsigned long long>(reference[app].checksum));
+        what = buf;
+      }
+      if (!what.empty()) {
+        failures.push_back({seed, app, what});
+        std::fprintf(stderr, "[FAIL] seed=%llu app=%s %s\n  plan: %s\n",
+                     static_cast<unsigned long long>(seed), app.c_str(), what.c_str(),
+                     plan.Describe().c_str());
+        if (!opt.keep_going) {
+          std::fprintf(stderr, "first failing seed: %llu (replay: chaos_run --start %llu "
+                               "--seeds 1 --apps %s)\n",
+                       static_cast<unsigned long long>(seed),
+                       static_cast<unsigned long long>(seed), app.c_str());
+          return 1;
+        }
+      }
+    }
+    if ((seed - opt.start + 1) % 16 == 0) {
+      std::printf("[chaos] %llu/%llu seeds, %llu runs, %zu failures, %llu points hit last run\n",
+                  static_cast<unsigned long long>(seed - opt.start + 1),
+                  static_cast<unsigned long long>(opt.seeds),
+                  static_cast<unsigned long long>(runs), failures.size(),
+                  static_cast<unsigned long long>(last_points));
+      std::fflush(stdout);
+    }
+  }
+
+  if (!failures.empty()) {
+    std::fprintf(stderr, "chaos_run: %zu failing runs; first failing seed %llu (%s)\n",
+                 failures.size(), static_cast<unsigned long long>(failures.front().seed),
+                 failures.front().app.c_str());
+    return 1;
+  }
+  std::printf("chaos_run: %llu runs clean (%llu seeds x %zu apps)\n",
+              static_cast<unsigned long long>(runs),
+              static_cast<unsigned long long>(opt.seeds), opt.apps.size());
+  return 0;
+}
