@@ -40,6 +40,15 @@ echo "=== tier 4: chaos smoke (schedule-fuzzed WordCount sweep) ==="
 cmake --build build -j --target chaos_run
 ./build/tools/chaos_run --seeds 32 --apps WC
 
+echo "=== tier 4b: recovery smoke (mid-job node kill + OOM-poisoned node) ==="
+# Each app survives a mid-job node kill and, separately, an OOM-poisoned node,
+# reproducing the fault-free fingerprint with a clean dedup audit. Shrunken
+# detector timeouts keep the sweep fast; see DESIGN.md §11.
+ITASK_SUSPECT_TIMEOUT_MS=25 ./build/tools/chaos_run \
+  --seeds 16 --nodes 4 --apps WC,HS,HJ --kill-node=1@5 --json
+ITASK_SUSPECT_TIMEOUT_MS=25 ./build/tools/chaos_run \
+  --seeds 4 --nodes 4 --apps WC,HS,HJ --poison-node=2@3 --json
+
 echo "=== tier 5: release-mode bench smoke (tiny scale) ==="
 cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-rel -j --target bench_fig11_heaps

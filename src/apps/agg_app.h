@@ -195,6 +195,11 @@ class AggApp {
       output_.reset();
     }
     void Cleanup(core::TaskContext& ctx) override {
+      if (output_ != nullptr) {
+        // Tag the chunk with its merge group so the recovery sink gate can
+        // match it to the committing activation. Harmless without FT.
+        output_->set_tag(ctx.group_tag);
+      }
       ctx.EmitToSink(std::move(output_));  // The paper's outputToHDFS.
     }
 
@@ -211,6 +216,22 @@ class AggApp {
     cluster::ItaskJob job(cluster, irs);
     const int nodes = cluster.size();
 
+    core::RecoveryContext* rec = nullptr;
+    if (config.fault_tolerance) {
+      rec = &job.EnableFaultTolerance(&cluster.tracer());
+      rec->RegisterFactory(InType(),
+                           [](memsim::ManagedHeap* heap, serde::SpillManager* spill) {
+                             return std::make_shared<InPartition>(InType(), heap, spill);
+                           });
+      rec->RegisterFactory(BucketType(),
+                           [](memsim::ManagedHeap* heap, serde::SpillManager* spill) {
+                             return std::make_shared<AggPartition>(BucketType(), heap, spill);
+                           });
+      if (config.failure_model != nullptr) {
+        job.SetFailureModel(config.failure_model);
+      }
+    }
+
     job.RegisterTaskPerNode([&](int node) {
       core::TaskSpec spec;
       spec.name = std::string(App::kName) + ".map";
@@ -219,12 +240,19 @@ class AggApp {
       const int total_buckets = nodes * kBucketsPerNode;
       spec.factory = [total_buckets] { return std::make_unique<MapTask>(total_buckets); };
       // Channel b is owned by node b % nodes.
-      spec.route_output = [&job, nodes, node](core::PartitionPtr out, bool /*at_interrupt*/) {
-        const int target = static_cast<int>(out->tag()) % nodes;
-        if (target == node) {
-          job.runtime(target).Push(std::move(out));
+      spec.route_output = [&job, rec, nodes, node](core::PartitionPtr out,
+                                                   bool /*at_interrupt*/) {
+        const int home = static_cast<int>(out->tag()) % nodes;
+        if (rec != nullptr) {
+          // Stage in the shuffle ledger; delivery happens when the producing
+          // split commits, to the effective owner of the home range.
+          rec->StageShuffle(node, home, std::move(out));
+          return;
+        }
+        if (home == node) {
+          job.runtime(home).Push(std::move(out));
         } else {
-          job.runtime(target).PushRemote(std::move(out));  // Retries internally.
+          job.runtime(home).PushRemote(std::move(out));  // Retries internally.
         }
       };
       return spec;
@@ -263,6 +291,7 @@ class AggApp {
       PartitionFeeder<InPartition> feeder(
           cluster, InType(), config.granularity_bytes,
           [&](int node, core::PartitionPtr dp) { job.runtime(node).Push(std::move(dp)); });
+      feeder.set_recovery(rec);
       App::FillInput(cluster, config, feeder);
       feeder.Flush();
     }, config.deadline_ms);

@@ -13,7 +13,9 @@
 #include "chaos/auditor.h"
 #include "chaos/chaos.h"
 #include "cluster/cluster.h"
+#include "cluster/failure_model.h"
 #include "common/metrics.h"
+#include "itask/recovery.h"
 #include "itask/runtime.h"
 #include "itask/typed_partition.h"
 #include "memsim/managed_heap.h"
@@ -39,6 +41,14 @@ struct AppConfig {
   // Policy ablations (see IrsConfig).
   bool naive_restart = false;
   bool random_victims = false;
+  // Node-failure recovery (ITask mode only; DESIGN.md §11). When set, input
+  // splits are registered with the durable store, the shuffle is routed
+  // through the recovery ledger, and sink output is gated on merge commits —
+  // so the job survives the faults in |failure_model|.
+  bool fault_tolerance = false;
+  // Optional fault schedule, applied by the coordinator's poll loop. Only
+  // honored when fault_tolerance is set; must outlive the run.
+  cluster::FailureModel* failure_model = nullptr;
 };
 
 struct AppResult {
@@ -133,6 +143,10 @@ class PartitionFeeder {
     }
   }
 
+  // Registers every fed partition as a durable split (serialized while still
+  // resident) so a node death can re-execute it from the driver's copy.
+  void set_recovery(core::RecoveryContext* rec) { recovery_ = rec; }
+
   std::uint64_t partitions_fed() const { return fed_; }
 
  private:
@@ -140,6 +154,9 @@ class PartitionFeeder {
     cluster_.tracer().Emit(obs::EventKind::kPartitionCreated,
                            static_cast<std::uint16_t>(next_node_), current_->PayloadBytes(), 0,
                            static_cast<std::uint32_t>(type_));
+    if (recovery_ != nullptr) {
+      recovery_->RegisterSplit(*current_, next_node_);
+    }
     current_->Spill();  // Inputs start on disk, like HDFS blocks.
     push_(next_node_, std::move(current_));
     current_.reset();
@@ -152,6 +169,7 @@ class PartitionFeeder {
   core::TypeId type_;
   std::uint64_t granularity_;
   std::function<void(int, core::PartitionPtr)> push_;
+  core::RecoveryContext* recovery_ = nullptr;
   std::shared_ptr<Partition> current_;
   std::uint64_t current_bytes_ = 0;
   int next_node_ = 0;

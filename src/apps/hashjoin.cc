@@ -178,6 +178,9 @@ class JoinBucketTask : public core::MITask<UnionPartition> {
       }
     }
     auto out = std::make_shared<SummaryPartition>(ResType(), ctx.heap(), ctx.spill());
+    // Tag the summary with its merge group so the recovery sink gate can
+    // match it to the committing activation. Harmless without FT.
+    out->set_tag(ctx.group_tag);
     out->Append(summary);
     ctx.EmitToSink(std::move(out));
     state_->DropPayload();
@@ -215,13 +218,36 @@ AppResult RunHashJoinITask(cluster::Cluster& cluster, const AppConfig& config) {
   cluster::ItaskJob job(cluster, irs);
 
   const int nodes_total = cluster.size();
-  auto route_bucket = [&job, nodes_total](int node) {
-    return [&job, node, nodes_total](core::PartitionPtr out, bool /*at_interrupt*/) {
-      const int target = static_cast<int>(out->tag()) % nodes_total;
-      if (target == node) {
-        job.runtime(target).Push(std::move(out));
+  core::RecoveryContext* rec = nullptr;
+  if (config.fault_tolerance) {
+    rec = &job.EnableFaultTolerance(&cluster.tracer());
+    rec->RegisterFactory(CustType(), [](memsim::ManagedHeap* heap, serde::SpillManager* spill) {
+      return std::make_shared<CustomerPartition>(CustType(), heap, spill);
+    });
+    rec->RegisterFactory(OrdType(), [](memsim::ManagedHeap* heap, serde::SpillManager* spill) {
+      return std::make_shared<OrderPartition>(OrdType(), heap, spill);
+    });
+    rec->RegisterFactory(BucketType(), [](memsim::ManagedHeap* heap, serde::SpillManager* spill) {
+      return std::make_shared<UnionPartition>(BucketType(), heap, spill);
+    });
+    rec->RegisterFactory(ResType(), [](memsim::ManagedHeap* heap, serde::SpillManager* spill) {
+      return std::make_shared<SummaryPartition>(ResType(), heap, spill);
+    });
+    if (config.failure_model != nullptr) {
+      job.SetFailureModel(config.failure_model);
+    }
+  }
+  auto route_bucket = [&job, rec, nodes_total](int node) {
+    return [&job, rec, node, nodes_total](core::PartitionPtr out, bool /*at_interrupt*/) {
+      const int home = static_cast<int>(out->tag()) % nodes_total;
+      if (rec != nullptr) {
+        rec->StageShuffle(node, home, std::move(out));
+        return;
+      }
+      if (home == node) {
+        job.runtime(home).Push(std::move(out));
       } else {
-        job.runtime(target).PushRemote(std::move(out));
+        job.runtime(home).PushRemote(std::move(out));
       }
     };
   };
@@ -277,11 +303,13 @@ AppResult RunHashJoinITask(cluster::Cluster& cluster, const AppConfig& config) {
     PartitionFeeder<CustomerPartition> cust_feeder(
         cluster, CustType(), config.granularity_bytes,
         [&](int node, core::PartitionPtr dp) { job.runtime(node).Push(std::move(dp)); });
+    cust_feeder.set_recovery(rec);
     FillCustomers(config, cust_feeder);
     cust_feeder.Flush();
     PartitionFeeder<OrderPartition> ord_feeder(
         cluster, OrdType(), config.granularity_bytes,
         [&](int node, core::PartitionPtr dp) { job.runtime(node).Push(std::move(dp)); });
+    ord_feeder.set_recovery(rec);
     FillOrders(config, ord_feeder);
     ord_feeder.Flush();
   }, config.deadline_ms);

@@ -114,6 +114,9 @@ class MergeRunsTask : public core::MITask<KeyPartition> {
   void EmitChunkToSink(core::TaskContext& ctx) {
     if (output_ != nullptr) {
       std::sort(output_->mutable_tuples().begin(), output_->mutable_tuples().end());
+      // Tag the chunk with its merge group so the recovery sink gate can
+      // match it to the committing activation. Harmless without FT.
+      output_->set_tag(ctx.group_tag);
       ctx.EmitToSink(std::move(output_));
     }
     output_.reset();
@@ -133,18 +136,36 @@ AppResult RunHeapSortITask(cluster::Cluster& cluster, const AppConfig& config) {
   // Chunk size: a small fraction of the heap so merge output never dominates.
   const std::uint64_t chunk_bytes = cluster.config().heap.capacity_bytes / 16;
 
+  core::RecoveryContext* rec = nullptr;
+  if (config.fault_tolerance) {
+    rec = &job.EnableFaultTolerance(&cluster.tracer());
+    rec->RegisterFactory(InType(), [](memsim::ManagedHeap* heap, serde::SpillManager* spill) {
+      return std::make_shared<KeyPartition>(InType(), heap, spill);
+    });
+    rec->RegisterFactory(RunType(), [](memsim::ManagedHeap* heap, serde::SpillManager* spill) {
+      return std::make_shared<KeyPartition>(RunType(), heap, spill);
+    });
+    if (config.failure_model != nullptr) {
+      job.SetFailureModel(config.failure_model);
+    }
+  }
+
   job.RegisterTaskPerNode([&](int node) {
     core::TaskSpec spec;
     spec.name = "hs.scatter";
     spec.input_type = InType();
     spec.output_type = RunType();
     spec.factory = [nodes] { return std::make_unique<ScatterTask>(nodes); };
-    spec.route_output = [&job, node](core::PartitionPtr out, bool /*at_interrupt*/) {
-      const int target = static_cast<int>(out->tag());
-      if (target == node) {
-        job.runtime(target).Push(std::move(out));
+    spec.route_output = [&job, rec, node](core::PartitionPtr out, bool /*at_interrupt*/) {
+      const int home = static_cast<int>(out->tag());  // Tag == range-owning node.
+      if (rec != nullptr) {
+        rec->StageShuffle(node, home, std::move(out));
+        return;
+      }
+      if (home == node) {
+        job.runtime(home).Push(std::move(out));
       } else {
-        job.runtime(target).PushRemote(std::move(out));  // Retries internally.
+        job.runtime(home).PushRemote(std::move(out));  // Retries internally.
       }
     };
     return spec;
@@ -183,6 +204,7 @@ AppResult RunHeapSortITask(cluster::Cluster& cluster, const AppConfig& config) {
     PartitionFeeder<KeyPartition> feeder(
         cluster, InType(), config.granularity_bytes,
         [&](int node, core::PartitionPtr dp) { job.runtime(node).Push(std::move(dp)); });
+    feeder.set_recovery(rec);
     FillKeys(config, feeder);
     feeder.Flush();
   }, config.deadline_ms);

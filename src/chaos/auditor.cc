@@ -118,15 +118,19 @@ std::vector<std::string> IrsAuditor::AuditJobEnd(cluster::ItaskJob& job, bool su
          << heap.ome_count << " (an OME interrupt was double-counted)";
       Check(violations, false, Fmt("T2", os.str()));
     }
-    if (succeeded && m.interrupts > m.victim_requests + m.ome_interrupts) {
+    if (succeeded &&
+        m.interrupts > m.victim_requests + m.ome_interrupts + m.fence_interrupts) {
       // On a non-aborted run a scale loop only returns false because the
       // scheduler requested this worker's termination (one request arms one
-      // interrupt; the flag is cleared when the activation ends) or because
-      // an OME forced the interrupt. Anything beyond that sum is an interrupt
-      // with no cause — a protocol bug.
+      // interrupt; the flag is cleared when the activation ends), because an
+      // OME forced the interrupt, or because the node was fenced after a
+      // failure (fence_interrupts over-counts — it ticks per safe point while
+      // fenced — so this stays an upper bound). Anything beyond that sum is
+      // an interrupt with no cause — a protocol bug.
       std::ostringstream os;
       os << node << "interrupts " << m.interrupts << " unexplained by victim requests "
-         << m.victim_requests << " + OME interrupts " << m.ome_interrupts;
+         << m.victim_requests << " + OME interrupts " << m.ome_interrupts
+         << " + fence interrupts " << m.fence_interrupts;
       Check(violations, false, Fmt("T3", os.str()));
     }
   }

@@ -26,7 +26,8 @@
 //   T2  Every OME interrupt maps to a heap-reported allocation failure:
 //       ome_interrupts <= heap ome_count (no double-count per OME).
 //   T3  On non-aborted runs, every scale-loop interrupt is explained by a
-//       victim request or an OME: interrupts <= victim_requests + ome_interrupts.
+//       victim request, an OME, or a post-failure fence:
+//       interrupts <= victim_requests + ome_interrupts + fence_interrupts.
 //
 // Violations are returned as human-readable strings (empty == clean) and are
 // also folded into the chaos violation log so chaos_run's exit status sees

@@ -4,13 +4,22 @@
 #ifndef ITASK_CLUSTER_CLUSTER_H_
 #define ITASK_CLUSTER_CLUSTER_H_
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
+#include <string>
+#include <system_error>
 #include <vector>
 
 #include "cluster/node.h"
 #include "obs/tracer.h"
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
 
 namespace itask::cluster {
 
@@ -59,10 +68,35 @@ class Cluster {
  public:
   explicit Cluster(const ClusterConfig& config)
       : config_(config), tracer_(config.trace_ring_capacity) {
+    // Per-run unique spill directory (pid + process-wide run counter):
+    // concurrent test/bench processes sharing one temp root can never collide
+    // on spill file names, and the destructor can clean up wholesale without
+    // risking another run's files.
+    static std::atomic<std::uint64_t> run_counter{0};
+#if defined(_WIN32)
+    const auto pid = static_cast<std::uint64_t>(_getpid());
+#else
+    const auto pid = static_cast<std::uint64_t>(::getpid());
+#endif
+    run_spill_dir_ = config.spill_root /
+                     ("itask-run-" + std::to_string(pid) + "-" +
+                      std::to_string(run_counter.fetch_add(1)));
+    std::error_code ec;
+    std::filesystem::create_directories(run_spill_dir_, ec);
+    const std::filesystem::path& spill_dir = ec ? config.spill_root : run_spill_dir_;
     const NodeIoConfig io = NodeIoConfigFromEnv(config.io);
     for (int i = 0; i < config.num_nodes; ++i) {
-      nodes_.push_back(std::make_unique<Node>(i, config.heap, config.spill_root, &tracer_, io));
+      nodes_.push_back(std::make_unique<Node>(i, config.heap, spill_dir, &tracer_, io));
     }
+  }
+
+  ~Cluster() {
+    // Nodes (and their spill managers) first, then the now-empty directory.
+    // A node's crash-purged frames may already be gone; remove_all is
+    // best-effort by design.
+    nodes_.clear();
+    std::error_code ec;
+    std::filesystem::remove_all(run_spill_dir_, ec);
   }
 
   int size() const { return static_cast<int>(nodes_.size()); }
@@ -70,14 +104,20 @@ class Cluster {
   const ClusterConfig& config() const { return config_; }
   obs::Tracer& tracer() { return tracer_; }
 
-  // The node a key hashes to (shuffle routing).
+  // The node a key hashes to (shuffle routing). This is the static *home* of
+  // the key range; under fault tolerance the effective owner is
+  // Membership::EffectiveOwner(home), which walks to the next serving node so
+  // a failure moves only the dead node's keys.
   int NodeForHash(std::uint64_t hash) const {
     return static_cast<int>(hash % static_cast<std::uint64_t>(nodes_.size()));
   }
 
+  const std::filesystem::path& run_spill_dir() const { return run_spill_dir_; }
+
  private:
   ClusterConfig config_;
   obs::Tracer tracer_;
+  std::filesystem::path run_spill_dir_;
   std::vector<std::unique_ptr<Node>> nodes_;
 };
 

@@ -9,10 +9,13 @@
 
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "cluster/failure_model.h"
 #include "itask/coordinator.h"
+#include "itask/recovery.h"
 #include "itask/runtime.h"
 
 namespace itask::cluster {
@@ -33,6 +36,35 @@ class ItaskJob {
   core::IrsRuntime& runtime(int node) { return *runtimes_[static_cast<std::size_t>(node)]; }
   core::JobState& state() { return *state_; }
 
+  // ---- Fault tolerance (opt-in; call before SetSinkPerNode/Run) ----
+  // Creates the job's recovery context (heartbeat membership + durable-store
+  // / shuffle-ledger / sink-gate lineage) and wires every node into it. The
+  // engine must additionally register partition factories for every TypeId
+  // that crosses the shuffle or the sink, route map outputs through
+  // RecoveryContext::StageShuffle, and register splits at feed time.
+  core::RecoveryContext& EnableFaultTolerance(obs::Tracer* tracer = nullptr) {
+    recovery_ = std::make_unique<core::RecoveryContext>(
+        core::RecoveryConfig::FromEnv(), num_nodes());
+    if (tracer != nullptr) {
+      recovery_->set_tracer(tracer);
+    }
+    for (int i = 0; i < num_nodes(); ++i) {
+      core::IrsRuntime* rt = runtimes_[static_cast<std::size_t>(i)].get();
+      core::RecoveryNodeHooks hooks;
+      hooks.heap = rt->services().heap;
+      hooks.spill = rt->services().spill;
+      hooks.push = [rt](core::PartitionPtr dp) { rt->Push(std::move(dp)); };
+      recovery_->SetNodeHooks(i, std::move(hooks));
+      rt->EnableFaultTolerance(recovery_.get());
+    }
+    return *recovery_;
+  }
+  core::RecoveryContext* recovery() { return recovery_.get(); }
+
+  // Attaches a fault schedule, applied by the coordinator's poll loop.
+  // Requires EnableFaultTolerance() first; |model| must outlive Run().
+  void SetFailureModel(FailureModel* model) { failure_model_ = model; }
+
   // Registers the same task on every node. |make_spec| is called once per
   // node so per-node routing closures can capture the node id.
   void RegisterTaskPerNode(const std::function<core::TaskSpec(int node)>& make_spec) {
@@ -43,7 +75,19 @@ class ItaskJob {
 
   void SetSinkPerNode(const std::function<std::function<void(core::PartitionPtr)>(int node)>& make_sink) {
     for (int i = 0; i < num_nodes(); ++i) {
-      runtimes_[static_cast<std::size_t>(i)]->SetSink(make_sink(i));
+      auto inner = make_sink(i);
+      if (recovery_ != nullptr) {
+        // Gate the sink through the recovery ledger: chunks are staged until
+        // the merge activation for their tag commits, so a node dying
+        // mid-merge never leaves half a tag in the final output.
+        recovery_->SetNodeSink(i, std::move(inner));
+        core::RecoveryContext* rec = recovery_.get();
+        const int node = i;
+        runtimes_[static_cast<std::size_t>(i)]->SetSink(
+            [rec, node](core::PartitionPtr out) { rec->StageSinkChunk(node, std::move(out)); });
+      } else {
+        runtimes_[static_cast<std::size_t>(i)]->SetSink(std::move(inner));
+      }
     }
   }
 
@@ -56,15 +100,52 @@ class ItaskJob {
       ptrs.push_back(r.get());
     }
     coordinator_ = std::make_unique<core::JobCoordinator>(state_, ptrs);
+    if (recovery_ != nullptr) {
+      coordinator_->EnableFaultTolerance(recovery_.get());
+      if (failure_model_ != nullptr) {
+        coordinator_->SetFaultPoll(
+            [this](double elapsed_ms) { ApplyDueFaults(elapsed_ms); });
+      }
+    }
     return coordinator_->Run(feed, deadline_ms);
   }
 
   common::RunMetrics Metrics() const { return coordinator_->AggregateMetrics(); }
 
  private:
+  void ApplyDueFaults(double elapsed_ms) {
+    for (const NodeFault& fault : failure_model_->TakeDue(elapsed_ms)) {
+      if (fault.node < 0 || fault.node >= num_nodes()) {
+        continue;
+      }
+      core::IrsRuntime& rt = *runtimes_[static_cast<std::size_t>(fault.node)];
+      switch (fault.kind) {
+        case FaultKind::kKill:
+          // Crash: beats stop and the runtime is fenced at once — queued
+          // work purged, late pushes discarded. Detection (suspect -> dead)
+          // and lineage recovery still go through the heartbeat detector.
+          recovery_->membership().SuppressBeats(fault.node, true);
+          rt.Fence();
+          break;
+        case FaultKind::kHang:
+          // Zombie: only the beats stop; the runtime keeps executing until
+          // the detector declares it dead and fences it.
+          recovery_->membership().SuppressBeats(fault.node, true);
+          break;
+        case FaultKind::kOomPoison:
+          // Every allocation now throws; the node demotes itself to draining
+          // via the escaped-OME / zero-progress path.
+          rt.services().heap->Poison();
+          break;
+      }
+    }
+  }
+
   std::shared_ptr<core::JobState> state_;
   std::vector<std::unique_ptr<core::IrsRuntime>> runtimes_;
   std::unique_ptr<core::JobCoordinator> coordinator_;
+  std::unique_ptr<core::RecoveryContext> recovery_;
+  FailureModel* failure_model_ = nullptr;
 };
 
 }  // namespace itask::cluster

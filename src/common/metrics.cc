@@ -14,6 +14,7 @@ void RunMetrics::AccumulateNode(const RunMetrics& node) {
   ome_interrupts += node.ome_interrupts;
   reactivations += node.reactivations;
   victim_requests += node.victim_requests;
+  fence_interrupts += node.fence_interrupts;
   spilled_bytes += node.spilled_bytes;
   loaded_bytes += node.loaded_bytes;
   released_processed_input_bytes += node.released_processed_input_bytes;
@@ -25,6 +26,12 @@ void RunMetrics::AccumulateNode(const RunMetrics& node) {
   io_raw_bytes += node.io_raw_bytes;
   io_framed_bytes += node.io_framed_bytes;
   io_read_stall_ms += node.io_read_stall_ms;
+  nodes_failed += node.nodes_failed;
+  nodes_draining += node.nodes_draining;
+  splits_reexecuted += node.splits_reexecuted;
+  shuffle_retries += node.shuffle_retries;
+  shuffle_redeliveries += node.shuffle_redeliveries;
+  duplicate_tuples_dropped += node.duplicate_tuples_dropped;
   gc_pause_hist.Merge(node.gc_pause_hist);
   interrupt_latency_hist.Merge(node.interrupt_latency_hist);
   io_read_stall_hist.Merge(node.io_read_stall_hist);

@@ -29,6 +29,9 @@ struct RunMetrics {
   // interrupt on a non-aborted run is explained by a victim request or an
   // OME; IrsAuditor checks that inequality (invariant T3).
   std::uint64_t victim_requests = 0;
+  // Scale-loop interrupts forced by a node fence (failure injection or death
+  // declaration); a third legitimate cause in the T3 accounting.
+  std::uint64_t fence_interrupts = 0;
   std::uint64_t spilled_bytes = 0;
   std::uint64_t loaded_bytes = 0;
 
@@ -44,6 +47,14 @@ struct RunMetrics {
   std::uint64_t io_raw_bytes = 0;               // Payload bytes the codec framed.
   std::uint64_t io_framed_bytes = 0;            // On-disk bytes after compression.
   double io_read_stall_ms = 0.0;                // Total consumer-visible stall.
+
+  // Fault-tolerance counters (zero when recovery is disabled or fault-free).
+  std::uint64_t nodes_failed = 0;            // Nodes declared dead mid-job.
+  std::uint64_t nodes_draining = 0;          // Nodes demoted after escaped OME.
+  std::uint64_t splits_reexecuted = 0;       // Lineage re-executions of input splits.
+  std::uint64_t shuffle_retries = 0;         // Delivery attempts beyond the first.
+  std::uint64_t shuffle_redeliveries = 0;    // Ledger entries re-sent after a death.
+  std::uint64_t duplicate_tuples_dropped = 0;  // Dedup-layer audit counter.
 
   // framed/raw over everything written; 1.0 when nothing was written.
   double IoCompressionRatio() const {

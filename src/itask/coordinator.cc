@@ -4,6 +4,8 @@
 
 #include "common/logging.h"
 #include "common/spin.h"
+#include "itask/recovery.h"
+#include "obs/event.h"
 
 namespace itask::core {
 
@@ -20,6 +22,12 @@ bool JobCoordinator::Run(const std::function<void()>& feed, double deadline_ms) 
   for (IrsRuntime* runtime : runtimes_) {
     runtime->Start();
   }
+  if (recovery_ != nullptr) {
+    lost_handled_.assign(runtimes_.size(), false);
+    // Feeding can take arbitrarily long; a cold cluster must not be suspected
+    // for silence accrued before its monitors even started beating.
+    recovery_->membership().ResetBeats();
+  }
 
   int quiescent_streak = 0;
   while (true) {
@@ -27,7 +35,25 @@ bool JobCoordinator::Run(const std::function<void()>& feed, double deadline_ms) 
       aborted_ = true;
       break;
     }
-    if (state_->Quiescent()) {
+    if (fault_poll_) {
+      fault_poll_(watch.ElapsedMs());
+    }
+    if (recovery_ != nullptr) {
+      if (!DetectFailures()) {
+        state_->aborted.store(true, std::memory_order_release);
+        aborted_ = true;
+        break;
+      }
+      // Re-drive any pending re-executions/deliveries (e.g. a target that was
+      // under pressure at commit time, or was itself lost since).
+      recovery_->Sweep();
+    }
+    // Completion: the queues/workers are quiescent AND (under fault
+    // tolerance) the recovery ledger is drained — counters alone look
+    // quiescent in the window between a kill and its detection, while the
+    // lost node's splits still need re-execution.
+    if (state_->Quiescent() &&
+        (recovery_ == nullptr || recovery_->AllComplete())) {
       if (++quiescent_streak >= 3) {
         aborted_ = false;
         break;
@@ -51,6 +77,64 @@ bool JobCoordinator::Run(const std::function<void()>& feed, double deadline_ms) 
   return !aborted_;
 }
 
+bool JobCoordinator::DetectFailures() {
+  Membership& membership = recovery_->membership();
+  const double suspect_ms = recovery_->config().suspect_timeout_ms;
+  const double dead_ms = recovery_->config().dead_timeout_ms;
+  for (std::size_t i = 0; i < runtimes_.size(); ++i) {
+    const int node = static_cast<int>(i);
+    const NodeLiveness state = membership.state(node);
+    obs::Tracer* tracer = runtimes_[i]->tracer();
+    if (state == NodeLiveness::kDead) {
+      continue;
+    }
+    if (state == NodeLiveness::kDraining) {
+      // Self-demoted (escaped OME). Fence it and recover its in-flight work
+      // exactly as for a death; unlike a dead node it keeps its monitor
+      // thread and can still be Stop()ed normally.
+      if (!lost_handled_[i]) {
+        lost_handled_[i] = true;
+        ++nodes_draining_;
+        LOG_WARN() << "coordinator: node " << node
+                   << " draining (escaped OME); recovering its in-flight work";
+        runtimes_[i]->Fence();
+        recovery_->OnNodeLost(node);
+      }
+      continue;
+    }
+    const double silence_ms =
+        static_cast<double>(membership.NsSinceBeat(node)) / 1e6;
+    if (silence_ms > dead_ms) {
+      membership.SetState(node, NodeLiveness::kDead);
+      ++nodes_failed_;
+      tracer->Emit(obs::EventKind::kNodeDead, static_cast<std::uint16_t>(node),
+                   static_cast<std::uint64_t>(silence_ms * 1e6));
+      LOG_WARN() << "coordinator: node " << node << " declared dead after "
+                 << silence_ms << "ms of heartbeat silence";
+      if (!lost_handled_[i]) {
+        lost_handled_[i] = true;
+        runtimes_[i]->Fence();
+        recovery_->OnNodeLost(node);
+      }
+    } else if (silence_ms > suspect_ms) {
+      if (state == NodeLiveness::kAlive) {
+        membership.SetState(node, NodeLiveness::kSuspect);
+        tracer->Emit(obs::EventKind::kNodeSuspect, static_cast<std::uint16_t>(node),
+                     static_cast<std::uint64_t>(silence_ms * 1e6));
+        LOG_WARN() << "coordinator: node " << node << " suspected ("
+                   << silence_ms << "ms silent)";
+      }
+    } else if (state == NodeLiveness::kSuspect) {
+      membership.SetState(node, NodeLiveness::kAlive);  // Beat resumed.
+    }
+  }
+  if (membership.ServingCount() == 0) {
+    LOG_ERROR() << "coordinator: no serving nodes remain; aborting job";
+    return false;
+  }
+  return true;
+}
+
 common::RunMetrics JobCoordinator::AggregateMetrics() const {
   common::RunMetrics total;
   for (const IrsRuntime* runtime : runtimes_) {
@@ -58,6 +142,15 @@ common::RunMetrics JobCoordinator::AggregateMetrics() const {
   }
   total.wall_ms = wall_ms_;
   total.succeeded = !aborted_;
+  if (recovery_ != nullptr) {
+    const RecoveryStats rs = recovery_->stats();
+    total.nodes_failed = nodes_failed_;
+    total.nodes_draining = nodes_draining_;
+    total.splits_reexecuted = rs.splits_reexecuted;
+    total.shuffle_retries = rs.shuffle_retries;
+    total.shuffle_redeliveries = rs.redeliveries;
+    total.duplicate_tuples_dropped = rs.duplicates_dropped;
+  }
   return total;
 }
 

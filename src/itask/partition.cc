@@ -121,6 +121,31 @@ void DataPartition::EnsureResidentLocked() {
                       std::memory_order_relaxed);
 }
 
+void DataPartition::Purge() {
+  std::lock_guard lock(state_mu_);
+  if (prefetch_.valid()) {
+    try {
+      prefetch_.get();
+      spill_id_.reset();  // LoadAsync consumed the on-disk frame.
+    } catch (...) {
+      // A failed prefetch leaves the frame on disk; fall through to Remove.
+    }
+    prefetch_ = {};
+  }
+  DropPayload();
+  if (spill_id_.has_value()) {
+    try {
+      spill_->Remove(*spill_id_);
+    } catch (...) {
+      // Best effort — a failed remove only leaks a temp file, and the
+      // per-run spill directory is swept on Cluster destruction anyway.
+    }
+    spill_id_.reset();
+  }
+  cursor_ = 0;
+  resident_.store(true, std::memory_order_release);
+}
+
 void DataPartition::TransferTo(memsim::ManagedHeap* heap, serde::SpillManager* spill) {
   std::lock_guard lock(state_mu_);
   EnsureResidentLocked();

@@ -127,6 +127,27 @@ class DataPartition {
   bool requeued() const { return requeued_.load(std::memory_order_acquire); }
   void set_requeued(bool requeued) { requeued_.store(requeued, std::memory_order_release); }
 
+  // ---- Lineage (fault tolerance) ----
+
+  // The input split whose processing produced this partition, plus the
+  // re-execution epoch of that split at production time. Stamped by
+  // TaskContext::Emit when fault tolerance is on; kNoSplit otherwise. The
+  // recovery ledger keys shuffle dedup ids (split, epoch, seq) off these.
+  static constexpr std::int64_t kNoSplit = -1;
+  std::int64_t origin_split() const { return origin_split_; }
+  std::uint32_t origin_epoch() const { return origin_epoch_; }
+  void set_origin(std::int64_t split, std::uint32_t epoch) {
+    origin_split_ = split;
+    origin_epoch_ = epoch;
+  }
+
+  // Discards the partition entirely: consumes or removes any spilled frame
+  // and drops a resident payload. Used by node-failure recovery when purging
+  // a dead node's queue — the data re-materializes from lineage, not from
+  // here — so the counters' C1/C2 story stays exact (no stranded heap charge,
+  // no orphaned spill file).
+  void Purge();
+
   // Consecutive zero-progress activations (OME loops); used to detect inputs
   // that can never fit (e.g. one tuple larger than the heap).
   int no_progress() const { return no_progress_; }
@@ -175,6 +196,8 @@ class DataPartition {
   std::atomic<std::uint64_t> payload_bytes_{0};
   std::atomic<bool> pinned_{false};
   std::atomic<bool> requeued_{false};
+  std::int64_t origin_split_ = kNoSplit;
+  std::uint32_t origin_epoch_ = 0;
   int no_progress_ = 0;
   // Serializes Spill/EnsureResident/TransferTo against each other (the
   // partition manager may spill a queued partition while a worker pops it).

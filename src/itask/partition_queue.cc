@@ -34,6 +34,13 @@ void PartitionQueue::Push(PartitionPtr dp) {
   const TypeId type = dp->type();
   dp->set_pinned(false);
   std::lock_guard lock(mu_);
+  if (closed_) {
+    // Node is fenced for recovery: the push is from a zombie worker unwinding.
+    // Discard without touching counters — the drain already accounted for
+    // everything this node owned, and the data re-materializes from lineage.
+    dp->DropPayload();
+    return;
+  }
   auto& fifo = by_type_[type][dp->tag()];
   AuditNotAlreadyQueued(fifo, dp);
   state_->NotePush(type);
@@ -47,6 +54,12 @@ void PartitionQueue::Push(PartitionPtr dp) {
 
 void PartitionQueue::PushBatch(std::vector<PartitionPtr> items) {
   std::lock_guard lock(mu_);
+  if (closed_) {
+    for (const auto& dp : items) {
+      dp->DropPayload();
+    }
+    return;
+  }
   std::size_t inserted = 0;
   try {
     for (; inserted < items.size(); ++inserted) {
@@ -195,6 +208,33 @@ std::vector<PartitionPtr> PartitionQueue::Snapshot() const {
     }
   }
   return out;
+}
+
+std::vector<PartitionPtr> PartitionQueue::DrainAndClose() {
+  std::lock_guard lock(mu_);
+  closed_ = true;
+  std::vector<PartitionPtr> out;
+  for (auto& [type, tags] : by_type_) {
+    for (auto& [tag, fifo] : tags) {
+      for (auto& dp : fifo) {
+        state_->NotePop(type);
+        out.push_back(std::move(dp));
+      }
+      fifo.clear();
+    }
+  }
+  by_type_.clear();
+  return out;
+}
+
+void PartitionQueue::Reopen() {
+  std::lock_guard lock(mu_);
+  closed_ = false;
+}
+
+bool PartitionQueue::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
 }
 
 std::vector<PartitionPtr> PartitionQueue::ResidentSnapshot() const {

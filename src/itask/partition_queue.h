@@ -50,9 +50,22 @@ class PartitionQueue {
   // state-machine checks; meaningful only when the node is quiescent).
   std::vector<PartitionPtr> Snapshot() const;
 
+  // Node-failure recovery: removes (NotePop-ing) every queued partition and
+  // closes the queue in the same critical section, so a zombie worker racing
+  // the drain cannot slip a push in between — a push after close is silently
+  // discarded (payload dropped, no counter movement). Returns the removed
+  // partitions so the caller can Purge() them.
+  std::vector<PartitionPtr> DrainAndClose();
+
+  // Reverts DrainAndClose's closed state (Start() of a fresh run).
+  void Reopen();
+
+  bool closed() const;
+
  private:
   mutable std::mutex mu_;
   JobState* state_;
+  bool closed_ = false;  // Guarded by mu_.
   // type -> tag -> FIFO of partitions.
   std::map<TypeId, std::map<Tag, std::deque<PartitionPtr>>> by_type_;
 };

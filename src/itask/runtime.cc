@@ -7,6 +7,7 @@
 
 #include "chaos/chaos.h"
 #include "common/logging.h"
+#include "itask/recovery.h"
 
 namespace itask::core {
 
@@ -29,6 +30,7 @@ IrsRuntime::IrsRuntime(NodeServices services, IrsConfig config, std::shared_ptr<
   released_final_result_ = &metrics_.counter("irs.released_final_result_bytes");
   parked_intermediate_ = &metrics_.counter("irs.parked_intermediate_bytes");
   ome_interrupts_ = &metrics_.counter("irs.ome_interrupts");
+  fence_interrupts_ = &metrics_.counter("irs.fence_interrupts");
   sink_records_ = &metrics_.counter("irs.sink_records");
   gc_pause_hist_ = &metrics_.histogram("gc.pause_ns", obs::GcPauseBoundsNs());
   interrupt_latency_hist_ =
@@ -69,6 +71,8 @@ void IrsRuntime::Start() {
   stop_monitor_.store(false, std::memory_order_relaxed);
   stopping_.store(false, std::memory_order_relaxed);
   pressure_.store(false, std::memory_order_relaxed);
+  fenced_.store(false, std::memory_order_relaxed);
+  queue_.Reopen();  // A fence in the previous job must not strand this one.
   headroom_streak_ = 0;
   job_watch_.Reset();
   start_t_ns_ = tracer_->NowNs();
@@ -91,8 +95,10 @@ void IrsRuntime::Stop() {
   }
   sched_.Stop();
   // The monitor may have armed a chaos OME that nothing consumed; a leftover
-  // armed fault must not hit the next job's input feeding.
+  // armed fault must not hit the next job's input feeding. Likewise a
+  // poison fault is scoped to the job that injected it.
   services_.heap->DisarmForcedOme();
+  services_.heap->Unpoison();
   tracer_->Emit(obs::EventKind::kRuntimeStop, trace_node(), tracer_->NowNs() - start_t_ns_);
   started_ = false;
 }
@@ -126,7 +132,28 @@ bool IrsRuntime::ShouldInterrupt(int worker_id) {
   if (state_->aborted.load(std::memory_order_relaxed)) {
     return true;
   }
+  if (fenced_.load(std::memory_order_relaxed)) {
+    // Node fenced for recovery: every running task must stop at its next safe
+    // point. Polled once per safe point, so this may over-count relative to
+    // interrupts actually taken; the T3 audit uses it as an upper bound
+    // (interrupts <= victim_requests + ome_interrupts + fence_interrupts).
+    fence_interrupts_->Add(1);
+    return true;
+  }
   return pressure_.load(std::memory_order_relaxed) && sched_.ApproveTermination(worker_id);
+}
+
+void IrsRuntime::Fence() {
+  fenced_.store(true, std::memory_order_relaxed);
+  // Drain and close atomically (each removal NotePop'd under the queue lock),
+  // then purge outside it: payloads and spill frames are discarded — the data
+  // re-materializes from lineage on survivors, never from this node. Closing
+  // makes late pushes from zombie workers silent no-ops, keeping the job's
+  // queued/running counters exact for the quiescence check.
+  std::vector<PartitionPtr> orphans = queue_.DrainAndClose();
+  for (const PartitionPtr& dp : orphans) {
+    dp->Purge();
+  }
 }
 
 std::uint64_t IrsRuntime::BytesNeededForSafeZone() const {
@@ -145,7 +172,8 @@ std::uint64_t IrsRuntime::BytesNeededForSafeZone() const {
 }
 
 WorkAssignment IrsRuntime::SelectWork() {
-  if (state_->aborted.load(std::memory_order_relaxed)) {
+  if (state_->aborted.load(std::memory_order_relaxed) ||
+      fenced_.load(std::memory_order_relaxed)) {
     return {};
   }
   // Candidate tasks with queued input, ordered by the growth rules:
@@ -160,6 +188,13 @@ WorkAssignment IrsRuntime::SelectWork() {
       continue;
     }
     if (spec.is_merge && !graph_.UpstreamQuiescent(spec, *state_)) {
+      continue;
+    }
+    if (spec.is_merge && recovery_ != nullptr && !recovery_->MergeSafe()) {
+      // Fault tolerance: between a node's death and the end of recovery, the
+      // queued/running counters look quiescent while re-executed splits and
+      // re-deliveries are still in the ledger. Merging (and then sinking) a
+      // tag in that window would silently drop the late data.
       continue;
     }
     candidates.push_back({&spec, queue_.HasResident(spec.input_type)});
@@ -209,6 +244,11 @@ bool IrsRuntime::ExecuteActivation(int worker_id, WorkAssignment& work) {
   CHAOS_POINT("runtime.activate");
   const TaskSpec& spec = *work.spec;
   TaskContext ctx(this, &spec, worker_id);
+  if (!spec.is_merge && work.single != nullptr) {
+    // Lineage context for every output this activation emits.
+    ctx.origin_split = work.single->origin_split();
+    ctx.origin_epoch = work.single->origin_epoch();
+  }
   bool completed = false;
   try {
     std::unique_ptr<ITaskBase> task = spec.factory();
@@ -219,18 +259,55 @@ bool IrsRuntime::ExecuteActivation(int worker_id, WorkAssignment& work) {
     }
   } catch (const memsim::OutOfMemoryError& e) {
     // The scale loop absorbs OMEs as forced interrupts; reaching here means
-    // even the interrupt path could not allocate. Abort the job.
-    LOG_ERROR() << "node " << services_.name << ": unrecoverable OME in " << spec.name << ": "
-                << e.what();
-    state_->aborted.store(true, std::memory_order_relaxed);
+    // even the interrupt path could not allocate — the node's heap is
+    // terminally wedged. Under fault tolerance the node degrades gracefully:
+    // demote it to draining and let the survivors finish the job from
+    // lineage. Without it (or when this is the last serving node), abort.
+    if (!TryDemoteToDraining()) {
+      LOG_ERROR() << "node " << services_.name << ": unrecoverable OME in " << spec.name << ": "
+                  << e.what();
+      state_->aborted.store(true, std::memory_order_relaxed);
+    } else {
+      LOG_WARN() << "node " << services_.name << ": escaped OME in " << spec.name
+                 << "; draining (" << e.what() << ")";
+    }
   } catch (const std::exception& e) {
     LOG_ERROR() << "node " << services_.name << ": task " << spec.name << " failed: " << e.what();
     state_->aborted.store(true, std::memory_order_relaxed);
+  }
+  // Commit hooks run before NoteFinish so the running counter still covers
+  // any deliveries the commit triggers — a quiescence check can never observe
+  // the gap between "task done" and "outputs delivered".
+  if (completed && recovery_ != nullptr && !fenced_.load(std::memory_order_relaxed)) {
+    if (spec.is_merge) {
+      if (!ctx.reparked) {
+        recovery_->CommitSink(services_.node_id, ctx.group_tag);
+      }
+    } else if (ctx.origin_split != DataPartition::kNoSplit) {
+      recovery_->CommitEpoch(services_.node_id, ctx.origin_split, ctx.origin_epoch);
+    }
   }
   CHAOS_POINT("runtime.activation_end");
   state_->NoteFinish(spec.id);
   work.Clear();
   return completed;
+}
+
+bool IrsRuntime::TryDemoteToDraining() {
+  if (recovery_ == nullptr) {
+    return false;
+  }
+  if (fenced_.load(std::memory_order_relaxed)) {
+    return true;  // Already fenced/draining; the task dies quietly.
+  }
+  if (!recovery_->membership().TryDemoteToDraining(services_.node_id)) {
+    return false;  // Last serving node: nobody could absorb the work.
+  }
+  // Stop selecting work immediately; the coordinator notices the kDraining
+  // state, drains the queue and runs lineage recovery for this node.
+  fenced_.store(true, std::memory_order_relaxed);
+  tracer_->Emit(obs::EventKind::kNodeDraining, trace_node());
+  return true;
 }
 
 void IrsRuntime::PushBackBatch(std::vector<PartitionPtr> items) {
@@ -298,6 +375,13 @@ void IrsRuntime::NoteOmeInterrupt(const PartitionPtr& dp, std::size_t tuples_pro
   }
   if (tuples_processed == 0) {
     dp->IncrementNoProgress();
+    // Under fault tolerance a sustained zero-progress OME loop (e.g. a
+    // poisoned heap, where every retry fails regardless of pressure) demotes
+    // the node to draining long before the abort threshold: survivors
+    // re-execute its splits from lineage and the job completes.
+    if (dp->no_progress() > 8 && TryDemoteToDraining()) {
+      return;
+    }
     // Give the monitor a chance to interrupt other instances before retrying.
     if (dp->no_progress() > 2) {
       std::this_thread::sleep_for(config_.monitor_period * dp->no_progress());
@@ -325,6 +409,23 @@ void IrsRuntime::MonitorLoop() {
   while (!stop_monitor_.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(config_.monitor_period);
     CHAOS_POINT("monitor.tick");
+
+    if (fenced_.load(std::memory_order_relaxed)) {
+      // Fenced (dead to the cluster, or draining): no heartbeats, no chaos
+      // draws, no pressure management. The thread stays alive only so Stop()
+      // can join it normally.
+      continue;
+    }
+    if (recovery_ != nullptr) {
+      // Heartbeat into the coordinator's failure detector, at the configured
+      // cadence (the monitor may tick faster than ITASK_HEARTBEAT_MS).
+      auto& membership = recovery_->membership();
+      const auto beat_ns = static_cast<std::uint64_t>(
+          recovery_->config().heartbeat_ms * 1e6);
+      if (membership.NsSinceBeat(services_.node_id) >= beat_ns) {
+        membership.Beat(services_.node_id);
+      }
+    }
 
     // Chaos fault draws, one set per tick (see chaos::FuzzConfig). They run
     // before the regular pressure logic so an injected flip is immediately
@@ -445,6 +546,7 @@ common::RunMetrics IrsRuntime::NodeMetrics() const {
   // Staged-release breakdown (Table 2) and distributions come from the obs
   // registry — the single instrumentation substrate — not hand-summed fields.
   m.ome_interrupts = ome_interrupts_->value();
+  m.fence_interrupts = fence_interrupts_->value();
   m.released_processed_input_bytes = released_processed_input_->value();
   m.released_final_result_bytes = released_final_result_->value();
   m.parked_intermediate_bytes = parked_intermediate_->value();

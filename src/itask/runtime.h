@@ -38,6 +38,8 @@
 
 namespace itask::core {
 
+class RecoveryContext;
+
 struct NodeServices {
   int node_id = 0;
   std::string name;
@@ -91,6 +93,27 @@ class IrsRuntime {
   // ---- Lifecycle ----
   void Start();
   void Stop();
+
+  // ---- Fault tolerance (optional; see itask/recovery.h) ----
+  // Wires this node into the recovery layer: the monitor heartbeats into its
+  // membership view, completed activations commit to its ledger, and escaped
+  // OMEs demote the node to draining instead of aborting the job.
+  void EnableFaultTolerance(RecoveryContext* recovery) { recovery_ = recovery; }
+  RecoveryContext* recovery() { return recovery_; }
+
+  // Fences the node out of the job (it was declared dead or is draining):
+  // running tasks stop at their next safe point, SelectWork dispatches
+  // nothing, late pushes are discarded, and the queue is drained with every
+  // partition purged — the data re-materializes from lineage on survivors.
+  // Idempotent; Start() unfences for the next job on this cluster.
+  void Fence();
+  bool fenced() const { return fenced_.load(std::memory_order_relaxed); }
+
+  // Graceful degradation: demotes this node to draining in the membership
+  // view (escaped OME / persistent zero-progress OME loop). Returns false
+  // when fault tolerance is off or no other node could absorb the work — the
+  // caller falls back to aborting the job. Idempotent once fenced.
+  bool TryDemoteToDraining();
 
   // ---- Data entry ----
   // Local push (engine input or task output on this node).
@@ -158,6 +181,7 @@ class IrsRuntime {
   obs::Counter* released_final_result_ = nullptr;
   obs::Counter* parked_intermediate_ = nullptr;
   obs::Counter* ome_interrupts_ = nullptr;
+  obs::Counter* fence_interrupts_ = nullptr;
   obs::Counter* sink_records_ = nullptr;
   obs::Histogram* gc_pause_hist_ = nullptr;
   obs::Histogram* interrupt_latency_hist_ = nullptr;
@@ -191,6 +215,11 @@ class IrsRuntime {
   // longer flips pressure or emits signal events (a stale pressure flag would
   // leak into the next Start on this runtime).
   std::atomic<bool> stopping_{false};
+  // Fault-tolerance state: non-null recovery context when the job opted in,
+  // and the fence flag (see Fence()). Both read relaxed on hot paths — a
+  // stale fenced_ read costs one extra safe-point poll, nothing more.
+  RecoveryContext* recovery_ = nullptr;
+  std::atomic<bool> fenced_{false};
   int gc_listener_id_ = -1;
   std::thread monitor_thread_;
   common::Stopwatch job_watch_;

@@ -6,6 +6,10 @@
 namespace itask::core {
 
 void TaskContext::Emit(PartitionPtr out) {
+  out->set_origin(origin_split, origin_epoch);
+  if (in_interrupt && spec_->is_merge) {
+    reparked = true;
+  }
   if (defer_pushes_ && runtime_->WouldQueueLocally(*spec_, *out)) {
     runtime_->CountEmitMetrics(*spec_, *out, in_interrupt);
     deferred_.push_back(std::move(out));

@@ -102,6 +102,19 @@ class TaskContext {
   // input.getTag() in the Reduce and Merge interrupt handlers).
   Tag group_tag = kNoTag;
 
+  // Lineage origin of the current activation's input (fault tolerance).
+  // Stamped onto every emitted partition so the shuffle ledger can key dedup
+  // ids off (split, epoch, seq); kNoSplit for merge activations, whose
+  // outputs never cross the ledger.
+  std::int64_t origin_split = DataPartition::kNoSplit;
+  std::uint32_t origin_epoch = 0;
+
+  // Set when a merge activation re-parks output during its interrupt handler.
+  // A merge whose Cleanup hit an OME "completes" (RunGroup returns true) with
+  // the output re-parked for a later re-merge — the sink-commit hook must not
+  // treat that as the tag being final.
+  bool reparked = false;
+
  private:
   IrsRuntime* runtime_;
   const TaskSpec* spec_;

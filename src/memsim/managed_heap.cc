@@ -11,6 +11,10 @@ namespace itask::memsim {
 ManagedHeap::ManagedHeap(HeapConfig config) : config_(config) {}
 
 void ManagedHeap::Allocate(std::uint64_t bytes) {
+  if (bytes > 0 && poisoned_.load(std::memory_order_relaxed)) {
+    ome_count_.fetch_add(1, std::memory_order_relaxed);
+    throw OutOfMemoryError("ManagedHeap: poisoned (injected persistent allocation failure)");
+  }
   if (bytes > 0 && forced_ome_.exchange(false, std::memory_order_relaxed)) {
     ome_count_.fetch_add(1, std::memory_order_relaxed);
     throw OutOfMemoryError("ManagedHeap: injected allocation failure (chaos forced OME)");

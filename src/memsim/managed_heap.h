@@ -129,6 +129,14 @@ class ManagedHeap {
   void ArmForcedOme() { forced_ome_.store(true, std::memory_order_relaxed); }
   void DisarmForcedOme() { forced_ome_.store(false, std::memory_order_relaxed); }
 
+  // Persistent variant of the forced OME: every subsequent Allocate() throws
+  // until Unpoison(). Models a node whose heap is terminally wedged (e.g. a
+  // native leak or fragmentation): the failure-model "oom-poison" fault uses
+  // it to drive a node into the escaped-OME → draining demotion path.
+  void Poison() { poisoned_.store(true, std::memory_order_relaxed); }
+  void Unpoison() { poisoned_.store(false, std::memory_order_relaxed); }
+  bool poisoned() const { return poisoned_.load(std::memory_order_relaxed); }
+
   std::uint64_t capacity() const { return config_.capacity_bytes; }
   std::uint64_t live_bytes() const { return live_.load(std::memory_order_relaxed); }
   std::uint64_t garbage_bytes() const { return garbage_.load(std::memory_order_relaxed); }
@@ -175,6 +183,7 @@ class ManagedHeap {
   std::atomic<std::uint64_t> ome_count_{0};
   std::atomic<std::uint64_t> gc_sequence_{0};
   std::atomic<bool> forced_ome_{false};
+  std::atomic<bool> poisoned_{false};
   std::vector<std::pair<int, GcListener>> listeners_;
   int next_listener_id_ = 0;
   std::mutex listener_mu_;

@@ -38,6 +38,12 @@ enum class EventKind : std::uint8_t {
   kIoWriteCancelled,     // a=raw bytes of a queued write served from the pending cache
   kIoReadStall,          // a=stall_ns b=raw bytes aux=IoLoadSource
   kIoCodec,              // a=raw bytes b=framed (on-disk) bytes for one block
+  kNodeSuspect,          // aux=node id, a=silence_ns since the last heartbeat
+  kNodeDead,             // aux=node id, a=silence_ns at declaration
+  kNodeDraining,         // aux=node id (escaped OME demoted it; job continues)
+  kShuffleRetry,         // aux=destination node, a=attempt, b=backoff_us
+  kLineageReexec,        // aux=split id, a=epoch re-executed, b=home node
+  kShuffleRedeliver,     // aux=destination node, a=split id, b=seq
   kKindCount,            // sentinel — keep last
 };
 
@@ -101,6 +107,12 @@ constexpr const char* EventKindName(EventKind kind) {
     case EventKind::kIoWriteCancelled: return "io_write_cancelled";
     case EventKind::kIoReadStall: return "io_read_stall";
     case EventKind::kIoCodec: return "io_codec";
+    case EventKind::kNodeSuspect: return "node_suspect";
+    case EventKind::kNodeDead: return "node_dead";
+    case EventKind::kNodeDraining: return "node_draining";
+    case EventKind::kShuffleRetry: return "shuffle_retry";
+    case EventKind::kLineageReexec: return "lineage_reexec";
+    case EventKind::kShuffleRedeliver: return "shuffle_redeliver";
     case EventKind::kKindCount: break;
   }
   return "unknown";

@@ -16,9 +16,18 @@
 // Exits non-zero at the first failing seed (default) and prints the seed and
 // its fault plan so the failure replays:  chaos_run --start <seed> --seeds 1
 //
+// Node faults (enables the fault-tolerance layer for every run):
+//   --kill-node=<id>@<ms>    crash node <id> at <ms> into each job
+//   --hang-node=<id>@<ms>    stop node <id>'s heartbeats (zombie)
+//   --poison-node=<id>@<ms>  every allocation on node <id> throws OME
+// Each fault-injected run must still reproduce the fault-free fingerprint and
+// the ledger's duplicate counter must stay zero (exactly-once delivery).
+//
 // Usage:
 //   chaos_run [--seeds N] [--start S] [--apps WC,HS,HJ] [--keep-going]
 //             [--heap-kb K] [--dataset-kb K] [--nodes N] [--deadline-ms D]
+//             [--kill-node=I@MS] [--hang-node=I@MS] [--poison-node=I@MS]
+//             [--json]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +38,7 @@
 #include "apps/hyracks_apps.h"
 #include "chaos/chaos.h"
 #include "cluster/cluster.h"
+#include "cluster/failure_model.h"
 
 namespace {
 
@@ -41,6 +51,8 @@ struct Options {
   std::uint64_t dataset_kb = 256;
   int nodes = 2;
   double deadline_ms = 60000.0;
+  std::vector<itask::cluster::NodeFault> node_faults;
+  bool json = false;
 };
 
 std::vector<std::string> SplitCsv(const char* s) {
@@ -58,6 +70,17 @@ std::vector<std::string> SplitCsv(const char* s) {
   return out;
 }
 
+// Parses "<id>@<ms>" (e.g. --kill-node=1@10).
+bool ParseNodeAt(const char* s, int* node, double* at_ms) {
+  char* end = nullptr;
+  *node = static_cast<int>(std::strtol(s, &end, 10));
+  if (end == s || *end != '@') {
+    return false;
+  }
+  *at_ms = std::strtod(end + 1, nullptr);
+  return true;
+}
+
 bool ParseArgs(int argc, char** argv, Options* opt) {
   for (int i = 1; i < argc; ++i) {
     auto value = [&]() -> const char* {
@@ -67,7 +90,34 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
       }
       return argv[++i];
     };
-    if (std::strcmp(argv[i], "--seeds") == 0) {
+    // Node-fault flags accept both --flag=I@MS and --flag I@MS.
+    auto fault_flag = [&](const char* name, itask::cluster::FaultKind kind) -> bool {
+      const std::size_t len = std::strlen(name);
+      const char* spec = nullptr;
+      if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+        spec = argv[i] + len + 1;
+      } else if (std::strcmp(argv[i], name) == 0) {
+        spec = value();
+      } else {
+        return false;
+      }
+      int node = 0;
+      double at_ms = 0.0;
+      if (!ParseNodeAt(spec, &node, &at_ms)) {
+        std::fprintf(stderr, "chaos_run: %s wants <id>@<ms>, got %s\n", name, spec);
+        std::exit(2);
+      }
+      opt->node_faults.push_back({node, at_ms, kind});
+      return true;
+    };
+    if (fault_flag("--kill-node", itask::cluster::FaultKind::kKill) ||
+        fault_flag("--hang-node", itask::cluster::FaultKind::kHang) ||
+        fault_flag("--poison-node", itask::cluster::FaultKind::kOomPoison)) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--json") == 0) {
+      opt->json = true;
+    } else if (std::strcmp(argv[i], "--seeds") == 0) {
       opt->seeds = std::strtoull(value(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--start") == 0) {
       opt->start = std::strtoull(value(), nullptr, 10);
@@ -98,7 +148,17 @@ itask::apps::AppConfig MakeAppConfig(const Options& opt) {
   config.max_workers = 4;
   config.granularity_bytes = 16 << 10;
   config.deadline_ms = opt.deadline_ms;
+  config.fault_tolerance = !opt.node_faults.empty();
   return config;
+}
+
+void JsonEscape(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+    }
+    out->push_back(c);
+  }
 }
 
 itask::cluster::Cluster MakeCluster(const Options& opt, std::uint64_t heap_kb,
@@ -160,8 +220,16 @@ int main(int argc, char** argv) {
       auto cluster = MakeCluster(opt, opt.heap_kb, &plan);
       itask::chaos::ScheduleFuzzer fuzzer(plan.fuzz);
       itask::chaos::Install(&fuzzer);
+      itask::cluster::FailureModel failure_model;
+      for (const auto& fault : opt.node_faults) {
+        failure_model.Add(fault);
+      }
+      itask::apps::AppConfig app_config = MakeAppConfig(opt);
+      if (app_config.fault_tolerance) {
+        app_config.failure_model = &failure_model;
+      }
       const auto result =
-          itask::apps::RunHyracksApp(app, cluster, MakeAppConfig(opt), itask::apps::Mode::kITask);
+          itask::apps::RunHyracksApp(app, cluster, app_config, itask::apps::Mode::kITask);
       itask::chaos::Uninstall();
       last_points = fuzzer.points_hit();
       ++runs;
@@ -181,6 +249,12 @@ int main(int argc, char** argv) {
                       static_cast<unsigned long long>(result.checksum),
                       static_cast<unsigned long long>(reference[app].checksum));
         what = buf;
+      } else if (result.metrics.duplicate_tuples_dropped != 0) {
+        // The recovery ledger observed (and suppressed) a duplicate shuffle
+        // delivery — exactly-once bookkeeping failed somewhere upstream.
+        what = "dedup audit: " +
+               std::to_string(result.metrics.duplicate_tuples_dropped) +
+               " duplicate tuples dropped";
       }
       if (!what.empty()) {
         failures.push_back({seed, app, what});
@@ -206,14 +280,38 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (opt.json) {
+    // Machine-readable summary (one object on stdout) for CI scrapers.
+    std::string out = "{\"runs\":" + std::to_string(runs);
+    out += ",\"seeds\":" + std::to_string(opt.seeds);
+    out += ",\"nodes\":" + std::to_string(opt.nodes);
+    out += ",\"node_faults\":" + std::to_string(opt.node_faults.size());
+    out += ",\"apps\":[";
+    for (std::size_t i = 0; i < opt.apps.size(); ++i) {
+      out += (i > 0 ? ",\"" : "\"") + opt.apps[i] + "\"";
+    }
+    out += "],\"failures\":[";
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+      out += i > 0 ? "," : "";
+      out += "{\"seed\":" + std::to_string(failures[i].seed) + ",\"app\":\"";
+      JsonEscape(&out, failures[i].app);
+      out += "\",\"what\":\"";
+      JsonEscape(&out, failures[i].what);
+      out += "\"}";
+    }
+    out += std::string("],\"ok\":") + (failures.empty() ? "true" : "false") + "}";
+    std::printf("%s\n", out.c_str());
+  }
   if (!failures.empty()) {
     std::fprintf(stderr, "chaos_run: %zu failing runs; first failing seed %llu (%s)\n",
                  failures.size(), static_cast<unsigned long long>(failures.front().seed),
                  failures.front().app.c_str());
     return 1;
   }
-  std::printf("chaos_run: %llu runs clean (%llu seeds x %zu apps)\n",
-              static_cast<unsigned long long>(runs),
-              static_cast<unsigned long long>(opt.seeds), opt.apps.size());
+  if (!opt.json) {
+    std::printf("chaos_run: %llu runs clean (%llu seeds x %zu apps)\n",
+                static_cast<unsigned long long>(runs),
+                static_cast<unsigned long long>(opt.seeds), opt.apps.size());
+  }
   return 0;
 }
