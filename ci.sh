@@ -2,8 +2,9 @@
 # CI entry point: tier-1 verify (full build + ctest), an ASan/UBSan build of
 # the concurrency-sensitive test suites (obs tracer, async spill I/O, IRS
 # core/runtime), a ThreadSanitizer pass over the same suites, a chaos-smoke
-# sweep of the schedule fuzzer (tools/chaos_run), and a release-mode bench
-# smoke run at a tiny scale.
+# sweep of the schedule fuzzer (tools/chaos_run), a multi-tenant job-service
+# smoke under TSan, and release-mode bench smoke runs at a tiny scale
+# (including the two-tenant jobsvc bench, gated on its JSON artifact).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -49,11 +50,36 @@ ITASK_SUSPECT_TIMEOUT_MS=25 ./build/tools/chaos_run \
 ITASK_SUSPECT_TIMEOUT_MS=25 ./build/tools/chaos_run \
   --seeds 4 --nodes 4 --apps WC,HS,HJ --poison-node=2@3 --json
 
+echo "=== tier 4c: jobsvc smoke (two concurrent tenants under TSan) ==="
+# The multi-tenant job service exercises cross-job arbitration on shared
+# heaps — exactly the kind of path TSan exists for. Runs the concurrent
+# WC+HS+HJ tenant test and the chaos isolation storm under the tier-3 build.
+cmake --build build-tsan -j --target jobsvc_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/jobsvc_test \
+  --gtest_filter='JobServiceTest.*'
+
 echo "=== tier 5: release-mode bench smoke (tiny scale) ==="
 cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-rel -j --target bench_fig11_heaps
 (cd build-rel/bench && ITASK_BENCH_SCALE=0.25 ./bench_fig11_heaps > /dev/null)
 test -s build-rel/bench/bench_fig11_heaps.bench.jsonl
 echo "bench smoke ok ($(wc -l < build-rel/bench/bench_fig11_heaps.bench.jsonl) JSON rows)"
+
+echo "=== tier 5b: jobsvc bench gate (BENCH_jobsvc.json produced + well-formed) ==="
+cmake --build build-rel -j --target bench_jobsvc
+(cd build-rel/bench && ITASK_BENCH_SCALE=0.5 ./bench_jobsvc)
+python3 - build-rel/bench/BENCH_jobsvc.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "jobsvc", doc
+assert doc["ok"] is True, "bench reported failures: %r" % doc
+assert len(doc["tenants"]) == 2, doc["tenants"]
+for row in doc["tenants"]:
+    assert row["completed"] == row["jobs"], row
+    assert row["p99_completion_ms"] > 0, row
+print("jobsvc bench gate ok: %d tenants, %d jobs, %.0f ms wall" % (
+    len(doc["tenants"]), doc["aggregate"]["jobs"], doc["aggregate"]["wall_ms"]))
+EOF
 
 echo "ci.sh: all green"

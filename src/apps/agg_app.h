@@ -213,7 +213,7 @@ class AggApp {
     irs.trace_active = config.trace_active;
     irs.naive_restart = config.naive_restart;
     irs.random_victims = config.random_victims;
-    cluster::ItaskJob job(cluster, irs);
+    cluster::ItaskJob job(cluster, irs, config.tenant);
     const int nodes = cluster.size();
 
     core::RecoveryContext* rec = nullptr;

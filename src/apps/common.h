@@ -14,6 +14,7 @@
 #include "chaos/chaos.h"
 #include "cluster/cluster.h"
 #include "cluster/failure_model.h"
+#include "cluster/itask_job.h"
 #include "common/metrics.h"
 #include "itask/recovery.h"
 #include "itask/runtime.h"
@@ -49,6 +50,9 @@ struct AppConfig {
   // Optional fault schedule, applied by the coordinator's poll loop. Only
   // honored when fault_tolerance is set; must outlive the run.
   cluster::FailureModel* failure_model = nullptr;
+  // Tenant identity when this app runs as one job among several on a shared
+  // cluster (set by jobsvc::JobService). Default: single-tenant, no budget.
+  cluster::TenantBinding tenant;
 };
 
 struct AppResult {

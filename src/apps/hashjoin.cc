@@ -215,7 +215,7 @@ AppResult RunHashJoinITask(cluster::Cluster& cluster, const AppConfig& config) {
   irs.trace_active = config.trace_active;
   irs.naive_restart = config.naive_restart;
   irs.random_victims = config.random_victims;
-  cluster::ItaskJob job(cluster, irs);
+  cluster::ItaskJob job(cluster, irs, config.tenant);
 
   const int nodes_total = cluster.size();
   core::RecoveryContext* rec = nullptr;

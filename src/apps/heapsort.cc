@@ -131,7 +131,7 @@ AppResult RunHeapSortITask(cluster::Cluster& cluster, const AppConfig& config) {
   irs.trace_active = config.trace_active;
   irs.naive_restart = config.naive_restart;
   irs.random_victims = config.random_victims;
-  cluster::ItaskJob job(cluster, irs);
+  cluster::ItaskJob job(cluster, irs, config.tenant);
   const int nodes = cluster.size();
   // Chunk size: a small fraction of the heap so merge output never dominates.
   const std::uint64_t chunk_bytes = cluster.config().heap.capacity_bytes / 16;

@@ -42,6 +42,18 @@ std::vector<std::string> IrsAuditor::AuditJobEnd(cluster::ItaskJob& job, bool su
       Check(violations, seen.insert(dp.get()).second,
             Fmt("S2", "partition of type " + core::TypeIds::Name(dp->type()) +
                           " enqueued twice (duplicated tag data)"));
+      // S3 (tenant isolation): on a multi-tenant cluster every partition a
+      // job's threads create is stamped with that job's id, so a partition
+      // queued under this job carrying another job's tag means tenant data
+      // crossed the isolation boundary. kNoJob-tagged partitions are allowed
+      // (driver-side feeds outside any scope; single-tenant runs).
+      const memsim::JobId owner = job.tenant().job_id;
+      if (owner != memsim::kNoJob && dp->job() != memsim::kNoJob) {
+        Check(violations, dp->job() == owner,
+              Fmt("S3", "partition of type " + core::TypeIds::Name(dp->type()) +
+                            " tagged job " + std::to_string(dp->job()) +
+                            " is queued under tenant job " + std::to_string(owner)));
+      }
     }
   }
 
@@ -80,7 +92,14 @@ std::vector<std::string> IrsAuditor::AuditJobEnd(cluster::ItaskJob& job, bool su
                                    std::to_string(r) + " after success"));
     }
     for (int n = 0; n < job.num_nodes(); ++n) {
-      const std::uint64_t live = job.runtime(n).services().heap->live_bytes();
+      // On a multi-tenant cluster the shared heap legitimately holds the
+      // other tenants' data when this job finishes, so the "everything
+      // released" check scopes to this job's own account; a single-tenant
+      // job keeps the stricter whole-heap form.
+      const memsim::JobId owner = job.tenant().job_id;
+      const memsim::ManagedHeap& heap = *job.runtime(n).services().heap;
+      const std::uint64_t live =
+          owner != memsim::kNoJob ? heap.job_live_bytes(owner) : heap.live_bytes();
       if (live != 0) {
         std::ostringstream os;
         os << "node " << n << " holds " << live

@@ -7,8 +7,10 @@
 #ifndef ITASK_CLUSTER_ITASK_JOB_H_
 #define ITASK_CLUSTER_ITASK_JOB_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -20,17 +22,52 @@
 
 namespace itask::cluster {
 
+// Tenant identity for a job sharing the cluster with others. The job_id keys
+// the per-job byte accounts in every node's ManagedHeap; node_budget_bytes is
+// the soft per-node budget the arbitration policy enforces (0 = unbudgeted,
+// i.e. the job neither yields to nor shields itself from other tenants).
+struct TenantBinding {
+  memsim::JobId job_id = memsim::kNoJob;
+  std::string name;
+  int priority = 0;
+  std::uint64_t node_budget_bytes = 0;
+  // Fair-share worker cap per node, assigned by the job service (priority-
+  // weighted split of the cluster's worker slots). 0 = caller's own default.
+  int max_workers = 0;
+};
+
 class ItaskJob {
  public:
   ItaskJob(Cluster& cluster, const core::IrsConfig& config)
-      : state_(std::make_shared<core::JobState>()) {
+      : ItaskJob(cluster, config, TenantBinding{}) {}
+
+  // Multi-tenant variant: stamps every runtime with the tenant's job id (so
+  // worker/monitor threads allocate under its heap account) and registers the
+  // per-node budget on each node heap. The destructor clears both again —
+  // heaps outlive jobs, and a later tenant may reuse the account slot.
+  ItaskJob(Cluster& cluster, const core::IrsConfig& config, const TenantBinding& tenant)
+      : state_(std::make_shared<core::JobState>()), tenant_(tenant) {
     for (int i = 0; i < cluster.size(); ++i) {
       Node& node = cluster.node(i);
       core::NodeServices services{node.id(),    node.name(),  &node.heap(),
                                   &node.spill(), node.tracer(), &node.async_spill()};
+      services.job_id = tenant_.job_id;
+      if (tenant_.job_id != memsim::kNoJob) {
+        node.heap().SetJobBudget(tenant_.job_id, tenant_.node_budget_bytes);
+      }
       runtimes_.push_back(std::make_unique<core::IrsRuntime>(services, config, state_));
     }
   }
+
+  ~ItaskJob() {
+    if (tenant_.job_id != memsim::kNoJob) {
+      for (auto& rt : runtimes_) {
+        rt->services().heap->ResetJobAccount(tenant_.job_id);
+      }
+    }
+  }
+
+  const TenantBinding& tenant() const { return tenant_; }
 
   int num_nodes() const { return static_cast<int>(runtimes_.size()); }
   core::IrsRuntime& runtime(int node) { return *runtimes_[static_cast<std::size_t>(node)]; }
@@ -142,6 +179,7 @@ class ItaskJob {
   }
 
   std::shared_ptr<core::JobState> state_;
+  TenantBinding tenant_;
   std::vector<std::unique_ptr<core::IrsRuntime>> runtimes_;
   std::unique_ptr<core::JobCoordinator> coordinator_;
   std::unique_ptr<core::RecoveryContext> recovery_;

@@ -157,6 +157,11 @@ class DataPartition {
   memsim::ManagedHeap* heap() const { return heap_; }
   serde::SpillManager* spill_manager() const { return spill_; }
 
+  // Tenant tag: the job whose thread constructed this partition (kNoJob for
+  // single-job runs). Used by the chaos auditor's S3 isolation invariant —
+  // a partition queued under job A must never carry job B's tag.
+  memsim::JobId job() const { return job_; }
+
  protected:
   // Payload accounting for subclasses: charges go against the partition's
   // *current* heap (which TransferTo may change), so subclasses must route all
@@ -198,6 +203,7 @@ class DataPartition {
   std::atomic<bool> requeued_{false};
   std::int64_t origin_split_ = kNoSplit;
   std::uint32_t origin_epoch_ = 0;
+  memsim::JobId job_ = memsim::CurrentJobId();
   int no_progress_ = 0;
   // Serializes Spill/EnsureResident/TransferTo against each other (the
   // partition manager may spill a queued partition while a worker pops it).

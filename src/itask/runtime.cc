@@ -403,6 +403,9 @@ void IrsRuntime::DefaultSink(const PartitionPtr& out) {
 }
 
 void IrsRuntime::MonitorLoop() {
+  // The monitor serializes/frees partitions on this thread (SpillStep), so it
+  // must carry the tenant identity for the heap's per-job accounting.
+  memsim::JobScope job_scope(services_.job_id);
   const auto* heap = services_.heap;
   const double capacity = static_cast<double>(heap->capacity());
   const double n_fraction = heap->config().grow_free_fraction;
@@ -455,8 +458,28 @@ void IrsRuntime::MonitorLoop() {
         pressure_.store(false, std::memory_order_relaxed);
         tracer_->Emit(obs::EventKind::kPressureOff, trace_node());
       } else {
-        tracer_->Emit(obs::EventKind::kSignalReduce, trace_node(), BytesNeededForSafeZone());
-        sched_.OnReduceSignal();
+        // Cross-tenant arbitration (multi-job clusters): the job most over
+        // its budget takes the full REDUCE; other over-budget tenants only
+        // spill; under-budget tenants keep their workers and ride it out.
+        // Single-job runs (job_id == kNoJob, or no budgets set) always rank
+        // kFullReduce, i.e. the paper's original within-job protocol.
+        const memsim::PressureRank rank = heap->PressureVictimRank(services_.job_id);
+        if (rank == memsim::PressureRank::kProtected) {
+          tracer_->Emit(obs::EventKind::kTenantYield, trace_node(), 0, 0, services_.job_id);
+        } else if (rank == memsim::PressureRank::kSpillOnly) {
+          const std::uint64_t needed = BytesNeededForSafeZone();
+          if (needed > 0) {
+            pm_.SpillStep(needed);
+          }
+        } else {
+          const std::uint64_t overage = heap->JobOverage(services_.job_id);
+          if (services_.job_id != memsim::kNoJob && overage > 0) {
+            tracer_->Emit(obs::EventKind::kTenantShed, trace_node(), overage, 0,
+                          services_.job_id);
+          }
+          tracer_->Emit(obs::EventKind::kSignalReduce, trace_node(), BytesNeededForSafeZone());
+          sched_.OnReduceSignal();
+        }
       }
       headroom_streak_ = 0;
     } else if (heap->HasGrowHeadroom()) {

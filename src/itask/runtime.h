@@ -49,6 +49,11 @@ struct NodeServices {
   // Set when |spill| is actually the node's async engine; NodeMetrics reads
   // its cancellation/codec/stall counters through it.
   io::AsyncSpillManager* async_spill = nullptr;
+  // Tenant identity for multi-job clusters: worker/monitor threads run under
+  // a JobScope with this id so the heap attributes their bytes, and the
+  // monitor consults PressureVictimRank(job_id) before honoring a REDUCE.
+  // kNoJob (the default) opts out of cross-tenant arbitration entirely.
+  memsim::JobId job_id = memsim::kNoJob;
 };
 
 struct IrsConfig {

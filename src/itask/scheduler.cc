@@ -101,6 +101,30 @@ void Scheduler::OnReduceSignal() {
     }
     return;
   }
+  const NodeServices& services = runtime_->services();
+  if (services.job_id != memsim::kNoJob && services.heap->JobOverage(services.job_id) > 0) {
+    // Budget rule (multi-tenant): a job paying for its own overage interrupts
+    // its cheapest-to-serialize instance — fewest tuples since activation
+    // means the least staged output to release — instead of the §5.4 rules,
+    // which optimize job completion rather than eviction cost.
+    Worker* victim = nullptr;
+    std::uint64_t victim_tuples = 0;
+    for (auto& worker : workers_) {
+      if (!worker->busy || worker->terminate_requested.load(std::memory_order_relaxed) ||
+          worker->spec_id < 0) {
+        continue;
+      }
+      const std::uint64_t tuples = worker->tuples.load(std::memory_order_relaxed);
+      if (victim == nullptr || tuples < victim_tuples) {
+        victim = worker.get();
+        victim_tuples = tuples;
+      }
+    }
+    if (victim != nullptr) {
+      RequestTerminationLocked(victim, obs::InterruptRule::kBudget);
+    }
+    return;
+  }
   Worker* victim = nullptr;
   int victim_merge = 0;
   int victim_distance = -1;
@@ -231,6 +255,9 @@ void Scheduler::TryDispatchLocked() {
 }
 
 void Scheduler::WorkerLoop(int id) {
+  // Tenant identity for the heap's per-job accounting: every byte this worker
+  // allocates or frees is attributed to the runtime's job.
+  memsim::JobScope job_scope(runtime_->services().job_id);
   Worker& self = *workers_[static_cast<std::size_t>(id)];
   std::unique_lock lock(mu_);
   while (true) {

@@ -1,0 +1,45 @@
+#include "jobsvc/admission.h"
+
+#include <algorithm>
+
+namespace itask::jobsvc {
+
+AdmissionController::AdmissionController(const BudgetConfig& budget, int max_concurrent)
+    : ledger_(budget), max_concurrent_(std::max(max_concurrent, 1)) {}
+
+void AdmissionController::Enqueue(JobRequest request) {
+  // Insert before the first strictly-lower-priority entry: equal priorities
+  // stay FIFO (stable), higher priorities jump the queue.
+  const auto pos = std::find_if(queue_.begin(), queue_.end(), [&](const JobRequest& q) {
+    return q.priority < request.priority;
+  });
+  queue_.insert(pos, std::move(request));
+}
+
+std::vector<JobRequest> AdmissionController::AdmitRunnable(int running,
+                                                           std::vector<Deferral>* deferred) {
+  std::vector<JobRequest> admitted;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (running + static_cast<int>(admitted.size()) >= max_concurrent_) {
+      break;  // No slot free: nothing below is a deferral, just a full house.
+    }
+    if (ledger_.TryReserve(it->node_budget_bytes)) {
+      admitted.push_back(std::move(*it));
+      it = queue_.erase(it);
+      continue;
+    }
+    if (deferred != nullptr) {
+      const std::uint64_t avail = ledger_.available_bytes();
+      deferred->push_back(
+          {it->ticket, it->node_budget_bytes > avail ? it->node_budget_bytes - avail : 0});
+    }
+    ++it;  // Head-of-line bypass: try the next (possibly smaller) job.
+  }
+  return admitted;
+}
+
+void AdmissionController::OnJobFinished(std::uint64_t node_budget_bytes) {
+  ledger_.Release(node_budget_bytes);
+}
+
+}  // namespace itask::jobsvc

@@ -1,0 +1,64 @@
+// AdmissionController: decides which queued job submissions start running.
+//
+// Policy: strict priority order (higher first), FIFO within a priority.
+// A job is admissible when (a) a concurrency slot is free and (b) its
+// per-node budget fits the BudgetLedger. Jobs that do not fit are *deferred*
+// in place — lower-priority jobs that do fit may pass them (head-of-line
+// bypass keeps small jobs flowing past a large blocked one; the ledger's
+// monotone drain guarantees the large job eventually fits, so bypass delays
+// it but cannot starve it).
+#ifndef ITASK_JOBSVC_ADMISSION_H_
+#define ITASK_JOBSVC_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "jobsvc/budget.h"
+
+namespace itask::jobsvc {
+
+struct JobRequest {
+  std::uint64_t ticket = 0;  // Assigned by Enqueue; unique per submission.
+  std::string name;
+  int priority = 0;                      // Higher runs first.
+  std::uint64_t node_budget_bytes = 0;   // Declared (or profiled) demand.
+};
+
+// One deferral observation, surfaced so the service can emit kJobDeferred.
+struct Deferral {
+  std::uint64_t ticket = 0;
+  std::uint64_t shortfall_bytes = 0;  // How far the budget missed the ledger.
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(const BudgetConfig& budget, int max_concurrent);
+
+  // Queues a request; its budget must already be resolved (non-zero).
+  void Enqueue(JobRequest request);
+
+  // Admits every queued job that fits, best-priority first, reserving its
+  // budget in the ledger. |running| is the number of jobs currently holding
+  // a concurrency slot. Deferred jobs (queued but not admitted this pass,
+  // while a slot was free) are reported through |deferred| when non-null.
+  std::vector<JobRequest> AdmitRunnable(int running, std::vector<Deferral>* deferred = nullptr);
+
+  // Returns a finished job's budget to the ledger.
+  void OnJobFinished(std::uint64_t node_budget_bytes);
+
+  std::size_t queued() const { return queue_.size(); }
+  int max_concurrent() const { return max_concurrent_; }
+  const BudgetLedger& ledger() const { return ledger_; }
+  BudgetLedger& ledger() { return ledger_; }
+
+ private:
+  BudgetLedger ledger_;
+  int max_concurrent_;
+  std::deque<JobRequest> queue_;  // Kept sorted: priority desc, then FIFO.
+};
+
+}  // namespace itask::jobsvc
+
+#endif  // ITASK_JOBSVC_ADMISSION_H_

@@ -1,0 +1,62 @@
+#include "jobsvc/elasticity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace itask::jobsvc {
+
+std::uint64_t ElasticityProfile::RecommendedBudget(double safety) const {
+  if (knee_bytes == 0) {
+    return 0;
+  }
+  return static_cast<std::uint64_t>(static_cast<double>(knee_bytes) * std::max(safety, 1.0));
+}
+
+ElasticityProfile ElasticityProfiler::Profile(
+    const Config& config, const std::function<double(std::uint64_t)>& run_at) {
+  std::vector<ElasticityPoint> points;
+  const int n = std::max(config.points, 2);
+  const double lo = static_cast<double>(std::max<std::uint64_t>(config.min_heap_bytes, 1));
+  const double hi = static_cast<double>(std::max(config.max_heap_bytes, config.min_heap_bytes));
+  const double ratio = std::pow(hi / lo, 1.0 / static_cast<double>(n - 1));
+  double heap = lo;
+  for (int i = 0; i < n; ++i, heap *= ratio) {
+    const auto heap_bytes = static_cast<std::uint64_t>(heap);
+    const double runtime_ms = run_at(heap_bytes);
+    points.push_back({heap_bytes, std::max(runtime_ms, 0.0), runtime_ms >= 0.0});
+  }
+  return FromPoints(std::move(points), config.knee_tolerance);
+}
+
+ElasticityProfile ElasticityProfiler::FromPoints(std::vector<ElasticityPoint> points,
+                                                 double knee_tolerance) {
+  std::sort(points.begin(), points.end(), [](const ElasticityPoint& a, const ElasticityPoint& b) {
+    return a.heap_bytes < b.heap_bytes;
+  });
+  ElasticityProfile profile;
+  profile.points = std::move(points);
+
+  double best = -1.0;
+  for (const ElasticityPoint& p : profile.points) {
+    if (p.completed && (best < 0.0 || p.runtime_ms < best)) {
+      best = p.runtime_ms;
+    }
+  }
+  if (best < 0.0) {
+    return profile;  // Nothing completed: no knee, caller falls back.
+  }
+  profile.best_runtime_ms = best;
+
+  const double cutoff = best * std::max(knee_tolerance, 1.0);
+  for (const ElasticityPoint& p : profile.points) {
+    if (p.completed && p.runtime_ms <= cutoff) {
+      // Smallest heap still within tolerance of the best: the knee.
+      profile.knee_bytes = p.heap_bytes;
+      profile.knee_runtime_ms = p.runtime_ms;
+      break;
+    }
+  }
+  return profile;
+}
+
+}  // namespace itask::jobsvc

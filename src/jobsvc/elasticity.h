@@ -1,0 +1,59 @@
+// ElasticityProfiler: measures a workload's performance-vs-heap curve at low
+// scale and derives a recommended memory budget for admission sizing.
+//
+// The idea (from "Don't cry over spilled records", PAPERS.md): an ITask-style
+// job degrades gracefully below its in-memory working set — it spills — so
+// its runtime-vs-heap curve is flat above a *knee* and climbs below it.
+// Giving the job more than the knee wastes budget another tenant could use;
+// giving it much less buys little admission capacity at a large slowdown.
+// The profiler sweeps a few heap sizes (geometric grid), runs the workload at
+// reduced scale at each, and picks the smallest heap whose runtime stays
+// within |knee_tolerance| of the best observed — that knee, padded by a
+// safety factor, is the recommended per-node budget.
+#ifndef ITASK_JOBSVC_ELASTICITY_H_
+#define ITASK_JOBSVC_ELASTICITY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace itask::jobsvc {
+
+struct ElasticityPoint {
+  std::uint64_t heap_bytes = 0;
+  double runtime_ms = 0.0;
+  bool completed = true;  // False: the workload aborted/OMEd at this size.
+};
+
+struct ElasticityProfile {
+  std::vector<ElasticityPoint> points;
+  std::uint64_t knee_bytes = 0;    // Smallest heap within tolerance of best.
+  double knee_runtime_ms = 0.0;
+  double best_runtime_ms = 0.0;
+
+  // The knee padded by |safety| (>= 1.0), the number admission should use.
+  std::uint64_t RecommendedBudget(double safety = 1.25) const;
+};
+
+class ElasticityProfiler {
+ public:
+  struct Config {
+    std::uint64_t min_heap_bytes = 0;
+    std::uint64_t max_heap_bytes = 0;
+    int points = 4;                // Geometric grid size from min to max.
+    double knee_tolerance = 1.3;   // "Within tolerance of best" multiplier.
+  };
+
+  // |run_at| executes the workload (at whatever reduced scale the caller
+  // chose) against a heap of the given size and returns the measured runtime
+  // in ms, or a negative value if the run failed at that size.
+  static ElasticityProfile Profile(const Config& config,
+                                   const std::function<double(std::uint64_t heap_bytes)>& run_at);
+
+  // Knee derivation alone, for pre-measured curves (unit tests, offline data).
+  static ElasticityProfile FromPoints(std::vector<ElasticityPoint> points, double knee_tolerance);
+};
+
+}  // namespace itask::jobsvc
+
+#endif  // ITASK_JOBSVC_ELASTICITY_H_

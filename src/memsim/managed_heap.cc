@@ -8,7 +8,92 @@
 
 namespace itask::memsim {
 
+namespace {
+thread_local JobId tls_job_id = kNoJob;
+}  // namespace
+
+JobId CurrentJobId() { return tls_job_id; }
+
+JobScope::JobScope(JobId id) : prev_(tls_job_id) { tls_job_id = id; }
+JobScope::~JobScope() { tls_job_id = prev_; }
+
 ManagedHeap::ManagedHeap(HeapConfig config) : config_(config) {}
+
+void ManagedHeap::NoteJobAlloc(std::uint64_t bytes) {
+  const JobId job = tls_job_id;
+  if (job == kNoJob || job >= kMaxJobAccounts) {
+    return;
+  }
+  job_live_[job].fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void ManagedHeap::NoteJobFree(std::uint64_t bytes) {
+  const JobId job = tls_job_id;
+  if (job == kNoJob || job >= kMaxJobAccounts) {
+    return;
+  }
+  auto& acct = job_live_[job];
+  std::uint64_t held = acct.load(std::memory_order_relaxed);
+  std::uint64_t drop;
+  do {
+    drop = std::min(bytes, held);
+  } while (!acct.compare_exchange_weak(held, held - drop, std::memory_order_relaxed));
+}
+
+void ManagedHeap::SetJobBudget(JobId job, std::uint64_t bytes) {
+  if (job == kNoJob || job >= kMaxJobAccounts) {
+    return;
+  }
+  job_budget_[job].store(bytes, std::memory_order_relaxed);
+}
+
+void ManagedHeap::ResetJobAccount(JobId job) {
+  if (job == kNoJob || job >= kMaxJobAccounts) {
+    return;
+  }
+  job_budget_[job].store(0, std::memory_order_relaxed);
+  job_live_[job].store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t ManagedHeap::job_live_bytes(JobId job) const {
+  return job < kMaxJobAccounts ? job_live_[job].load(std::memory_order_relaxed) : 0;
+}
+
+std::uint64_t ManagedHeap::job_budget_bytes(JobId job) const {
+  return job < kMaxJobAccounts ? job_budget_[job].load(std::memory_order_relaxed) : 0;
+}
+
+std::uint64_t ManagedHeap::JobOverage(JobId job) const {
+  if (job == kNoJob || job >= kMaxJobAccounts) {
+    return 0;
+  }
+  const std::uint64_t budget = job_budget_[job].load(std::memory_order_relaxed);
+  if (budget == 0) {
+    return 0;  // Unbudgeted: overage is undefined, arbitration exempts it.
+  }
+  const std::uint64_t live = job_live_[job].load(std::memory_order_relaxed);
+  return live > budget ? live - budget : 0;
+}
+
+PressureRank ManagedHeap::PressureVictimRank(JobId job) const {
+  if (job == kNoJob || job >= kMaxJobAccounts || job_budget_bytes(job) == 0) {
+    return PressureRank::kFullReduce;  // Unbudgeted jobs arbitrate nothing.
+  }
+  const std::uint64_t own = JobOverage(job);
+  std::uint64_t max_over = 0;
+  for (std::size_t j = 1; j < kMaxJobAccounts; ++j) {
+    max_over = std::max(max_over, JobOverage(static_cast<JobId>(j)));
+  }
+  if (max_over == 0) {
+    // Every budgeted tenant is within budget; the pressure is structural
+    // (garbage, unattributed allocations) and everyone shares the response.
+    return PressureRank::kFullReduce;
+  }
+  if (own == 0) {
+    return PressureRank::kProtected;
+  }
+  return own >= max_over ? PressureRank::kFullReduce : PressureRank::kSpillOnly;
+}
 
 void ManagedHeap::Allocate(std::uint64_t bytes) {
   if (bytes > 0 && poisoned_.load(std::memory_order_relaxed)) {
@@ -69,6 +154,7 @@ bool ManagedHeap::TryAllocate(std::uint64_t bytes) {
       continue;
     }
     allocated_total_.fetch_add(bytes, std::memory_order_relaxed);
+    NoteJobAlloc(bytes);
     UpdatePeaks(new_live);
     return true;
   }
@@ -103,6 +189,7 @@ void ManagedHeap::Free(std::uint64_t bytes) {
     LOG_WARN() << "ManagedHeap::Free over-release: " << bytes << " > live " << live + drop;
   }
   garbage_.fetch_add(drop, std::memory_order_relaxed);
+  NoteJobFree(drop);
   UpdatePeaks(live_.load(std::memory_order_relaxed));
 }
 

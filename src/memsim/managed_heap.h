@@ -20,6 +20,7 @@
 #ifndef ITASK_MEMSIM_MANAGED_HEAP_H_
 #define ITASK_MEMSIM_MANAGED_HEAP_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -34,6 +35,47 @@ namespace itask::memsim {
 class OutOfMemoryError : public std::runtime_error {
  public:
   explicit OutOfMemoryError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// ---- Multi-tenant job attribution (DESIGN.md §12) ----
+//
+// A heap is shared by every job running on its node. Allocation and free calls
+// carry no job identity, so attribution rides on a thread-local: every thread
+// working on behalf of a job (scheduler workers, the monitor, the driver
+// thread feeding input) runs under a JobScope, and the heap charges that job's
+// account. Cross-node transfers happen on the producing worker's thread, so
+// the charge lands on the same job on the destination heap.
+//
+// Job id 0 (kNoJob) is the unattributed account: single-job runs and
+// infrastructure allocations land there and are exempt from budget
+// arbitration, which keeps every pre-jobsvc code path byte-for-byte unchanged.
+using JobId = std::uint32_t;
+inline constexpr JobId kNoJob = 0;
+// Account slots per heap. The job service allocates account ids from a free
+// list of [1, kMaxJobAccounts), so concurrent tenants never collide.
+inline constexpr std::size_t kMaxJobAccounts = 32;
+
+// The calling thread's current job attribution (kNoJob outside any scope).
+JobId CurrentJobId();
+
+// RAII thread-local job attribution. Nests; restores the previous id.
+class JobScope {
+ public:
+  explicit JobScope(JobId id);
+  ~JobScope();
+  JobScope(const JobScope&) = delete;
+  JobScope& operator=(const JobScope&) = delete;
+
+ private:
+  JobId prev_;
+};
+
+// How a tenant should respond to a REDUCE signal on a shared heap — the
+// cross-tenant arbitration verdict (see ManagedHeap::PressureVictimRank).
+enum class PressureRank : std::uint8_t {
+  kProtected = 0,   // Under budget while another tenant is over: do not shed.
+  kSpillOnly = 1,   // Over budget, but a peer is further over: spill, no victims.
+  kFullReduce = 2,  // Most-over-budget tenant (or no arbitration applies).
 };
 
 struct HeapConfig {
@@ -137,6 +179,26 @@ class ManagedHeap {
   void Unpoison() { poisoned_.store(false, std::memory_order_relaxed); }
   bool poisoned() const { return poisoned_.load(std::memory_order_relaxed); }
 
+  // ---- Per-job accounting and budgets (multi-tenant arbitration) ----
+  // Budgets are *soft*: they never fail an allocation (the service's admission
+  // control keeps the sum of budgets within capacity); they steer which tenant
+  // the IRS monitors pick as the pressure victim. Budget 0 means unbudgeted —
+  // such jobs always rank kFullReduce, reproducing single-job behaviour.
+  void SetJobBudget(JobId job, std::uint64_t bytes);
+  // Zeroes a finished job's budget and any residual live attribution (cross-
+  // thread attribution skew must not leak into the slot's next tenant).
+  void ResetJobAccount(JobId job);
+  std::uint64_t job_live_bytes(JobId job) const;
+  std::uint64_t job_budget_bytes(JobId job) const;
+  // Bytes this job is over its budget (0 when unbudgeted or within budget).
+  std::uint64_t JobOverage(JobId job) const;
+  // Cross-tenant arbitration verdict for |job|'s monitor: the tenant furthest
+  // over its budget takes the full REDUCE (victim interrupts included), other
+  // over-budget tenants spill only, and under-budget tenants are protected.
+  // When no budgeted tenant is over budget, everyone ranks kFullReduce — the
+  // pressure is structural, not one tenant's fault.
+  PressureRank PressureVictimRank(JobId job) const;
+
   std::uint64_t capacity() const { return config_.capacity_bytes; }
   std::uint64_t live_bytes() const { return live_.load(std::memory_order_relaxed); }
   std::uint64_t garbage_bytes() const { return garbage_.load(std::memory_order_relaxed); }
@@ -161,6 +223,13 @@ class ManagedHeap {
   const HeapConfig& config() const { return config_; }
 
  private:
+  // Charges/releases |bytes| on the calling thread's job account. Free-side
+  // releases clamp at the account's balance: attribution skew (a partition
+  // allocated under one scope, freed under another) must never underflow a
+  // tenant's ledger or inflate a peer's.
+  void NoteJobAlloc(std::uint64_t bytes);
+  void NoteJobFree(std::uint64_t bytes);
+
   // Runs a collection with gc_mu_ held; returns the event.
   GcEvent CollectLocked();
   void NotifyListeners(const GcEvent& event);
@@ -184,6 +253,9 @@ class ManagedHeap {
   std::atomic<std::uint64_t> gc_sequence_{0};
   std::atomic<bool> forced_ome_{false};
   std::atomic<bool> poisoned_{false};
+  // Per-job live bytes and budgets, indexed by account id (see JobScope).
+  std::array<std::atomic<std::uint64_t>, kMaxJobAccounts> job_live_{};
+  std::array<std::atomic<std::uint64_t>, kMaxJobAccounts> job_budget_{};
   std::vector<std::pair<int, GcListener>> listeners_;
   int next_listener_id_ = 0;
   std::mutex listener_mu_;

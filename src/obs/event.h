@@ -44,6 +44,11 @@ enum class EventKind : std::uint8_t {
   kShuffleRetry,         // aux=destination node, a=attempt, b=backoff_us
   kLineageReexec,        // aux=split id, a=epoch re-executed, b=home node
   kShuffleRedeliver,     // aux=destination node, a=split id, b=seq
+  kJobAdmitted,          // aux=job id, a=budget bytes/node, b=priority
+  kJobDeferred,          // aux=job id, a=bytes short of admission, b=queue depth
+  kJobCompleted,         // aux=job id, a=wall_ns queued->done, b=1 on failure
+  kTenantYield,          // aux=job id (under budget: skipped a REDUCE, kept workers)
+  kTenantShed,           // aux=job id, a=own overage bytes (over budget: full REDUCE)
   kKindCount,            // sentinel — keep last
 };
 
@@ -65,6 +70,7 @@ enum class InterruptRule : std::uint8_t {
   kRandom,          // random_victims ablation.
   kOme,             // Allocation failure forced the interrupt.
   kAbort,           // Job abort unwound the activation.
+  kBudget,          // Over budget: cheapest-to-serialize instance pays first.
 };
 
 inline constexpr std::uint8_t kFlagLugc = 0x1;  // kGc: the collection was useless.
@@ -113,6 +119,11 @@ constexpr const char* EventKindName(EventKind kind) {
     case EventKind::kShuffleRetry: return "shuffle_retry";
     case EventKind::kLineageReexec: return "lineage_reexec";
     case EventKind::kShuffleRedeliver: return "shuffle_redeliver";
+    case EventKind::kJobAdmitted: return "job_admitted";
+    case EventKind::kJobDeferred: return "job_deferred";
+    case EventKind::kJobCompleted: return "job_completed";
+    case EventKind::kTenantYield: return "tenant_yield";
+    case EventKind::kTenantShed: return "tenant_shed";
     case EventKind::kKindCount: break;
   }
   return "unknown";
@@ -128,6 +139,7 @@ constexpr const char* InterruptRuleName(InterruptRule rule) {
     case InterruptRule::kRandom: return "random";
     case InterruptRule::kOme: return "ome";
     case InterruptRule::kAbort: return "abort";
+    case InterruptRule::kBudget: return "budget";
   }
   return "unknown";
 }

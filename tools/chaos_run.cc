@@ -211,6 +211,24 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.records));
   }
 
+  // Per-job Table-2 aggregates across all seeds (staged-release byte classes
+  // plus the interrupt counters), so multi-tenant audits can attribute chaos
+  // findings to the job that produced them instead of one global blob.
+  struct JobCounters {
+    std::uint64_t runs = 0;
+    std::uint64_t interrupts = 0;
+    std::uint64_t ome_interrupts = 0;
+    std::uint64_t victim_requests = 0;
+    std::uint64_t reactivations = 0;
+    std::uint64_t released_processed_input_bytes = 0;
+    std::uint64_t released_final_result_bytes = 0;
+    std::uint64_t parked_intermediate_bytes = 0;
+    std::uint64_t lazy_serialized_bytes = 0;
+    std::uint64_t spilled_bytes = 0;
+    std::uint64_t loaded_bytes = 0;
+  };
+  std::map<std::string, JobCounters> per_job;
+
   std::vector<Failure> failures;
   std::uint64_t runs = 0;
   std::uint64_t last_points = 0;
@@ -233,6 +251,19 @@ int main(int argc, char** argv) {
       itask::chaos::Uninstall();
       last_points = fuzzer.points_hit();
       ++runs;
+
+      JobCounters& jc = per_job[app];
+      ++jc.runs;
+      jc.interrupts += result.metrics.interrupts;
+      jc.ome_interrupts += result.metrics.ome_interrupts;
+      jc.victim_requests += result.metrics.victim_requests;
+      jc.reactivations += result.metrics.reactivations;
+      jc.released_processed_input_bytes += result.metrics.released_processed_input_bytes;
+      jc.released_final_result_bytes += result.metrics.released_final_result_bytes;
+      jc.parked_intermediate_bytes += result.metrics.parked_intermediate_bytes;
+      jc.lazy_serialized_bytes += result.metrics.lazy_serialized_bytes;
+      jc.spilled_bytes += result.metrics.spilled_bytes;
+      jc.loaded_bytes += result.metrics.loaded_bytes;
 
       std::string what;
       const auto in_path = itask::chaos::DrainViolations();
@@ -290,7 +321,28 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < opt.apps.size(); ++i) {
       out += (i > 0 ? ",\"" : "\"") + opt.apps[i] + "\"";
     }
-    out += "],\"failures\":[";
+    out += "],\"per_job\":{";
+    bool first_job = true;
+    for (const auto& [app, jc] : per_job) {
+      out += first_job ? "\"" : ",\"";
+      first_job = false;
+      JsonEscape(&out, app);
+      out += "\":{\"runs\":" + std::to_string(jc.runs);
+      out += ",\"interrupts\":" + std::to_string(jc.interrupts);
+      out += ",\"ome_interrupts\":" + std::to_string(jc.ome_interrupts);
+      out += ",\"victim_requests\":" + std::to_string(jc.victim_requests);
+      out += ",\"reactivations\":" + std::to_string(jc.reactivations);
+      out += ",\"released_processed_input_bytes\":" +
+             std::to_string(jc.released_processed_input_bytes);
+      out += ",\"released_final_result_bytes\":" +
+             std::to_string(jc.released_final_result_bytes);
+      out += ",\"parked_intermediate_bytes\":" + std::to_string(jc.parked_intermediate_bytes);
+      out += ",\"lazy_serialized_bytes\":" + std::to_string(jc.lazy_serialized_bytes);
+      out += ",\"spilled_bytes\":" + std::to_string(jc.spilled_bytes);
+      out += ",\"loaded_bytes\":" + std::to_string(jc.loaded_bytes);
+      out += "}";
+    }
+    out += "},\"failures\":[";
     for (std::size_t i = 0; i < failures.size(); ++i) {
       out += i > 0 ? "," : "";
       out += "{\"seed\":" + std::to_string(failures[i].seed) + ",\"app\":\"";
