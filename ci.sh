@@ -19,8 +19,8 @@ cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
   -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}"
-cmake --build build-asan -j --target obs_test io_test itask_core_test irs_runtime_test irs_policy_test
-for t in obs_test io_test itask_core_test irs_runtime_test irs_policy_test; do
+cmake --build build-asan -j --target obs_test io_test itask_core_test irs_runtime_test irs_policy_test net_test
+for t in obs_test io_test itask_core_test irs_runtime_test irs_policy_test net_test; do
   echo "--- ${t} (sanitized) ---"
   "./build-asan/tests/${t}"
 done
@@ -49,6 +49,19 @@ ITASK_SUSPECT_TIMEOUT_MS=25 ./build/tools/chaos_run \
   --seeds 16 --nodes 4 --apps WC,HS,HJ --kill-node=1@5 --json
 ITASK_SUSPECT_TIMEOUT_MS=25 ./build/tools/chaos_run \
   --seeds 4 --nodes 4 --apps WC,HS,HJ --poison-node=2@3 --json
+
+echo "=== tier 4d: net smoke (recovery + chaos slice over TCP loopback) ==="
+# The same recovery fingerprint checks, but with every shuffle delivery, ack
+# and heartbeat crossing a real TCP loopback socket through the net/ fabric
+# (DESIGN.md §13). Wire framing, batching and peer-gone redelivery must not
+# change a single result bit, faulted or not.
+cmake --build build -j --target net_test net_driver node_daemon
+./build/tests/net_test --gtest_filter='TransportParityTest.*'
+ITASK_SUSPECT_TIMEOUT_MS=25 ./build/tools/chaos_run \
+  --seeds 8 --nodes 4 --apps WC,HS --transport=tcp --kill-node=1@5 --json
+# Multi-process: a driver and two node_daemon processes agree on fingerprints.
+ITASK_NET_TRANSPORT=tcp ./build/tools/net_driver \
+  --daemons 2 --spawn --apps WC --dataset-kb 128
 
 echo "=== tier 4c: jobsvc smoke (two concurrent tenants under TSan) ==="
 # The multi-tenant job service exercises cross-job arbitration on shared
@@ -80,6 +93,29 @@ for row in doc["tenants"]:
     assert row["p99_completion_ms"] > 0, row
 print("jobsvc bench gate ok: %d tenants, %d jobs, %.0f ms wall" % (
     len(doc["tenants"]), doc["aggregate"]["jobs"], doc["aggregate"]["wall_ms"]))
+EOF
+
+echo "=== tier 5c: net bench gate (BENCH_net.json produced + well-formed) ==="
+cmake --build build-rel -j --target bench_net
+(cd build-rel/bench && ITASK_BENCH_SCALE=0.25 ./bench_net)
+python3 - build-rel/bench/BENCH_net.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "net", doc
+assert doc["ok"] is True, "bench reported failures: %r" % doc
+kinds = {row["kind"] for row in doc["raw"]}
+assert kinds == {"inproc", "tcp", "uds"}, kinds
+for row in doc["raw"]:
+    assert row["msgs_per_sec"] > 0, row
+    assert row["send_stall_p99_us"] >= 0, row
+    if row["kind"] != "inproc" and row["payload_bytes"] * 2 <= 65536:
+        # Socket backends must actually batch small messages: fewer frames
+        # than messages. (64KB payloads fill a whole batch each, 1 msg/frame.)
+        assert row["frames"] < row["msgs"], row
+apps = {row["transport"] for row in doc["apps"]}
+assert apps == {"inproc", "tcp"}, apps
+print("net bench gate ok: %d raw rows, %d app rows" % (len(doc["raw"]), len(doc["apps"])))
 EOF
 
 echo "ci.sh: all green"

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "cluster/node.h"
+#include "common/env.h"
+#include "net/transport.h"
 #include "obs/tracer.h"
 
 #if defined(_WIN32)
@@ -33,6 +35,10 @@ struct ClusterConfig {
   std::size_t trace_ring_capacity = obs::Tracer::kDefaultRingCapacity;
   // Spill I/O engine settings, shared by every node.
   NodeIoConfig io;
+  // Shuffle/control transport settings (DESIGN.md §13). kInproc keeps the
+  // pre-net direct-dispatch path; kTcp/kUds route fault-tolerant jobs'
+  // shuffle deliveries, acks and heartbeats over loopback sockets.
+  net::NetConfig net;
 };
 
 // Environment overrides for the I/O engine, applied on top of |base|:
@@ -43,24 +49,14 @@ struct ClusterConfig {
 //   ITASK_IO_FAIL_NTH      fail every nth spill I/O op
 //   ITASK_IO_FAIL_SEED     seed for the injection's private RNG stream
 inline NodeIoConfig NodeIoConfigFromEnv(NodeIoConfig base) {
-  if (const char* v = std::getenv("ITASK_IO_POOL")) {
-    base.pool_size = std::atoi(v);
-  }
-  if (const char* v = std::getenv("ITASK_IO_COMPRESSION")) {
-    base.compression = std::atoi(v) != 0;
-  }
-  if (const char* v = std::getenv("ITASK_IO_FAIL_WRITE_P")) {
-    base.failure.write_probability = std::atof(v);
-  }
-  if (const char* v = std::getenv("ITASK_IO_FAIL_READ_P")) {
-    base.failure.read_probability = std::atof(v);
-  }
-  if (const char* v = std::getenv("ITASK_IO_FAIL_NTH")) {
-    base.failure.every_nth = static_cast<std::uint64_t>(std::atoll(v));
-  }
-  if (const char* v = std::getenv("ITASK_IO_FAIL_SEED")) {
-    base.failure.seed = static_cast<std::uint64_t>(std::atoll(v));
-  }
+  base.pool_size = common::EnvInt("ITASK_IO_POOL", base.pool_size);
+  base.compression = common::EnvBool("ITASK_IO_COMPRESSION", base.compression);
+  base.failure.write_probability =
+      common::EnvDouble("ITASK_IO_FAIL_WRITE_P", base.failure.write_probability);
+  base.failure.read_probability =
+      common::EnvDouble("ITASK_IO_FAIL_READ_P", base.failure.read_probability);
+  base.failure.every_nth = common::EnvU64("ITASK_IO_FAIL_NTH", base.failure.every_nth);
+  base.failure.seed = common::EnvU64("ITASK_IO_FAIL_SEED", base.failure.seed);
   return base;
 }
 
@@ -68,6 +64,7 @@ class Cluster {
  public:
   explicit Cluster(const ClusterConfig& config)
       : config_(config), tracer_(config.trace_ring_capacity) {
+    config_.net = net::NetConfigFromEnv(config.net);
     // Per-run unique spill directory (pid + process-wide run counter):
     // concurrent test/bench processes sharing one temp root can never collide
     // on spill file names, and the destructor can clean up wholesale without

@@ -34,12 +34,20 @@ struct NodeFault {
   int node = 0;
   double at_ms = 0.0;
   FaultKind kind = FaultKind::kKill;
+  // kHang only: additionally age the node's last heartbeat by this much when
+  // the fault fires, as if it had already been silent that long. Tests use a
+  // value past the dead timeout to make detection deterministic — a zombie
+  // node races job completion against wall-clock silence otherwise. 0 keeps
+  // real-time hang semantics (chaos default).
+  double silence_age_ms = 0.0;
 };
 
 class FailureModel {
  public:
   void ScheduleKill(int node, double at_ms) { Add({node, at_ms, FaultKind::kKill}); }
-  void ScheduleHang(int node, double at_ms) { Add({node, at_ms, FaultKind::kHang}); }
+  void ScheduleHang(int node, double at_ms, double silence_age_ms = 0.0) {
+    Add({node, at_ms, FaultKind::kHang, silence_age_ms});
+  }
   void SchedulePoison(int node, double at_ms) {
     Add({node, at_ms, FaultKind::kOomPoison});
   }

@@ -19,6 +19,7 @@
 #include "itask/coordinator.h"
 #include "itask/recovery.h"
 #include "itask/runtime.h"
+#include "net/shuffle_fabric.h"
 
 namespace itask::cluster {
 
@@ -46,7 +47,7 @@ class ItaskJob {
   // per-node budget on each node heap. The destructor clears both again —
   // heaps outlive jobs, and a later tenant may reuse the account slot.
   ItaskJob(Cluster& cluster, const core::IrsConfig& config, const TenantBinding& tenant)
-      : state_(std::make_shared<core::JobState>()), tenant_(tenant) {
+      : state_(std::make_shared<core::JobState>()), tenant_(tenant), cluster_(&cluster) {
     for (int i = 0; i < cluster.size(); ++i) {
       Node& node = cluster.node(i);
       core::NodeServices services{node.id(),    node.name(),  &node.heap(),
@@ -94,9 +95,24 @@ class ItaskJob {
       recovery_->SetNodeHooks(i, std::move(hooks));
       rt->EnableFaultTolerance(recovery_.get());
     }
+    // Socket transports route the shuffle ledger's delivery path (and the
+    // heartbeats) through a per-job fabric; inproc keeps the direct
+    // Materialize+push path. Per-job transport instances use ephemeral
+    // ports, so concurrent tenants never collide on an endpoint.
+    if (cluster_->config().net.kind != net::TransportKind::kInproc) {
+      fabric_ = std::make_unique<net::ShuffleFabric>(cluster_->config().net,
+                                                     recovery_.get(), num_nodes());
+      obs::Tracer* trace = &cluster_->tracer();
+      fabric_->transport().SetEventSink(
+          [trace](int endpoint, obs::EventKind kind, std::uint64_t a, std::uint64_t b) {
+            trace->Emit(kind, /*node=*/0, a, b,
+                        static_cast<std::uint32_t>(endpoint + 1));
+          });
+    }
     return *recovery_;
   }
   core::RecoveryContext* recovery() { return recovery_.get(); }
+  net::ShuffleFabric* fabric() { return fabric_.get(); }
 
   // Attaches a fault schedule, applied by the coordinator's poll loop.
   // Requires EnableFaultTolerance() first; |model| must outlive Run().
@@ -147,7 +163,23 @@ class ItaskJob {
     return coordinator_->Run(feed, deadline_ms);
   }
 
-  common::RunMetrics Metrics() const { return coordinator_->AggregateMetrics(); }
+  common::RunMetrics Metrics() const {
+    common::RunMetrics m = coordinator_->AggregateMetrics();
+    if (fabric_ != nullptr) {
+      const net::FabricStats fs = fabric_->stats();
+      m.net_msgs_sent = fs.transport.msgs_sent;
+      m.net_frames_sent = fs.transport.frames_sent;
+      m.net_bytes_sent = fs.transport.bytes_sent;
+      m.net_send_stalls = fs.transport.send_stalls;
+      m.net_stall_ms =
+          static_cast<double>(fs.transport.stall_ns) / 1e6;
+      m.net_ack_timeouts = fs.ack_timeouts;
+      m.net_dup_payloads_dropped = fs.dup_payloads_dropped;
+      m.net_heartbeats_sent = fs.heartbeats_sent;
+      m.net_queue_depth_hist = fs.transport.queue_depth_hist;
+    }
+    return m;
+  }
 
  private:
   void ApplyDueFaults(double elapsed_ms) {
@@ -161,13 +193,23 @@ class ItaskJob {
           // Crash: beats stop and the runtime is fenced at once — queued
           // work purged, late pushes discarded. Detection (suspect -> dead)
           // and lineage recovery still go through the heartbeat detector.
+          // Over a socket transport the node's endpoint dies with it, so
+          // in-flight deliveries fail as peer-gone instead of blocking.
           recovery_->membership().SuppressBeats(fault.node, true);
           rt.Fence();
+          if (fabric_ != nullptr) {
+            fabric_->CloseNode(fault.node);
+          }
           break;
         case FaultKind::kHang:
           // Zombie: only the beats stop; the runtime keeps executing until
-          // the detector declares it dead and fences it.
+          // the detector declares it dead and fences it. Tests may age the
+          // last beat so detection doesn't race job completion.
           recovery_->membership().SuppressBeats(fault.node, true);
+          if (fault.silence_age_ms > 0.0) {
+            recovery_->membership().AgeBeat(
+                fault.node, static_cast<std::uint64_t>(fault.silence_age_ms * 1e6));
+          }
           break;
         case FaultKind::kOomPoison:
           // Every allocation now throws; the node demotes itself to draining
@@ -180,9 +222,13 @@ class ItaskJob {
 
   std::shared_ptr<core::JobState> state_;
   TenantBinding tenant_;
+  Cluster* cluster_ = nullptr;
   std::vector<std::unique_ptr<core::IrsRuntime>> runtimes_;
   std::unique_ptr<core::JobCoordinator> coordinator_;
   std::unique_ptr<core::RecoveryContext> recovery_;
+  // Declared after recovery_: destroyed first, detaching its hooks before the
+  // recovery context they point into goes away.
+  std::unique_ptr<net::ShuffleFabric> fabric_;
   FailureModel* failure_model_ = nullptr;
 };
 

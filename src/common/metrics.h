@@ -48,6 +48,19 @@ struct RunMetrics {
   std::uint64_t io_framed_bytes = 0;            // On-disk bytes after compression.
   double io_read_stall_ms = 0.0;                // Total consumer-visible stall.
 
+  // Net-transport counters (zero on the inproc path). Filled job-wide from
+  // the shuffle fabric's stats, not per node — AccumulateNode leaves them
+  // alone so the fold doesn't double-count.
+  std::uint64_t net_msgs_sent = 0;
+  std::uint64_t net_frames_sent = 0;          // Coalesced batches on the wire.
+  std::uint64_t net_bytes_sent = 0;           // Wire bytes incl. frame headers.
+  std::uint64_t net_send_stalls = 0;          // Producer blocked on a full queue.
+  double net_stall_ms = 0.0;                  // Total producer-visible stall.
+  std::uint64_t net_ack_timeouts = 0;         // Deliveries retried on a lost ack.
+  std::uint64_t net_dup_payloads_dropped = 0; // Receiver-side transport dedup.
+  std::uint64_t net_heartbeats_sent = 0;
+  obs::HistogramSnapshot net_queue_depth_hist;  // Send-queue depth at enqueue.
+
   // Fault-tolerance counters (zero when recovery is disabled or fault-free).
   std::uint64_t nodes_failed = 0;            // Nodes declared dead mid-job.
   std::uint64_t nodes_draining = 0;          // Nodes demoted after escaped OME.

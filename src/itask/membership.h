@@ -69,6 +69,17 @@ class Membership {
     slot(node).beat_suppressed.store(suppressed, std::memory_order_relaxed);
   }
 
+  // Rewinds |node|'s last-beat stamp by |ns|, as if it had already been
+  // silent that long. Fault injection uses this to make hang detection
+  // deterministic: a test can schedule a hang whose silence instantly
+  // exceeds the dead timeout instead of racing job completion against
+  // wall-clock timeouts.
+  void AgeBeat(int node, std::uint64_t ns) {
+    Slot& s = slot(node);
+    const std::uint64_t last = s.last_beat_ns.load(std::memory_order_relaxed);
+    s.last_beat_ns.store(last > ns ? last - ns : 0, std::memory_order_relaxed);
+  }
+
   std::uint64_t NsSinceBeat(int node) const {
     const std::uint64_t last = slot(node).last_beat_ns.load(std::memory_order_relaxed);
     const std::uint64_t now = NowNs();

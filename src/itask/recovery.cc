@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/env.h"
 #include "common/logging.h"
 #include "obs/event.h"
 #include "serde/serializer.h"
@@ -14,24 +15,6 @@
 namespace itask::core {
 
 namespace {
-
-double EnvMs(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') {
-    return fallback;
-  }
-  const double parsed = std::atof(v);
-  return parsed > 0.0 ? parsed : fallback;
-}
-
-int EnvInt(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') {
-    return fallback;
-  }
-  const int parsed = std::atoi(v);
-  return parsed > 0 ? parsed : fallback;
-}
 
 // splitmix64: deterministic jitter for the delivery backoff without touching
 // any global RNG (chaos sweeps re-run fixed seeds and must stay reproducible).
@@ -46,10 +29,11 @@ std::uint64_t Mix64(std::uint64_t x) {
 
 RecoveryConfig RecoveryConfig::FromEnv() {
   RecoveryConfig c;
-  c.heartbeat_ms = EnvMs("ITASK_HEARTBEAT_MS", c.heartbeat_ms);
-  c.suspect_timeout_ms = EnvMs("ITASK_SUSPECT_TIMEOUT_MS", c.suspect_timeout_ms);
+  c.heartbeat_ms = common::EnvPositiveDouble("ITASK_HEARTBEAT_MS", c.heartbeat_ms);
+  c.suspect_timeout_ms =
+      common::EnvPositiveDouble("ITASK_SUSPECT_TIMEOUT_MS", c.suspect_timeout_ms);
   c.dead_timeout_ms = 2.0 * c.suspect_timeout_ms;
-  c.shuffle_retries = EnvInt("ITASK_SHUFFLE_RETRIES", c.shuffle_retries);
+  c.shuffle_retries = std::max(0, common::EnvInt("ITASK_SHUFFLE_RETRIES", c.shuffle_retries));
   return c;
 }
 
@@ -76,6 +60,60 @@ void RecoveryContext::SetNodeHooks(int node, RecoveryNodeHooks hooks) {
 void RecoveryContext::SetNodeSink(int node, std::function<void(PartitionPtr)> sink) {
   std::lock_guard lock(mu_);
   hooks_[static_cast<std::size_t>(node)].sink = std::move(sink);
+}
+
+void RecoveryContext::SetDeliveryChannel(DeliveryChannel channel) {
+  std::lock_guard lock(mu_);
+  delivery_channel_ = std::move(channel);
+}
+
+void RecoveryContext::SetBeatSink(std::function<void(int, std::uint64_t, std::uint64_t)> sink) {
+  std::lock_guard lock(mu_);
+  beat_sink_ = std::move(sink);
+}
+
+void RecoveryContext::SetNodeLostHook(std::function<void(int)> hook) {
+  std::lock_guard lock(mu_);
+  node_lost_hook_ = std::move(hook);
+}
+
+void RecoveryContext::Heartbeat(int node, std::uint64_t used_bytes,
+                                std::uint64_t capacity_bytes) {
+  // The sink is installed before runtimes start and detached after they stop;
+  // no monitor thread can race the assignment.
+  if (beat_sink_) {
+    beat_sink_(node, used_bytes, capacity_bytes);
+  } else {
+    membership_.Beat(node);
+  }
+}
+
+DeliveryStatus RecoveryContext::RemotePush(int node, const ShuffleWireId& id,
+                                           common::ByteBuffer& bytes) {
+  // Lock-free on purpose: a DeliverLocked holding mu_ is blocked waiting for
+  // the ack this call produces. Factories and hooks are frozen pre-run.
+  if (!membership_.Serving(node)) {
+    return DeliveryStatus::kPeerGone;
+  }
+  auto fit = factories_.find(id.type);
+  if (fit == factories_.end()) {
+    LOG_ERROR() << "recovery: no partition factory for remote-push type "
+                << static_cast<unsigned>(id.type);
+    return DeliveryStatus::kBackoff;
+  }
+  RecoveryNodeHooks& h = hooks_[static_cast<std::size_t>(node)];
+  try {
+    PartitionPtr dp = fit->second(h.heap, h.spill);
+    dp->set_tag(id.tag);
+    dp->set_origin(id.split, id.epoch);
+    bytes.ResetCursor();
+    serde::Reader reader(&bytes);
+    dp->DeserializeFrom(reader);
+    h.push(std::move(dp));
+    return DeliveryStatus::kDelivered;
+  } catch (const memsim::OutOfMemoryError&) {
+    return DeliveryStatus::kBackoff;
+  }
 }
 
 std::int64_t RecoveryContext::RegisterSplit(DataPartition& split, int assigned_node) {
@@ -234,6 +272,11 @@ bool RecoveryContext::AllComplete() {
 
 void RecoveryContext::OnNodeLost(int node) {
   recovering_.store(true, std::memory_order_release);
+  if (node_lost_hook_) {
+    // Let the transport fabric close the node's endpoint first: anything
+    // still queued for it is undeliverable and must not block senders.
+    node_lost_hook_(node);
+  }
   {
     std::lock_guard lock(mu_);
     // 1) Uncommitted splits assigned to the lost node: discard their staged
@@ -383,11 +426,32 @@ bool RecoveryContext::DeliverLocked(Entry& entry) {
       BackoffSleep(attempt, Mix64(static_cast<std::uint64_t>(entry.split) << 20 |
                                   entry.seq));
     }
-    try {
-      PartitionPtr dp = Materialize(entry.type, target, entry.bytes);
-      dp->set_tag(entry.tag);
-      dp->set_origin(entry.split, entry.epoch);
-      hooks_[static_cast<std::size_t>(target)].push(dp);
+    bool landed = false;
+    if (delivery_channel_) {
+      // Transport path: ship the serialized bytes; the receive side
+      // materializes (RemotePush) and acks. kBackoff (OME over there, or a
+      // lost ack) retries exactly like a local OME; kPeerGone mirrors the
+      // in-memory push into a fenced runtime — the bytes are gone with the
+      // target and OnNodeLost will re-mark them once it is declared dead.
+      const ShuffleWireId id{entry.split, entry.epoch, entry.seq, entry.type, entry.tag};
+      const DeliveryStatus st = delivery_channel_(target, id, entry.bytes);
+      if (st == DeliveryStatus::kBackoff) {
+        continue;
+      }
+      landed = true;
+    } else {
+      try {
+        PartitionPtr dp = Materialize(entry.type, target, entry.bytes);
+        dp->set_tag(entry.tag);
+        dp->set_origin(entry.split, entry.epoch);
+        hooks_[static_cast<std::size_t>(target)].push(dp);
+        landed = true;
+      } catch (const memsim::OutOfMemoryError&) {
+        // Target heap full right now; back off (capped exponential + jitter)
+        // and re-check membership — the target may get demoted meanwhile.
+      }
+    }
+    if (landed) {
       entry.delivered = true;
       entry.delivered_to = target;
       undelivered_committed_.fetch_sub(1, std::memory_order_release);
@@ -400,9 +464,6 @@ bool RecoveryContext::DeliverLocked(Entry& entry) {
         }
       }
       return true;
-    } catch (const memsim::OutOfMemoryError&) {
-      // Target heap full right now; back off (capped exponential + jitter)
-      // and re-check membership — the target may get demoted meanwhile.
     }
   }
   return false;

@@ -80,6 +80,31 @@ struct RecoveryNodeHooks {
   std::function<void(PartitionPtr)> sink;
 };
 
+// ---- Net-transport integration (src/net) ----
+// The ledger's delivery path can be routed over a message transport instead
+// of materializing directly on the target heap. The channel receives the
+// entry's exactly-once identity plus its serialized bytes and reports how the
+// far end took it; the ledger keeps ownership of retry/backoff/redelivery.
+enum class DeliveryStatus : std::uint8_t {
+  kDelivered = 0,  // Landed on the target (or the target deduped it).
+  kBackoff,        // Target under memory pressure / ack timed out: retry.
+  kPeerGone,       // Target endpoint closed (crashed node). Treated like the
+                   // in-memory push into a fenced runtime: the bytes are
+                   // gone, and OnNodeLost re-marks them for redelivery once
+                   // the detector declares the node dead.
+};
+
+struct ShuffleWireId {
+  std::int64_t split = -1;
+  std::uint32_t epoch = 0;
+  std::uint64_t seq = 0;
+  TypeId type = 0;
+  Tag tag = kNoTag;
+};
+
+using DeliveryChannel =
+    std::function<DeliveryStatus(int target, const ShuffleWireId&, const common::ByteBuffer&)>;
+
 struct RecoveryStats {
   std::uint64_t splits_registered = 0;
   std::uint64_t splits_reexecuted = 0;
@@ -104,6 +129,32 @@ class RecoveryContext {
   void RegisterFactory(TypeId type, PartitionFactory factory);
   void SetNodeHooks(int node, RecoveryNodeHooks hooks);
   void SetNodeSink(int node, std::function<void(PartitionPtr)> sink);
+
+  // ---- Net-transport wiring (optional; before the job runs) ----
+  // Routes committed-entry delivery through |channel| instead of the direct
+  // Materialize+push path. Pass nullptr to detach (the fabric does on
+  // teardown).
+  void SetDeliveryChannel(DeliveryChannel channel);
+
+  // Routes heartbeats through |sink| (the fabric sends them as transport
+  // messages carrying heap stats) instead of beating membership directly.
+  void SetBeatSink(std::function<void(int, std::uint64_t, std::uint64_t)> sink);
+
+  // Called with the node id whenever OnNodeLost fences a node, so the fabric
+  // can close its endpoint and drop queued traffic.
+  void SetNodeLostHook(std::function<void(int)> hook);
+
+  // One heartbeat from |node|'s monitor thread, carrying its heap occupancy.
+  // Without a beat sink this is membership().Beat(node).
+  void Heartbeat(int node, std::uint64_t used_bytes, std::uint64_t capacity_bytes);
+
+  // Receive side of a transport delivery: rehydrates |bytes| as a partition
+  // of |id.type| on |node|'s heap and pushes it into the node's queue.
+  // kBackoff on OME, kPeerGone when |node| is no longer serving. Runs on
+  // transport threads and deliberately takes no lock: factories and hooks are
+  // frozen before the job starts, and a DeliverLocked holding mu_ may be
+  // blocked waiting for exactly this call's ack.
+  DeliveryStatus RemotePush(int node, const ShuffleWireId& id, common::ByteBuffer& bytes);
 
   // ---- DurableStore ----
   // Serializes |split| into the durable store, stamps its lineage origin
@@ -200,6 +251,12 @@ class RecoveryContext {
   RecoveryConfig config_;
   Membership membership_;
   obs::Tracer* tracer_ = nullptr;
+
+  // Net-transport hooks. Written during wiring (single-threaded), read by the
+  // delivery path and monitor threads afterwards.
+  DeliveryChannel delivery_channel_;
+  std::function<void(int, std::uint64_t, std::uint64_t)> beat_sink_;
+  std::function<void(int)> node_lost_hook_;
 
   mutable std::mutex mu_;
   std::vector<RecoveryNodeHooks> hooks_;

@@ -421,12 +421,15 @@ void IrsRuntime::MonitorLoop() {
     }
     if (recovery_ != nullptr) {
       // Heartbeat into the coordinator's failure detector, at the configured
-      // cadence (the monitor may tick faster than ITASK_HEARTBEAT_MS).
+      // cadence (the monitor may tick faster than ITASK_HEARTBEAT_MS). The
+      // beat carries the node's heap occupancy so a remote coordinator sees
+      // memory pressure without a separate stats channel.
       auto& membership = recovery_->membership();
       const auto beat_ns = static_cast<std::uint64_t>(
           recovery_->config().heartbeat_ms * 1e6);
       if (membership.NsSinceBeat(services_.node_id) >= beat_ns) {
-        membership.Beat(services_.node_id);
+        recovery_->Heartbeat(services_.node_id, heap->used_bytes(),
+                             heap->capacity());
       }
     }
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "common/env.h"
 #include "common/logging.h"
 #include "obs/event.h"
 
@@ -19,24 +20,13 @@ double ElapsedMs(std::chrono::steady_clock::time_point since) {
 }  // namespace
 
 JobServiceConfig JobServiceConfig::FromEnv(JobServiceConfig base) {
-  if (const char* v = std::getenv("ITASK_JOBSVC_MAX_CONCURRENT")) {
-    base.max_concurrent = std::atoi(v);
-  }
-  if (const char* v = std::getenv("ITASK_JOBSVC_OVERCOMMIT")) {
-    base.overcommit = std::atof(v);
-  }
-  if (const char* v = std::getenv("ITASK_JOBSVC_HEADROOM")) {
-    base.headroom_fraction = std::atof(v);
-  }
-  if (const char* v = std::getenv("ITASK_JOBSVC_DEFAULT_BUDGET_KB")) {
-    base.default_budget_bytes = static_cast<std::uint64_t>(std::atoll(v)) << 10;
-  }
-  if (const char* v = std::getenv("ITASK_JOBSVC_PROFILE")) {
-    base.profile = std::atoi(v) != 0;
-  }
-  if (const char* v = std::getenv("ITASK_JOBSVC_WORKER_SLOTS")) {
-    base.worker_slots = std::atoi(v);
-  }
+  base.max_concurrent = common::EnvInt("ITASK_JOBSVC_MAX_CONCURRENT", base.max_concurrent);
+  base.overcommit = common::EnvDouble("ITASK_JOBSVC_OVERCOMMIT", base.overcommit);
+  base.headroom_fraction = common::EnvDouble("ITASK_JOBSVC_HEADROOM", base.headroom_fraction);
+  base.default_budget_bytes =
+      common::EnvU64("ITASK_JOBSVC_DEFAULT_BUDGET_KB", base.default_budget_bytes >> 10) << 10;
+  base.profile = common::EnvBool("ITASK_JOBSVC_PROFILE", base.profile);
+  base.worker_slots = common::EnvInt("ITASK_JOBSVC_WORKER_SLOTS", base.worker_slots);
   return base;
 }
 

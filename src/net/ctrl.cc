@@ -1,0 +1,369 @@
+#include "net/ctrl.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace itask::net {
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool SendMessageFrame(FrameSocket& sock, const Message& msg) {
+  common::ByteBuffer wire;
+  EncodeMessage(msg, &wire);
+  return sock.SendFrame(wire);
+}
+
+bool RecvMessageFrame(FrameSocket& sock, Message* out) {
+  common::ByteBuffer frame;
+  if (!sock.RecvFrame(&frame)) {
+    return false;
+  }
+  frame.ResetCursor();
+  *out = DecodeMessage(&frame);
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CtrlServer
+// ---------------------------------------------------------------------------
+
+CtrlServer::CtrlServer(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("ctrl: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("ctrl: bind/listen failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+CtrlServer::~CtrlServer() { Shutdown(); }
+
+void CtrlServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int n = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (n <= 0 || !(pfd.revents & POLLIN)) {
+      continue;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Bound the join handshake so a silent connection can't wedge the
+    // accept loop (and with it, Shutdown).
+    timeval join_timeout{5, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &join_timeout, sizeof(join_timeout));
+    auto sock = std::make_unique<FrameSocket>(fd);
+    Message join;
+    try {
+      if (!RecvMessageFrame(*sock, &join) || join.kind != MsgKind::kJoin) {
+        continue;  // Not a daemon; drop the connection.
+      }
+    } catch (const std::exception& e) {
+      LOG_WARN() << "ctrl: rejecting connection on corrupt join: " << e.what();
+      continue;
+    }
+    timeval no_timeout{0, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &no_timeout, sizeof(no_timeout));
+
+    auto peer = std::make_unique<Peer>();
+    Peer* raw = peer.get();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      peer->info.id = static_cast<int>(peers_.size());
+      peer->info.name = join.text;
+      peer->info.heap_capacity = join.a;
+      peer->info.last_beat_ns = NowNs();
+      peer->info.connected = true;
+      peer->sock = std::move(sock);
+      peer->write_mu = std::make_unique<std::mutex>();
+      peers_.push_back(std::move(peer));
+    }
+    Message ack;
+    ack.kind = MsgKind::kJoinAck;
+    ack.src = kDriverEndpoint;
+    ack.dst = raw->info.id;
+    ack.a = static_cast<std::uint64_t>(raw->info.id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ack.b = peers_.size();
+    }
+    SendTo(*raw, ack);
+    raw->reader = std::thread([this, raw] { ReadLoop(raw); });
+    cv_.notify_all();
+  }
+}
+
+void CtrlServer::ReadLoop(Peer* peer) {
+  Message msg;
+  for (;;) {
+    try {
+      if (!RecvMessageFrame(*peer->sock, &msg)) {
+        break;
+      }
+    } catch (const std::exception& e) {
+      LOG_WARN() << "ctrl: dropping node " << peer->info.id
+                 << " on corrupt frame: " << e.what();
+      break;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (msg.kind) {
+      case MsgKind::kHeartbeat:
+        peer->info.heap_used = msg.a;
+        peer->info.heap_capacity = msg.b;
+        peer->info.last_beat_ns = NowNs();
+        break;
+      case MsgKind::kResult:
+        peer->results.push_back(JobResultMsg{msg.a, msg.b, msg.c != 0});
+        cv_.notify_all();
+        break;
+      case MsgKind::kBye:
+        peer->info.connected = false;
+        return;
+      default:
+        break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  peer->info.connected = false;
+  cv_.notify_all();
+}
+
+bool CtrlServer::SendTo(Peer& peer, const Message& msg) {
+  std::lock_guard<std::mutex> lock(*peer.write_mu);
+  return SendMessageFrame(*peer.sock, msg);
+}
+
+bool CtrlServer::WaitForNodes(int n, int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                      [this, n] { return static_cast<int>(peers_.size()) >= n; });
+}
+
+int CtrlServer::num_nodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(peers_.size());
+}
+
+CtrlNodeInfo CtrlServer::node(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<int>(peers_.size())) {
+    return CtrlNodeInfo{};
+  }
+  return peers_[static_cast<std::size_t>(id)]->info;
+}
+
+bool CtrlServer::Dispatch(int node, const std::string& app,
+                          const common::ByteBuffer& config) {
+  Peer* peer = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (node < 0 || node >= static_cast<int>(peers_.size()) ||
+        !peers_[static_cast<std::size_t>(node)]->info.connected) {
+      return false;
+    }
+    peer = peers_[static_cast<std::size_t>(node)].get();
+  }
+  Message msg;
+  msg.kind = MsgKind::kDispatch;
+  msg.src = kDriverEndpoint;
+  msg.dst = node;
+  msg.text = app;
+  msg.payload = config;
+  return SendTo(*peer, msg);
+}
+
+bool CtrlServer::WaitResult(int node, int timeout_ms, JobResultMsg* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (node < 0 || node >= static_cast<int>(peers_.size())) {
+    return false;
+  }
+  Peer* peer = peers_[static_cast<std::size_t>(node)].get();
+  const bool got = cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [peer] {
+    return !peer->results.empty() || !peer->info.connected;
+  });
+  if (!got || peer->results.empty()) {
+    return false;
+  }
+  *out = peer->results.front();
+  peer->results.erase(peer->results.begin());
+  return true;
+}
+
+void CtrlServer::Shutdown() {
+  if (stop_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  // Join the accept loop first so the peer set is final below.
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::vector<Peer*> peers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& p : peers_) {
+      peers.push_back(p.get());
+    }
+  }
+  Message bye;
+  bye.kind = MsgKind::kBye;
+  bye.src = kDriverEndpoint;
+  for (Peer* p : peers) {
+    if (p->info.connected) {
+      SendTo(*p, bye);
+    }
+    p->sock->Close();  // Unblocks the reader's recv().
+    if (p->reader.joinable()) {
+      p->reader.join();
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CtrlClient
+// ---------------------------------------------------------------------------
+
+CtrlClient::~CtrlClient() {
+  stop_beats_.store(true, std::memory_order_release);
+  if (beat_thread_.joinable()) {
+    beat_thread_.join();
+  }
+}
+
+int CtrlClient::Join(const std::string& host, int port, const std::string& name,
+                     std::uint64_t heap_capacity) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sock_ = FrameSocket(fd);
+
+  Message join;
+  join.kind = MsgKind::kJoin;
+  join.text = name;
+  join.a = heap_capacity;
+  if (!SendMsg(join)) {
+    return -1;
+  }
+  Message ack;
+  try {
+    if (!RecvMessageFrame(sock_, &ack) || ack.kind != MsgKind::kJoinAck) {
+      return -1;
+    }
+  } catch (const std::exception&) {
+    return -1;
+  }
+  node_id_ = static_cast<int>(ack.a);
+  return node_id_;
+}
+
+void CtrlClient::StartHeartbeats(
+    int interval_ms, std::function<std::pair<std::uint64_t, std::uint64_t>()> stats) {
+  beat_thread_ = std::thread([this, interval_ms, stats = std::move(stats)] {
+    while (!stop_beats_.load(std::memory_order_acquire)) {
+      const auto [used, cap] = stats();
+      Message hb;
+      hb.kind = MsgKind::kHeartbeat;
+      hb.src = node_id_;
+      hb.dst = kDriverEndpoint;
+      hb.a = used;
+      hb.b = cap;
+      if (!SendMsg(hb)) {
+        return;  // Driver gone; the serve loop will notice too.
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  });
+}
+
+void CtrlClient::Serve(const std::function<JobResultMsg(const std::string&,
+                                                        common::ByteBuffer&)>& run_job) {
+  Message msg;
+  for (;;) {
+    try {
+      if (!RecvMessageFrame(sock_, &msg)) {
+        return;
+      }
+    } catch (const std::exception& e) {
+      LOG_WARN() << "ctrl: daemon exiting on corrupt frame: " << e.what();
+      return;
+    }
+    if (msg.kind == MsgKind::kBye) {
+      return;
+    }
+    if (msg.kind != MsgKind::kDispatch) {
+      continue;
+    }
+    JobResultMsg result = run_job(msg.text, msg.payload);
+    Message reply;
+    reply.kind = MsgKind::kResult;
+    reply.src = node_id_;
+    reply.dst = kDriverEndpoint;
+    reply.a = result.checksum;
+    reply.b = result.records;
+    reply.c = result.success ? 1 : 0;
+    if (!SendMsg(reply)) {
+      return;
+    }
+  }
+}
+
+bool CtrlClient::SendMsg(const Message& msg) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return SendMessageFrame(sock_, msg);
+}
+
+}  // namespace itask::net

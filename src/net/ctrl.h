@@ -1,0 +1,137 @@
+// Control plane for multi-process nodes (DESIGN.md §13).
+//
+// CtrlServer runs in the driver process: it accepts node_daemon connections,
+// assigns node ids at kJoin, tracks heartbeat-carried heap stats, dispatches
+// jobs (kDispatch: app name + serialized config) and collects their result
+// fingerprints (kResult). CtrlClient is the daemon side: join, heartbeat
+// thread, and a serve loop that runs each dispatched job through a callback.
+//
+// The dispatch unit is a whole job: a daemon executes the named app on its
+// own local cluster and reports the order-independent result fingerprint,
+// which is topology-independent — the driver verifies daemons against a
+// local reference run. (Task-level distribution — one JobState spanning
+// processes — is future work; core::JobState counters are shared atomics.)
+//
+// Control messages ride the same Message/FrameSocket stack as the shuffle
+// fabric: one message per checksummed frame.
+#ifndef ITASK_NET_CTRL_H_
+#define ITASK_NET_CTRL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "net/frame_socket.h"
+#include "net/message.h"
+
+namespace itask::net {
+
+struct CtrlNodeInfo {
+  int id = -1;
+  std::string name;
+  std::uint64_t heap_capacity = 0;
+  std::uint64_t heap_used = 0;       // From the last heartbeat.
+  std::uint64_t last_beat_ns = 0;    // steady_clock ns of the last heartbeat.
+  bool connected = false;
+};
+
+struct JobResultMsg {
+  std::uint64_t checksum = 0;
+  std::uint64_t records = 0;
+  bool success = false;
+};
+
+class CtrlServer {
+ public:
+  // Listens on loopback TCP |port| (0 = ephemeral; read back via port()).
+  explicit CtrlServer(int port = 0);
+  ~CtrlServer();
+
+  CtrlServer(const CtrlServer&) = delete;
+  CtrlServer& operator=(const CtrlServer&) = delete;
+
+  int port() const { return port_; }
+
+  // Blocks until |n| daemons have joined (or the timeout elapses).
+  bool WaitForNodes(int n, int timeout_ms);
+
+  int num_nodes() const;
+  CtrlNodeInfo node(int id) const;
+
+  // Sends a job to |node|; the daemon replies with one kResult.
+  bool Dispatch(int node, const std::string& app, const common::ByteBuffer& config);
+
+  // Blocks for |node|'s next result.
+  bool WaitResult(int node, int timeout_ms, JobResultMsg* out);
+
+  // Sends kBye to every connected daemon and stops accepting.
+  void Shutdown();
+
+ private:
+  struct Peer {
+    CtrlNodeInfo info;
+    std::unique_ptr<FrameSocket> sock;
+    std::unique_ptr<std::mutex> write_mu;
+    std::thread reader;
+    std::vector<JobResultMsg> results;  // FIFO of unclaimed results.
+  };
+
+  void AcceptLoop();
+  void ReadLoop(Peer* peer);
+  bool SendTo(Peer& peer, const Message& msg);
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stop_{false};
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+};
+
+class CtrlClient {
+ public:
+  CtrlClient() = default;
+  ~CtrlClient();
+
+  CtrlClient(const CtrlClient&) = delete;
+  CtrlClient& operator=(const CtrlClient&) = delete;
+
+  // Connects to the driver and joins; returns the assigned node id (< 0 on
+  // failure).
+  int Join(const std::string& host, int port, const std::string& name,
+           std::uint64_t heap_capacity);
+
+  // Starts a heartbeat thread reporting (used, capacity) every |interval_ms|.
+  void StartHeartbeats(int interval_ms,
+                       std::function<std::pair<std::uint64_t, std::uint64_t>()> stats);
+
+  // Serves dispatches until kBye or disconnect. |run_job| executes the named
+  // app with the serialized config and returns the result fingerprint.
+  void Serve(const std::function<JobResultMsg(const std::string& app,
+                                              common::ByteBuffer& config)>& run_job);
+
+  int node_id() const { return node_id_; }
+
+ private:
+  bool SendMsg(const Message& msg);
+
+  FrameSocket sock_;
+  std::mutex write_mu_;
+  int node_id_ = -1;
+  std::thread beat_thread_;
+  std::atomic<bool> stop_beats_{false};
+};
+
+}  // namespace itask::net
+
+#endif  // ITASK_NET_CTRL_H_

@@ -1,0 +1,134 @@
+#include "net/frame_socket.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "io/frame_codec.h"
+
+namespace itask::net {
+
+void FrameReader::Feed(const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), bytes, bytes + n);
+}
+
+bool FrameReader::Next(common::ByteBuffer* out) {
+  // Compact once consumed frames dominate the buffer, so a long-lived
+  // connection does not grow its receive buffer without bound.
+  if (consumed_ > 0 && consumed_ * 2 >= buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  const std::size_t avail = buf_.size() - consumed_;
+  if (avail < 4) {
+    return false;
+  }
+  std::uint32_t frame_len = 0;
+  std::memcpy(&frame_len, buf_.data() + consumed_, 4);
+  if (frame_len == 0 || frame_len > kMaxFrameBytes) {
+    throw std::runtime_error("net: invalid frame length prefix");
+  }
+  if (avail < 4 + static_cast<std::size_t>(frame_len)) {
+    return false;
+  }
+  common::ByteBuffer framed;
+  framed.bytes().assign(buf_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 4),
+                        buf_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 4 + frame_len));
+  io::FrameCodec::Decode(framed, out);  // Throws on corruption.
+  consumed_ += 4 + frame_len;
+  return true;
+}
+
+FrameSocket& FrameSocket::operator=(FrameSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    reader_ = std::move(other.reader_);
+    wire_bytes_sent_ = other.wire_bytes_sent_;
+    wire_bytes_received_ = other.wire_bytes_received_;
+  }
+  return *this;
+}
+
+void FrameSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+namespace {
+
+// Writes all |n| bytes, riding out EINTR and short writes. MSG_NOSIGNAL keeps
+// a dead peer as an EPIPE errno instead of a process-killing SIGPIPE.
+bool WriteAll(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool FrameSocket::SendFrame(const common::ByteBuffer& payload, bool compression) {
+  if (fd_ < 0) {
+    return false;
+  }
+  common::ByteBuffer framed;
+  io::FrameCodec::Encode(payload, &framed, compression);
+  if (framed.size() > kMaxFrameBytes) {
+    LOG_WARN() << "net: refusing to send oversized frame (" << framed.size() << " bytes)";
+    return false;
+  }
+  const auto frame_len = static_cast<std::uint32_t>(framed.size());
+  std::uint8_t prefix[4];
+  std::memcpy(prefix, &frame_len, 4);
+  if (!WriteAll(fd_, prefix, 4) || !WriteAll(fd_, framed.data(), framed.size())) {
+    return false;
+  }
+  wire_bytes_sent_ += 4 + framed.size();
+  return true;
+}
+
+bool FrameSocket::RecvFrame(common::ByteBuffer* out) {
+  if (fd_ < 0) {
+    return false;
+  }
+  if (reader_.Next(out)) {
+    return true;
+  }
+  std::uint8_t chunk[64 * 1024];
+  for (;;) {
+    const ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;  // ECONNRESET and friends: treat as peer-gone.
+    }
+    if (r == 0) {
+      return false;  // Clean EOF.
+    }
+    wire_bytes_received_ += static_cast<std::uint64_t>(r);
+    reader_.Feed(chunk, static_cast<std::size_t>(r));
+    if (reader_.Next(out)) {
+      return true;
+    }
+  }
+}
+
+}  // namespace itask::net

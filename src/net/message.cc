@@ -1,0 +1,74 @@
+#include "net/message.h"
+
+#include <stdexcept>
+
+#include "serde/serializer.h"
+
+namespace itask::net {
+
+void EncodeMessage(const Message& msg, common::ByteBuffer* out) {
+  common::ByteBuffer body;
+  serde::Writer w(&body);
+  w.WriteU8(static_cast<std::uint8_t>(msg.kind));
+  w.WriteI64(msg.src);
+  w.WriteI64(msg.dst);
+  w.WriteI64(msg.split);
+  w.WriteVarint(msg.epoch);
+  w.WriteVarint(msg.seq);
+  w.WriteVarint(msg.type);
+  w.WriteVarint(msg.tag);
+  w.WriteVarint(msg.a);
+  w.WriteVarint(msg.b);
+  w.WriteVarint(msg.c);
+  w.WriteString(msg.text);
+  w.WriteVarint(msg.payload.size());
+  if (msg.payload.size() > 0) {
+    w.WriteBytes(msg.payload.data(), msg.payload.size());
+  }
+
+  serde::Writer prefix(out);
+  prefix.WriteVarint(body.size());
+  prefix.WriteBytes(body.data(), body.size());
+}
+
+Message DecodeMessage(common::ByteBuffer* buf) {
+  serde::Reader prefix(buf);
+  const std::uint64_t body_len = prefix.ReadVarint();
+  if (body_len > buf->remaining()) {
+    throw std::runtime_error("net: truncated message body");
+  }
+  const std::size_t body_end = buf->cursor() + body_len;
+
+  serde::Reader r(buf);
+  Message msg;
+  const std::uint8_t kind = r.ReadU8();
+  if (kind > static_cast<std::uint8_t>(MsgKind::kBye)) {
+    throw std::runtime_error("net: unknown message kind");
+  }
+  msg.kind = static_cast<MsgKind>(kind);
+  msg.src = static_cast<std::int32_t>(r.ReadI64());
+  msg.dst = static_cast<std::int32_t>(r.ReadI64());
+  msg.split = r.ReadI64();
+  msg.epoch = static_cast<std::uint32_t>(r.ReadVarint());
+  msg.seq = r.ReadVarint();
+  msg.type = static_cast<std::uint32_t>(r.ReadVarint());
+  msg.tag = r.ReadVarint();
+  msg.a = r.ReadVarint();
+  msg.b = r.ReadVarint();
+  msg.c = r.ReadVarint();
+  msg.text = r.ReadString();
+  const std::uint64_t payload_len = r.ReadVarint();
+  if (payload_len > buf->remaining()) {
+    throw std::runtime_error("net: truncated message payload");
+  }
+  if (payload_len > 0) {
+    msg.payload.bytes().resize(payload_len);
+    buf->Read(msg.payload.bytes().data(), payload_len);
+  }
+  if (buf->cursor() != body_end) {
+    throw std::runtime_error("net: message body length mismatch");
+  }
+  return msg;
+}
+
+}  // namespace itask::net

@@ -49,6 +49,8 @@ enum class EventKind : std::uint8_t {
   kJobCompleted,         // aux=job id, a=wall_ns queued->done, b=1 on failure
   kTenantYield,          // aux=job id (under budget: skipped a REDUCE, kept workers)
   kTenantShed,           // aux=job id, a=own overage bytes (over budget: full REDUCE)
+  kNetFlush,             // aux=destination endpoint+1, a=messages in the batch, b=frame wire bytes
+  kNetStall,             // aux=destination endpoint+1, a=stall_ns blocked on a full send queue, b=queue depth
   kKindCount,            // sentinel — keep last
 };
 
@@ -124,6 +126,8 @@ constexpr const char* EventKindName(EventKind kind) {
     case EventKind::kJobCompleted: return "job_completed";
     case EventKind::kTenantYield: return "tenant_yield";
     case EventKind::kTenantShed: return "tenant_shed";
+    case EventKind::kNetFlush: return "net_flush";
+    case EventKind::kNetStall: return "net_stall";
     case EventKind::kKindCount: break;
   }
   return "unknown";

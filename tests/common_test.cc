@@ -7,6 +7,7 @@
 
 #include "common/blocking_queue.h"
 #include "common/byte_buffer.h"
+#include "common/env.h"
 #include "common/rng.h"
 #include "common/spin.h"
 #include "common/table_printer.h"
@@ -215,6 +216,73 @@ TEST(TablePrinterTest, FormatHelpers) {
   EXPECT_EQ(FormatMs(12.3), "12.3ms");
   EXPECT_EQ(FormatPct(0.5), "50.0%");
   EXPECT_EQ(FormatRatio(2.0), "2.00x");
+}
+
+// ---- Strict env parsing (common/env.h) ----
+
+TEST(EnvParseTest, ParseIntAcceptsWholeValuesOnly) {
+  EXPECT_EQ(ParseInt("42"), 42);
+  EXPECT_EQ(ParseInt("-7"), -7);
+  EXPECT_EQ(ParseInt("  13  "), 13);
+  EXPECT_FALSE(ParseInt(nullptr).has_value());
+  EXPECT_FALSE(ParseInt("").has_value());
+  EXPECT_FALSE(ParseInt("two").has_value());
+  EXPECT_FALSE(ParseInt("12abc").has_value());  // atoi would read 12.
+  EXPECT_FALSE(ParseInt("1.5").has_value());
+  EXPECT_FALSE(ParseInt("99999999999999999999999").has_value());  // ERANGE
+}
+
+TEST(EnvParseTest, ParseDoubleAcceptsWholeValuesOnly) {
+  EXPECT_DOUBLE_EQ(ParseDouble("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-0.25").value(), -0.25);
+  EXPECT_DOUBLE_EQ(ParseDouble(" 2e3 ").value(), 2000.0);
+  EXPECT_FALSE(ParseDouble("fast").has_value());
+  EXPECT_FALSE(ParseDouble("1.5x").has_value());
+  EXPECT_FALSE(ParseDouble("").has_value());
+}
+
+TEST(EnvParseTest, ParseBoolAcceptsCommonSpellings) {
+  EXPECT_EQ(ParseBool("1"), true);
+  EXPECT_EQ(ParseBool("true"), true);
+  EXPECT_EQ(ParseBool("ON"), true);
+  EXPECT_EQ(ParseBool("Yes"), true);
+  EXPECT_EQ(ParseBool("0"), false);
+  EXPECT_EQ(ParseBool("false"), false);
+  EXPECT_EQ(ParseBool("off"), false);
+  EXPECT_EQ(ParseBool("no"), false);
+  EXPECT_FALSE(ParseBool("maybe").has_value());
+  EXPECT_FALSE(ParseBool("2").has_value());
+}
+
+TEST(EnvParseTest, EnvHelpersFallBackOnGarbageAndUnset) {
+  unsetenv("ITASK_TEST_ENV_KNOB");
+  EXPECT_EQ(EnvInt("ITASK_TEST_ENV_KNOB", 5), 5);
+  EXPECT_DOUBLE_EQ(EnvDouble("ITASK_TEST_ENV_KNOB", 2.5), 2.5);
+  EXPECT_EQ(EnvBool("ITASK_TEST_ENV_KNOB", true), true);
+
+  setenv("ITASK_TEST_ENV_KNOB", "not-a-number", 1);
+  EXPECT_EQ(EnvInt("ITASK_TEST_ENV_KNOB", 5), 5);
+  EXPECT_DOUBLE_EQ(EnvDouble("ITASK_TEST_ENV_KNOB", 2.5), 2.5);
+  EXPECT_EQ(EnvU64("ITASK_TEST_ENV_KNOB", 9u), 9u);
+
+  setenv("ITASK_TEST_ENV_KNOB", "17", 1);
+  EXPECT_EQ(EnvInt("ITASK_TEST_ENV_KNOB", 5), 17);
+  EXPECT_EQ(EnvU64("ITASK_TEST_ENV_KNOB", 9u), 17u);
+
+  setenv("ITASK_TEST_ENV_KNOB", "-3", 1);
+  // EnvU64 rejects negatives; EnvInt passes them through.
+  EXPECT_EQ(EnvU64("ITASK_TEST_ENV_KNOB", 9u), 9u);
+  EXPECT_EQ(EnvInt("ITASK_TEST_ENV_KNOB", 5), -3);
+
+  setenv("ITASK_TEST_ENV_KNOB", "0", 1);
+  // EnvPositiveDouble rejects non-positive values.
+  EXPECT_DOUBLE_EQ(EnvPositiveDouble("ITASK_TEST_ENV_KNOB", 4.0), 4.0);
+  setenv("ITASK_TEST_ENV_KNOB", "0.5", 1);
+  EXPECT_DOUBLE_EQ(EnvPositiveDouble("ITASK_TEST_ENV_KNOB", 4.0), 0.5);
+
+  setenv("ITASK_TEST_ENV_KNOB", "  ", 1);  // Whitespace-only = unset.
+  EXPECT_EQ(EnvInt("ITASK_TEST_ENV_KNOB", 5), 5);
+  unsetenv("ITASK_TEST_ENV_KNOB");
 }
 
 }  // namespace

@@ -132,7 +132,10 @@ TEST_F(RecoveryTest, HangedNodeIsDetectedAndFenced) {
   ASSERT_TRUE(reference.metrics.succeeded);
 
   cluster::FailureModel model;
-  model.ScheduleHang(1, 2.0);
+  // Age the zombie's last beat past the dead timeout so detection fires on
+  // the next poll tick deterministically — without this, a fast job completes
+  // before the wall-clock silence accumulates and nodes_failed stays 0.
+  model.ScheduleHang(1, 2.0, /*silence_age_ms=*/10000.0);
   const AppResult faulted = RunFt("WC", FtConfig(), &model);
   ASSERT_TRUE(faulted.metrics.succeeded) << faulted.metrics.Summary();
   EXPECT_EQ(faulted.checksum, reference.checksum);

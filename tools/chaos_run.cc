@@ -23,11 +23,17 @@
 // Each fault-injected run must still reproduce the fault-free fingerprint and
 // the ledger's duplicate counter must stay zero (exactly-once delivery).
 //
+// Transport (--transport=inproc|tcp|uds): socket transports route every
+// fault-injected run's shuffle deliveries, acks and heartbeats over loopback
+// sockets (DESIGN.md §13), and enable the fault-tolerance layer for every run
+// — the fabric only exists under the recovery context. The fingerprint checks
+// then prove wire framing, batching and redelivery don't change results.
+//
 // Usage:
 //   chaos_run [--seeds N] [--start S] [--apps WC,HS,HJ] [--keep-going]
 //             [--heap-kb K] [--dataset-kb K] [--nodes N] [--deadline-ms D]
 //             [--kill-node=I@MS] [--hang-node=I@MS] [--poison-node=I@MS]
-//             [--json]
+//             [--transport=inproc|tcp|uds] [--json]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +45,7 @@
 #include "chaos/chaos.h"
 #include "cluster/cluster.h"
 #include "cluster/failure_model.h"
+#include "net/transport.h"
 
 namespace {
 
@@ -52,6 +59,7 @@ struct Options {
   int nodes = 2;
   double deadline_ms = 60000.0;
   std::vector<itask::cluster::NodeFault> node_faults;
+  itask::net::TransportKind transport = itask::net::TransportKind::kInproc;
   bool json = false;
 };
 
@@ -115,7 +123,17 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
         fault_flag("--poison-node", itask::cluster::FaultKind::kOomPoison)) {
       continue;
     }
-    if (std::strcmp(argv[i], "--json") == 0) {
+    if (std::strncmp(argv[i], "--transport=", 12) == 0 ||
+        std::strcmp(argv[i], "--transport") == 0) {
+      const char* spec = argv[i][11] == '=' ? argv[i] + 12 : value();
+      const auto kind = itask::net::ParseTransportKind(spec);
+      if (!kind.has_value()) {
+        std::fprintf(stderr, "chaos_run: --transport wants inproc|tcp|uds, got %s\n",
+                     spec);
+        std::exit(2);
+      }
+      opt->transport = *kind;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
       opt->json = true;
     } else if (std::strcmp(argv[i], "--seeds") == 0) {
       opt->seeds = std::strtoull(value(), nullptr, 10);
@@ -148,7 +166,10 @@ itask::apps::AppConfig MakeAppConfig(const Options& opt) {
   config.max_workers = 4;
   config.granularity_bytes = 16 << 10;
   config.deadline_ms = opt.deadline_ms;
-  config.fault_tolerance = !opt.node_faults.empty();
+  // Socket transports require the recovery context: the fabric hangs off the
+  // shuffle ledger's delivery path, so every run becomes fault-tolerant.
+  config.fault_tolerance =
+      !opt.node_faults.empty() || opt.transport != itask::net::TransportKind::kInproc;
   return config;
 }
 
@@ -167,6 +188,7 @@ itask::cluster::Cluster MakeCluster(const Options& opt, std::uint64_t heap_kb,
   cc.num_nodes = opt.nodes;
   cc.heap.capacity_bytes = heap_kb << 10;
   cc.heap.real_pauses = false;  // Pause accounting without burning CPU.
+  cc.net.kind = opt.transport;
   if (plan != nullptr && plan->spill_write_fail_p > 0.0) {
     cc.io.failure.write_probability = plan->spill_write_fail_p;
     cc.io.failure.seed = plan->spill_fail_seed;
@@ -226,6 +248,14 @@ int main(int argc, char** argv) {
     std::uint64_t lazy_serialized_bytes = 0;
     std::uint64_t spilled_bytes = 0;
     std::uint64_t loaded_bytes = 0;
+    // Transport rollup (all zero on the inproc path).
+    std::uint64_t net_msgs_sent = 0;
+    std::uint64_t net_frames_sent = 0;
+    std::uint64_t net_bytes_sent = 0;
+    std::uint64_t net_send_stalls = 0;
+    double net_stall_ms = 0.0;
+    std::uint64_t net_ack_timeouts = 0;
+    std::uint64_t net_dup_payloads_dropped = 0;
   };
   std::map<std::string, JobCounters> per_job;
 
@@ -264,6 +294,13 @@ int main(int argc, char** argv) {
       jc.lazy_serialized_bytes += result.metrics.lazy_serialized_bytes;
       jc.spilled_bytes += result.metrics.spilled_bytes;
       jc.loaded_bytes += result.metrics.loaded_bytes;
+      jc.net_msgs_sent += result.metrics.net_msgs_sent;
+      jc.net_frames_sent += result.metrics.net_frames_sent;
+      jc.net_bytes_sent += result.metrics.net_bytes_sent;
+      jc.net_send_stalls += result.metrics.net_send_stalls;
+      jc.net_stall_ms += result.metrics.net_stall_ms;
+      jc.net_ack_timeouts += result.metrics.net_ack_timeouts;
+      jc.net_dup_payloads_dropped += result.metrics.net_dup_payloads_dropped;
 
       std::string what;
       const auto in_path = itask::chaos::DrainViolations();
@@ -317,6 +354,8 @@ int main(int argc, char** argv) {
     out += ",\"seeds\":" + std::to_string(opt.seeds);
     out += ",\"nodes\":" + std::to_string(opt.nodes);
     out += ",\"node_faults\":" + std::to_string(opt.node_faults.size());
+    out += std::string(",\"transport\":\"") +
+           itask::net::TransportKindName(opt.transport) + "\"";
     out += ",\"apps\":[";
     for (std::size_t i = 0; i < opt.apps.size(); ++i) {
       out += (i > 0 ? ",\"" : "\"") + opt.apps[i] + "\"";
@@ -340,7 +379,14 @@ int main(int argc, char** argv) {
       out += ",\"lazy_serialized_bytes\":" + std::to_string(jc.lazy_serialized_bytes);
       out += ",\"spilled_bytes\":" + std::to_string(jc.spilled_bytes);
       out += ",\"loaded_bytes\":" + std::to_string(jc.loaded_bytes);
-      out += "}";
+      out += ",\"net\":{\"msgs_sent\":" + std::to_string(jc.net_msgs_sent);
+      out += ",\"frames_sent\":" + std::to_string(jc.net_frames_sent);
+      out += ",\"bytes_sent\":" + std::to_string(jc.net_bytes_sent);
+      out += ",\"send_stalls\":" + std::to_string(jc.net_send_stalls);
+      out += ",\"stall_ms\":" + std::to_string(jc.net_stall_ms);
+      out += ",\"ack_timeouts\":" + std::to_string(jc.net_ack_timeouts);
+      out += ",\"dup_payloads_dropped\":" + std::to_string(jc.net_dup_payloads_dropped);
+      out += "}}";
     }
     out += "},\"failures\":[";
     for (std::size_t i = 0; i < failures.size(); ++i) {

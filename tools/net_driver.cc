@@ -1,0 +1,230 @@
+// net_driver: the driver side of multi-process execution (DESIGN.md §13).
+//
+// Stands up a CtrlServer, waits for node_daemon processes to join (spawning
+// them itself with --spawn), runs each requested app locally once for a
+// reference fingerprint, then dispatches the same job to every daemon and
+// verifies the returned fingerprints match. The fingerprints are
+// order-independent and topology-independent, so a daemon's local run must
+// reproduce the driver's bit-for-bit even though the processes share nothing.
+//
+// Usage:
+//   net_driver --daemons N [--spawn] [--apps WC,HS,HJ] [--port 0]
+//              [--heap-kb K] [--dataset-kb K] [--nodes N] [--deadline-ms D]
+//              [--daemon-bin PATH] [--join-timeout-ms MS]
+//
+// Without --spawn, start daemons by hand:  node_daemon --port <printed port>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/hyracks_apps.h"
+#include "cluster/cluster.h"
+#include "net/ctrl.h"
+#include "net/job_wire.h"
+
+namespace {
+
+struct Options {
+  int daemons = 2;
+  bool spawn = false;
+  std::vector<std::string> apps = {"WC", "HS", "HJ"};
+  int port = 0;
+  std::uint64_t heap_kb = 64 << 10;
+  std::uint64_t dataset_kb = 256;
+  int nodes = 2;
+  double deadline_ms = 60000.0;
+  std::string daemon_bin;
+  int join_timeout_ms = 15000;
+  int result_timeout_ms = 120000;
+};
+
+std::vector<std::string> SplitCsv(const char* s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(*p);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+bool ParseArgs(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "net_driver: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--daemons") == 0) {
+      opt->daemons = std::atoi(value());
+    } else if (std::strcmp(argv[i], "--spawn") == 0) {
+      opt->spawn = true;
+    } else if (std::strcmp(argv[i], "--apps") == 0) {
+      opt->apps = SplitCsv(value());
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      opt->port = std::atoi(value());
+    } else if (std::strcmp(argv[i], "--heap-kb") == 0) {
+      opt->heap_kb = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--dataset-kb") == 0) {
+      opt->dataset_kb = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--nodes") == 0) {
+      opt->nodes = std::atoi(value());
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      opt->deadline_ms = std::atof(value());
+    } else if (std::strcmp(argv[i], "--daemon-bin") == 0) {
+      opt->daemon_bin = value();
+    } else if (std::strcmp(argv[i], "--join-timeout-ms") == 0) {
+      opt->join_timeout_ms = std::atoi(value());
+    } else if (std::strcmp(argv[i], "--result-timeout-ms") == 0) {
+      opt->result_timeout_ms = std::atoi(value());
+    } else {
+      std::fprintf(stderr, "net_driver: unknown flag %s\n", argv[i]);
+      return false;
+    }
+  }
+  return opt->daemons > 0;
+}
+
+// node_daemon lives next to this binary unless --daemon-bin overrides.
+std::string DaemonBin(const Options& opt, const char* argv0) {
+  if (!opt.daemon_bin.empty()) {
+    return opt.daemon_bin;
+  }
+  std::string self(argv0);
+  const std::size_t slash = self.rfind('/');
+  return (slash == std::string::npos ? std::string() : self.substr(0, slash + 1)) +
+         "node_daemon";
+}
+
+pid_t SpawnDaemon(const std::string& bin, int port, int index, std::uint64_t heap_kb) {
+  const pid_t pid = ::fork();
+  if (pid != 0) {
+    return pid;
+  }
+  const std::string port_s = std::to_string(port);
+  const std::string name = "worker-" + std::to_string(index);
+  const std::string heap_s = std::to_string(heap_kb);
+  ::execl(bin.c_str(), bin.c_str(), "--port", port_s.c_str(), "--name", name.c_str(),
+          "--heap-kb", heap_s.c_str(), static_cast<char*>(nullptr));
+  std::fprintf(stderr, "net_driver: exec %s failed\n", bin.c_str());
+  ::_exit(127);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!ParseArgs(argc, argv, &opt)) {
+    return 2;
+  }
+
+  itask::net::CtrlServer server(opt.port);
+  std::printf("net_driver: control plane on 127.0.0.1:%d, waiting for %d daemon(s)\n",
+              server.port(), opt.daemons);
+  std::fflush(stdout);
+
+  std::vector<pid_t> children;
+  if (opt.spawn) {
+    const std::string bin = DaemonBin(opt, argv[0]);
+    for (int i = 0; i < opt.daemons; ++i) {
+      children.push_back(SpawnDaemon(bin, server.port(), i, opt.heap_kb));
+    }
+  }
+
+  int failures = 0;
+  if (!server.WaitForNodes(opt.daemons, opt.join_timeout_ms)) {
+    std::fprintf(stderr, "net_driver: only %d/%d daemons joined in %dms\n",
+                 server.num_nodes(), opt.daemons, opt.join_timeout_ms);
+    failures = 1;
+  } else {
+    itask::net::JobSpec spec;
+    spec.nodes = opt.nodes;
+    spec.heap_kb = opt.heap_kb;
+    spec.dataset_kb = opt.dataset_kb;
+    spec.deadline_ms = opt.deadline_ms;
+
+    for (const std::string& app : opt.apps) {
+      // Local reference run with the exact spec the daemons will execute.
+      itask::cluster::ClusterConfig cc;
+      cc.num_nodes = spec.nodes;
+      cc.heap.capacity_bytes = spec.heap_kb << 10;
+      cc.heap.real_pauses = false;
+      itask::cluster::Cluster cluster(cc);
+      itask::apps::AppConfig ac;
+      ac.dataset_bytes = spec.dataset_kb << 10;
+      ac.tpch_scale = spec.tpch_scale;
+      ac.max_workers = spec.max_workers;
+      ac.granularity_bytes = spec.granularity_bytes;
+      ac.seed = spec.seed;
+      ac.deadline_ms = spec.deadline_ms;
+      const auto reference =
+          itask::apps::RunHyracksApp(app, cluster, ac, itask::apps::Mode::kITask);
+      if (!reference.metrics.succeeded) {
+        std::fprintf(stderr, "net_driver: local reference for %s failed: %s\n",
+                     app.c_str(), reference.metrics.Summary().c_str());
+        ++failures;
+        continue;
+      }
+      std::printf("[ref] %s checksum=%016llx records=%llu\n", app.c_str(),
+                  static_cast<unsigned long long>(reference.checksum),
+                  static_cast<unsigned long long>(reference.records));
+      std::fflush(stdout);
+
+      itask::common::ByteBuffer config;
+      itask::net::EncodeJobSpec(spec, &config);
+      for (int node = 0; node < server.num_nodes(); ++node) {
+        if (!server.Dispatch(node, app, config)) {
+          std::fprintf(stderr, "[FAIL] %s: dispatch to daemon %d failed\n", app.c_str(),
+                       node);
+          ++failures;
+        }
+      }
+      for (int node = 0; node < server.num_nodes(); ++node) {
+        itask::net::JobResultMsg result;
+        if (!server.WaitResult(node, opt.result_timeout_ms, &result)) {
+          std::fprintf(stderr, "[FAIL] %s: no result from daemon %d (%s)\n", app.c_str(),
+                       node, server.node(node).name.c_str());
+          ++failures;
+          continue;
+        }
+        const bool match = result.success && result.checksum == reference.checksum &&
+                           result.records == reference.records;
+        std::printf("[%s] %s daemon %d (%s): checksum=%016llx records=%llu\n",
+                    match ? "ok" : "FAIL", app.c_str(), node,
+                    server.node(node).name.c_str(),
+                    static_cast<unsigned long long>(result.checksum),
+                    static_cast<unsigned long long>(result.records));
+        std::fflush(stdout);
+        if (!match) {
+          ++failures;
+        }
+      }
+    }
+  }
+
+  server.Shutdown();
+  for (const pid_t pid : children) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "net_driver: %d failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("net_driver: all %zu app(s) verified across %d daemon(s)\n",
+              opt.apps.size(), opt.daemons);
+  return 0;
+}

@@ -1,0 +1,122 @@
+// node_daemon: a cluster node as its own OS process (DESIGN.md §13).
+//
+// Joins a net_driver's control plane, heartbeats its heap occupancy, and
+// serves dispatched jobs: each kDispatch names a Hyracks app plus a serialized
+// AppConfig/ClusterConfig bundle; the daemon runs it to completion on a local
+// cluster (honoring ITASK_NET_TRANSPORT for the intra-job shuffle fabric) and
+// replies with the order-independent result fingerprint, which the driver
+// checks against its own reference run.
+//
+// Usage:
+//   node_daemon --port P [--host 127.0.0.1] [--name worker-0] [--heap-kb K]
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/hyracks_apps.h"
+#include "cluster/cluster.h"
+#include "net/ctrl.h"
+#include "net/job_wire.h"
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string name = "worker";
+  std::uint64_t heap_kb = 64 << 10;
+};
+
+bool ParseArgs(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "node_daemon: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--host") == 0) {
+      opt->host = value();
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      opt->port = std::atoi(value());
+    } else if (std::strcmp(argv[i], "--name") == 0) {
+      opt->name = value();
+    } else if (std::strcmp(argv[i], "--heap-kb") == 0) {
+      opt->heap_kb = std::strtoull(value(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "node_daemon: unknown flag %s\n", argv[i]);
+      return false;
+    }
+  }
+  return opt->port > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!ParseArgs(argc, argv, &opt)) {
+    std::fprintf(stderr,
+                 "usage: node_daemon --port P [--host H] [--name N] [--heap-kb K]\n");
+    return 2;
+  }
+
+  itask::net::CtrlClient client;
+  const int id = client.Join(opt.host, opt.port, opt.name, opt.heap_kb << 10);
+  if (id < 0) {
+    std::fprintf(stderr, "node_daemon: join %s:%d failed\n", opt.host.c_str(), opt.port);
+    return 1;
+  }
+  std::fprintf(stderr, "node_daemon[%d]: joined %s:%d as %s\n", id, opt.host.c_str(),
+               opt.port, opt.name.c_str());
+
+  // Heartbeats carry the peak heap use of the most recent job — a daemon has
+  // no resident heap between jobs, so "current occupancy" is job-scoped.
+  std::atomic<std::uint64_t> last_peak{0};
+  const std::uint64_t capacity = opt.heap_kb << 10;
+  client.StartHeartbeats(
+      50, [&last_peak, capacity]() -> std::pair<std::uint64_t, std::uint64_t> {
+        return {last_peak.load(std::memory_order_relaxed), capacity};
+      });
+
+  client.Serve([&](const std::string& app,
+                   itask::common::ByteBuffer& config) -> itask::net::JobResultMsg {
+    itask::net::JobResultMsg result;
+    try {
+      const itask::net::JobSpec spec = itask::net::DecodeJobSpec(&config);
+      itask::cluster::ClusterConfig cc;
+      cc.num_nodes = spec.nodes;
+      cc.heap.capacity_bytes = spec.heap_kb << 10;
+      cc.heap.real_pauses = false;
+      itask::cluster::Cluster cluster(cc);
+      itask::apps::AppConfig ac;
+      ac.dataset_bytes = spec.dataset_kb << 10;
+      ac.tpch_scale = spec.tpch_scale;
+      ac.max_workers = spec.max_workers;
+      ac.granularity_bytes = spec.granularity_bytes;
+      ac.seed = spec.seed;
+      ac.deadline_ms = spec.deadline_ms;
+      ac.fault_tolerance = spec.fault_tolerance;
+      const auto r =
+          itask::apps::RunHyracksApp(app, cluster, ac, itask::apps::Mode::kITask);
+      result.checksum = r.checksum;
+      result.records = r.records;
+      result.success = r.metrics.succeeded;
+      last_peak.store(r.metrics.peak_heap_bytes, std::memory_order_relaxed);
+      std::fprintf(stderr, "node_daemon[%d]: %s checksum=%016llx records=%llu %s\n", id,
+                   app.c_str(), static_cast<unsigned long long>(r.checksum),
+                   static_cast<unsigned long long>(r.records),
+                   result.success ? "ok" : "FAILED");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "node_daemon[%d]: %s threw: %s\n", id, app.c_str(), e.what());
+      result.success = false;
+    }
+    return result;
+  });
+
+  std::fprintf(stderr, "node_daemon[%d]: bye\n", id);
+  return 0;
+}
