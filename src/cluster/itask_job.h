@@ -173,6 +173,7 @@ class ItaskJob {
       m.net_send_stalls = fs.transport.send_stalls;
       m.net_stall_ms =
           static_cast<double>(fs.transport.stall_ns) / 1e6;
+      m.net_send_retries = fs.transport.send_retries;
       m.net_ack_timeouts = fs.ack_timeouts;
       m.net_dup_payloads_dropped = fs.dup_payloads_dropped;
       m.net_heartbeats_sent = fs.heartbeats_sent;

@@ -56,6 +56,7 @@ struct RunMetrics {
   std::uint64_t net_bytes_sent = 0;           // Wire bytes incl. frame headers.
   std::uint64_t net_send_stalls = 0;          // Producer blocked on a full queue.
   double net_stall_ms = 0.0;                  // Total producer-visible stall.
+  std::uint64_t net_send_retries = 0;         // Batches requeued for reconnect.
   std::uint64_t net_ack_timeouts = 0;         // Deliveries retried on a lost ack.
   std::uint64_t net_dup_payloads_dropped = 0; // Receiver-side transport dedup.
   std::uint64_t net_heartbeats_sent = 0;

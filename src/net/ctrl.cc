@@ -156,6 +156,7 @@ void CtrlServer::ReadLoop(Peer* peer) {
         break;
       case MsgKind::kBye:
         peer->info.connected = false;
+        cv_.notify_all();  // Wake WaitResult/WaitForNodes blocked on this peer.
         return;
       default:
         break;

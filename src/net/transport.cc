@@ -57,8 +57,10 @@ NetConfig NetConfigFromEnv(NetConfig base) {
     LOG_WARN() << "env: ignoring ITASK_NET_TRANSPORT=\"" << kind
                << "\" (want inproc|tcp|uds); using " << TransportKindName(base.kind);
   }
-  base.batch_bytes = static_cast<std::size_t>(
-      common::EnvU64("ITASK_NET_BATCH_BYTES", base.batch_bytes));
+  // Clamp to >= 1: a zero coalescing ceiling would admit no message into any
+  // batch and spin the sender on empty frames while producers block forever.
+  base.batch_bytes = std::max<std::size_t>(
+      1, static_cast<std::size_t>(common::EnvU64("ITASK_NET_BATCH_BYTES", base.batch_bytes)));
   base.queue_cap = std::max<std::size_t>(
       1, static_cast<std::size_t>(common::EnvU64("ITASK_NET_QUEUE_CAP", base.queue_cap)));
   base.ack_timeout_ms =
@@ -66,6 +68,8 @@ NetConfig NetConfigFromEnv(NetConfig base) {
   base.flush_us = std::max(1, common::EnvInt("ITASK_NET_FLUSH_US", base.flush_us));
   base.compression = common::EnvBool("ITASK_NET_COMPRESSION", base.compression);
   base.port = common::EnvInt("ITASK_NET_PORT", base.port);
+  base.drop_rx_frame_every =
+      std::max(0, common::EnvInt("ITASK_NET_DROP_RX_FRAME_EVERY", base.drop_rx_frame_every));
   return base;
 }
 
@@ -89,6 +93,7 @@ struct StatCounters {
   std::atomic<std::uint64_t> flushes{0};
   std::atomic<std::uint64_t> send_stalls{0};
   std::atomic<std::uint64_t> stall_ns{0};
+  std::atomic<std::uint64_t> send_retries{0};
   std::atomic<std::uint64_t> heartbeats_dropped{0};
   std::atomic<std::uint64_t> peer_gone_drops{0};
   std::atomic<std::uint64_t> checksum_failures{0};
@@ -104,6 +109,7 @@ struct StatCounters {
     s.flushes = flushes.load(std::memory_order_relaxed);
     s.send_stalls = send_stalls.load(std::memory_order_relaxed);
     s.stall_ns = stall_ns.load(std::memory_order_relaxed);
+    s.send_retries = send_retries.load(std::memory_order_relaxed);
     s.heartbeats_dropped = heartbeats_dropped.load(std::memory_order_relaxed);
     s.peer_gone_drops = peer_gone_drops.load(std::memory_order_relaxed);
     s.checksum_failures = checksum_failures.load(std::memory_order_relaxed);
@@ -483,11 +489,25 @@ class SocketTransport final : public Transport {
     }
   }
 
+  // True when |endpoint| can no longer receive: explicitly closed,
+  // unregistered, or the transport is shutting down.
+  bool EndpointGone(int endpoint) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shutdown_ || closed_.count(endpoint) != 0 ||
+           receivers_.find(endpoint) == receivers_.end();
+  }
+
   // Sender thread: drain the queue into batches of <= batch_bytes, one
-  // checksummed frame per batch. Waits in flush_us slices so shutdown and
-  // Flush() wakeups are prompt.
+  // checksummed frame per batch. A failed connect/send to a still-registered
+  // endpoint is transient — the receiver sheds connections on corrupt frames
+  // and expects the sender to re-establish them — so the batch is requeued
+  // and retried after a capped backoff. Only an endpoint that is actually
+  // closed (or transport shutdown) kills the queue: Send() returning false
+  // is treated as peer-gone by the shuffle fabric, and a false peer-gone for
+  // a live node would silently lose committed shuffle data.
   void SendLoop(SendQueue* q) {
     FrameSocket conn;
+    int failures = 0;
     for (;;) {
       std::vector<Message> batch;
       {
@@ -497,7 +517,10 @@ class SocketTransport final : public Transport {
           return;
         }
         std::size_t batch_bytes = 0;
-        while (!q->msgs.empty() && batch_bytes < config_.batch_bytes) {
+        // Always admit at least one message so a tiny batch_bytes ceiling
+        // cannot starve the queue into an empty-frame spin.
+        while (!q->msgs.empty() &&
+               (batch.empty() || batch_bytes < config_.batch_bytes)) {
           batch_bytes += q->msgs.front().payload.size() + 64;
           batch.push_back(std::move(q->msgs.front()));
           q->msgs.pop_front();
@@ -529,22 +552,41 @@ class SocketTransport final : public Transport {
         }
       }
 
+      if (!ok) {
+        conn.Close();
+        // mu_ before q->mu would invert Send()'s q->mu -> mu_ (EmitEvent)
+        // order, so check liveness first, unlocked.
+        const bool gone = EndpointGone(q->dst);
+        std::unique_lock<std::mutex> qlock(q->mu);
+        q->sending = false;
+        if (gone || q->dead) {
+          // Peer really gone: everything queued for it is undeliverable.
+          // Mark dead so producers get peer-gone instead of blocking
+          // forever; the ledger's retry/redelivery machinery owns recovery.
+          counters_.peer_gone_drops.fetch_add(batch.size() + q->msgs.size(),
+                                              std::memory_order_relaxed);
+          q->msgs.clear();
+          q->dead = true;
+          q->not_full.notify_all();
+          q->not_empty.notify_all();
+          q->drained.notify_all();
+          return;
+        }
+        // Still registered: requeue the batch in order and reconnect after
+        // a capped exponential backoff (cut short if the queue is stopped).
+        counters_.send_retries.fetch_add(1, std::memory_order_relaxed);
+        for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+          q->msgs.push_front(std::move(*it));
+        }
+        failures = std::min(failures + 1, 7);
+        q->not_empty.wait_for(qlock, std::chrono::milliseconds(1 << failures),
+                              [q] { return q->dead; });
+        continue;
+      }
+      failures = 0;
+
       std::unique_lock<std::mutex> qlock(q->mu);
       q->sending = false;
-      if (!ok) {
-        // Peer unreachable: everything queued for it is undeliverable. Mark
-        // dead so producers get peer-gone instead of blocking forever; the
-        // ledger's retry/redelivery machinery owns recovery from here.
-        counters_.peer_gone_drops.fetch_add(batch.size() + q->msgs.size(),
-                                            std::memory_order_relaxed);
-        q->msgs.clear();
-        q->dead = true;
-        conn.Close();
-        q->not_full.notify_all();
-        q->not_empty.notify_all();
-        q->drained.notify_all();
-        return;
-      }
       if (q->msgs.empty()) {
         q->drained.notify_all();
       }
@@ -570,13 +612,18 @@ class SocketTransport final : public Transport {
       if (n <= 0) {
         continue;
       }
+      // Only walk connections that have a pollfd from this round: a
+      // connection accepted below lands past |polled| and is picked up on
+      // the next poll (indexing it against the pre-accept fds would read
+      // one past the end).
+      std::size_t polled = conns.size();
       if (fds[0].revents & POLLIN) {
         const int fd = ::accept(rx->listen_fd, nullptr, nullptr);
         if (fd >= 0) {
           conns.push_back(Conn{fd, FrameReader{}});
         }
       }
-      for (std::size_t i = 0; i < conns.size();) {
+      for (std::size_t i = 0; i < polled;) {
         const short revents = fds[i + 1].revents;
         bool drop = false;
         if (revents & (POLLIN | POLLHUP | POLLERR)) {
@@ -589,8 +636,18 @@ class SocketTransport final : public Transport {
             conns[i].reader.Feed(chunk, static_cast<std::size_t>(r));
             try {
               common::ByteBuffer frame;
-              while (conns[i].reader.Next(&frame)) {
+              while (!drop && conns[i].reader.Next(&frame)) {
                 counters_.frames_received.fetch_add(1, std::memory_order_relaxed);
+                if (config_.drop_rx_frame_every > 0 &&
+                    rx_frame_serial_.fetch_add(1, std::memory_order_relaxed) %
+                            static_cast<std::uint64_t>(config_.drop_rx_frame_every) ==
+                        static_cast<std::uint64_t>(config_.drop_rx_frame_every) - 1) {
+                  // Fault injection: lose this frame and shed the connection,
+                  // exactly like the corrupt-frame path below. The sender
+                  // reconnects; the ledger re-delivers what was lost.
+                  drop = true;
+                  break;
+                }
                 frame.ResetCursor();
                 while (!frame.AtEnd()) {
                   Message msg = DecodeMessage(&frame);
@@ -613,6 +670,7 @@ class SocketTransport final : public Transport {
           ::close(conns[i].fd);
           conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
           fds.erase(fds.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+          --polled;
         } else {
           ++i;
         }
@@ -633,6 +691,8 @@ class SocketTransport final : public Transport {
   EventSink sink_;
   StatCounters counters_;
   obs::Histogram depth_hist_;
+  // Decoded-frame serial across all receivers, for drop_rx_frame_every.
+  std::atomic<std::uint64_t> rx_frame_serial_{0};
 };
 
 }  // namespace

@@ -56,18 +56,24 @@ std::optional<TransportKind> ParseTransportKind(std::string_view name);
 
 struct NetConfig {
   TransportKind kind = TransportKind::kInproc;
-  std::size_t batch_bytes = 64 * 1024;  // Sender coalescing ceiling per frame.
+  std::size_t batch_bytes = 64 * 1024;  // Sender coalescing ceiling per frame (>= 1).
   std::size_t queue_cap = 128;          // Per-destination send queue (messages).
   int ack_timeout_ms = 250;             // Fabric-level shuffle ack wait.
   int flush_us = 200;                   // Sender wait granularity when idle.
   bool compression = false;             // RLE-compress frames on the wire.
   int port = 0;                         // TCP base port; 0 = ephemeral.
+  // Fault injection (tests/chaos): the receiver discards every Nth decoded
+  // frame and sheds its connection, exactly like the corrupt-frame path —
+  // senders must reconnect and the shuffle ledger must recover the loss.
+  // 0 disables.
+  int drop_rx_frame_every = 0;
 };
 
 // Reads the ITASK_NET_* knob family (strict parsing via common/env.h):
 //   ITASK_NET_TRANSPORT   inproc|tcp|uds
 //   ITASK_NET_BATCH_BYTES ITASK_NET_QUEUE_CAP ITASK_NET_ACK_TIMEOUT_MS
 //   ITASK_NET_FLUSH_US    ITASK_NET_COMPRESSION ITASK_NET_PORT
+//   ITASK_NET_DROP_RX_FRAME_EVERY (fault injection; 0 = off)
 NetConfig NetConfigFromEnv(NetConfig base = NetConfig{});
 
 // Mechanical counters; semantic counters (dup payloads dropped, redeliveries)
@@ -82,6 +88,7 @@ struct TransportStats {
   std::uint64_t flushes = 0;          // Sender batch writes.
   std::uint64_t send_stalls = 0;      // Producer blocked on a full queue.
   std::uint64_t stall_ns = 0;         // Total time producers spent blocked.
+  std::uint64_t send_retries = 0;     // Failed batches requeued for reconnect.
   std::uint64_t heartbeats_dropped = 0;  // Probes shed instead of blocking.
   std::uint64_t peer_gone_drops = 0;  // Sends to closed/unknown endpoints.
   std::uint64_t checksum_failures = 0;  // Corrupt frames (connection dropped).
@@ -107,9 +114,13 @@ class Transport {
   // per-destination queues decouple the two directions.
   virtual void RegisterEndpoint(int endpoint, Handler handler) = 0;
 
-  // Routes |msg| (by msg.dst). Returns false when the destination endpoint
-  // is closed or was never registered — the caller treats that as peer-gone,
-  // mirroring the in-memory path's silent drop into a fenced runtime.
+  // Routes |msg| (by msg.dst). Returns false only when the destination
+  // endpoint is closed or was never registered — the caller treats that as
+  // peer-gone, mirroring the in-memory path's silent drop into a fenced
+  // runtime. Transient connect/send failures to a live endpoint are retried
+  // internally (requeue + reconnect with capped backoff), never surfaced as
+  // peer-gone: a false return must imply the endpoint is really gone, or the
+  // ledger would mark undelivered shuffle data as delivered.
   // May block on a full send queue (backpressure), except heartbeats, which
   // are dropped instead.
   virtual bool Send(Message msg) = 0;

@@ -5,7 +5,10 @@
 // and without node faults.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -394,6 +397,76 @@ TEST_P(SocketTransportTest, ClosedEndpointReportsPeerGone) {
   EXPECT_TRUE(failed);
 }
 
+TEST_P(SocketTransportTest, ZeroBatchBytesStillDrains) {
+  NetConfig config;
+  config.kind = GetParam();
+  // Pathological ceiling constructed directly (the env path clamps to >= 1):
+  // every batch must still admit at least one message or the sender spins on
+  // empty frames while producers block on the full queue forever.
+  config.batch_bytes = 0;
+  config.queue_cap = 4;
+  auto transport = MakeTransport(config);
+  constexpr int kMsgs = 32;
+  std::atomic<int> received{0};
+  transport->RegisterEndpoint(0, [&received](Message&&) { received.fetch_add(1); });
+  for (int i = 0; i < kMsgs; ++i) {
+    Message msg;
+    msg.kind = MsgKind::kShuffleData;
+    msg.dst = 0;
+    msg.seq = static_cast<std::uint64_t>(i);
+    msg.payload = MakePayload(32, static_cast<std::uint8_t>(i));
+    ASSERT_TRUE(transport->Send(std::move(msg)));
+  }
+  transport->Flush();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (received.load() < kMsgs && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(received.load(), kMsgs);
+}
+
+TEST(Transport, EnvClampsBatchBytesToAtLeastOne) {
+  setenv("ITASK_NET_BATCH_BYTES", "0", 1);
+  const NetConfig config = NetConfigFromEnv();
+  unsetenv("ITASK_NET_BATCH_BYTES");
+  EXPECT_GE(config.batch_bytes, 1u);
+}
+
+TEST_P(SocketTransportTest, ReconnectsAfterReceiverShedsConnection) {
+  NetConfig config;
+  config.kind = GetParam();
+  // The receiver discards every 2nd frame and drops its connection, like the
+  // corrupt-frame path. The sender must requeue and reconnect — a send
+  // failure to a still-registered endpoint is transient, never peer-gone.
+  config.drop_rx_frame_every = 2;
+  auto transport = MakeTransport(config);
+  std::atomic<int> received{0};
+  transport->RegisterEndpoint(3, [&received](Message&&) { received.fetch_add(1); });
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  std::uint64_t sent = 0;
+  while (std::chrono::steady_clock::now() < deadline &&
+         (transport->Stats().send_retries == 0 || received.load() == 0)) {
+    Message msg;
+    msg.kind = MsgKind::kShuffleData;
+    msg.dst = 3;
+    msg.seq = sent++;
+    msg.payload = MakePayload(64, static_cast<std::uint8_t>(sent));
+    // The queue must never die while the endpoint stays registered.
+    ASSERT_TRUE(transport->Send(std::move(msg)));
+    transport->Flush();  // One frame per message: every 2nd one is shed.
+  }
+  EXPECT_GT(transport->Stats().send_retries, 0u);
+  EXPECT_GT(received.load(), 0);
+  // And after all that shedding, sends still succeed.
+  Message tail;
+  tail.kind = MsgKind::kShuffleData;
+  tail.dst = 3;
+  tail.seq = sent;
+  EXPECT_TRUE(transport->Send(std::move(tail)));
+  transport->Flush();
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, SocketTransportTest,
                          ::testing::Values(TransportKind::kTcp, TransportKind::kUds),
                          [](const auto& info) {
@@ -455,6 +528,52 @@ TEST(CtrlPlane, JoinDispatchResultShutdown) {
   d1.join();
 }
 
+TEST(CtrlPlane, ByeWakesResultWaiters) {
+  CtrlServer server(0);
+  ASSERT_GT(server.port(), 0);
+
+  // A raw daemon connection: join by hand so the test controls exactly when
+  // the goodbye goes out.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  FrameSocket sock(fd);
+  {
+    Message join;
+    join.kind = MsgKind::kJoin;
+    join.text = "raw";
+    common::ByteBuffer wire;
+    EncodeMessage(join, &wire);
+    ASSERT_TRUE(sock.SendFrame(wire));
+    common::ByteBuffer ack;
+    ASSERT_TRUE(sock.RecvFrame(&ack));
+  }
+  ASSERT_TRUE(server.WaitForNodes(1, 10000));
+
+  std::thread goodbye([&sock] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    Message bye;
+    bye.kind = MsgKind::kBye;
+    common::ByteBuffer wire;
+    EncodeMessage(bye, &wire);
+    sock.SendFrame(wire);
+  });
+  // The waiter must wake when the daemon says goodbye, not sleep out the
+  // full timeout.
+  const auto t0 = std::chrono::steady_clock::now();
+  JobResultMsg result;
+  EXPECT_FALSE(server.WaitResult(0, /*timeout_ms=*/10000, &result));
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(waited, std::chrono::seconds(5));
+  EXPECT_FALSE(server.node(0).connected);
+  goodbye.join();
+  server.Shutdown();
+}
+
 // ---- End-to-end: socket shuffle reproduces inproc fingerprints ----
 
 class TransportParityTest : public ::testing::Test {
@@ -469,15 +588,21 @@ class TransportParityTest : public ::testing::Test {
   }
 
   static apps::AppResult RunOver(const char* app, TransportKind kind,
-                                 cluster::FailureModel* model = nullptr) {
+                                 cluster::FailureModel* model = nullptr,
+                                 int drop_rx_frame_every = 0, int ack_timeout_ms = 0,
+                                 std::size_t dataset_bytes = 512 << 10) {
     cluster::ClusterConfig cc;
     cc.num_nodes = 4;
     cc.heap.capacity_bytes = 48 << 20;
     cc.heap.real_pauses = false;
     cc.net.kind = kind;
+    cc.net.drop_rx_frame_every = drop_rx_frame_every;
+    if (ack_timeout_ms > 0) {
+      cc.net.ack_timeout_ms = ack_timeout_ms;
+    }
     cluster::Cluster cluster(cc);
     apps::AppConfig config;
-    config.dataset_bytes = 512 << 10;
+    config.dataset_bytes = dataset_bytes;
     config.tpch_scale = 0.2;
     config.max_workers = 4;
     config.granularity_bytes = 8 << 10;
@@ -503,6 +628,34 @@ TEST_F(TransportParityTest, FaultFreeTcpMatchesInproc) {
     EXPECT_GT(tcp.metrics.net_msgs_sent, 0u) << app;
     EXPECT_GT(tcp.metrics.net_bytes_sent, 0u) << app;
   }
+}
+
+TEST_F(TransportParityTest, LossyTcpKeepsFingerprint) {
+  // A genuinely lossy channel: the receive side discards every 10th frame
+  // and sheds the connection carrying it. Senders must reconnect (never
+  // report a live peer as gone) and the shuffle ledger's (split,epoch,seq)
+  // dedup + ack-timeout resend must recover every lost payload bit-for-bit.
+  // Widen the suspect window and slow heartbeats so the injected loss
+  // exercises the ledger, not the failure detector.
+  setenv("ITASK_SUSPECT_TIMEOUT_MS", "10000", 1);
+  setenv("ITASK_HEARTBEAT_MS", "50", 1);
+  constexpr std::size_t kDataset = 128 << 10;
+  const apps::AppResult reference =
+      RunOver("WC", TransportKind::kInproc, /*model=*/nullptr,
+              /*drop_rx_frame_every=*/0, /*ack_timeout_ms=*/0, kDataset);
+  ASSERT_TRUE(reference.metrics.succeeded);
+
+  const apps::AppResult lossy =
+      RunOver("WC", TransportKind::kTcp, /*model=*/nullptr,
+              /*drop_rx_frame_every=*/10, /*ack_timeout_ms=*/100, kDataset);
+  ASSERT_TRUE(lossy.metrics.succeeded) << lossy.metrics.Summary();
+  EXPECT_EQ(lossy.checksum, reference.checksum);
+  EXPECT_EQ(lossy.records, reference.records);
+  EXPECT_EQ(lossy.metrics.duplicate_tuples_dropped, 0u);
+  // The loss was real: some recovery machinery had to fire.
+  EXPECT_GT(lossy.metrics.net_send_retries + lossy.metrics.net_ack_timeouts +
+                lossy.metrics.net_dup_payloads_dropped,
+            0u);
 }
 
 TEST_F(TransportParityTest, KilledNodeOverTcpKeepsFingerprint) {

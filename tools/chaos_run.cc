@@ -254,6 +254,7 @@ int main(int argc, char** argv) {
     std::uint64_t net_bytes_sent = 0;
     std::uint64_t net_send_stalls = 0;
     double net_stall_ms = 0.0;
+    std::uint64_t net_send_retries = 0;
     std::uint64_t net_ack_timeouts = 0;
     std::uint64_t net_dup_payloads_dropped = 0;
   };
@@ -299,6 +300,7 @@ int main(int argc, char** argv) {
       jc.net_bytes_sent += result.metrics.net_bytes_sent;
       jc.net_send_stalls += result.metrics.net_send_stalls;
       jc.net_stall_ms += result.metrics.net_stall_ms;
+      jc.net_send_retries += result.metrics.net_send_retries;
       jc.net_ack_timeouts += result.metrics.net_ack_timeouts;
       jc.net_dup_payloads_dropped += result.metrics.net_dup_payloads_dropped;
 
@@ -384,6 +386,7 @@ int main(int argc, char** argv) {
       out += ",\"bytes_sent\":" + std::to_string(jc.net_bytes_sent);
       out += ",\"send_stalls\":" + std::to_string(jc.net_send_stalls);
       out += ",\"stall_ms\":" + std::to_string(jc.net_stall_ms);
+      out += ",\"send_retries\":" + std::to_string(jc.net_send_retries);
       out += ",\"ack_timeouts\":" + std::to_string(jc.net_ack_timeouts);
       out += ",\"dup_payloads_dropped\":" + std::to_string(jc.net_dup_payloads_dropped);
       out += "}}";
