@@ -1,0 +1,183 @@
+// bench_migration: the Fig-11-style skewed-pressure comparison for the
+// three-way SERIALIZE decision (DESIGN.md §14).
+//
+// One node runs at a fraction of its peers' heap; the peers idle with
+// headroom. Each app runs twice on that topology: once with migration
+// enabled (pressured victims may ship to a peer) and once with
+// ITASK_MIGRATE_ENABLE=0 (spill-only — the pre-migration behavior). Both
+// arms must produce the same fingerprint; the headline numbers are wall
+// time, records/s, and how many bytes took the wire vs the disk.
+//
+// Emits BENCH_migration.json (or ITASK_BENCH_JSON) for the ci.sh gate.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/hyracks_apps.h"
+#include "bench/bench_util.h"
+#include "cluster/cluster.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+struct Row {
+  std::string app;
+  bool migrate_enabled = false;
+  double wall_ms = 0.0;
+  double records_per_sec = 0.0;
+  std::uint64_t records = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t partitions_migrated = 0;
+  std::uint64_t migrated_bytes = 0;
+  std::uint64_t migrations_rejected = 0;
+  std::uint64_t spilled_bytes = 0;
+  bool ok = false;
+};
+
+Row RunSkewed(const char* app, bool migrate_enabled) {
+  Row row;
+  row.app = app;
+  row.migrate_enabled = migrate_enabled;
+  setenv("ITASK_MIGRATE_ENABLE", migrate_enabled ? "1" : "0", 1);
+
+  // Node 0 pressured, peer idle with headroom — the shape that makes the
+  // migrate arm reachable at all (interrupted-task remainders on node 0).
+  // Shuffle rides TCP loopback: with inproc dispatch a release-built worker
+  // drains its queue faster than the monitor can interrupt, so eligible
+  // remainders are almost never resident at SERIALIZE time and the migrate
+  // arm goes unexercised — the socket path is also what migration actually
+  // targets in a real cluster.
+  itask::cluster::ClusterConfig cc;
+  cc.num_nodes = 2;
+  cc.heap.capacity_bytes = 320 << 10;
+  cc.heap.real_pauses = false;
+  cc.per_node_heap_bytes = {320 << 10, 3840 << 10};
+  cc.net.kind = itask::net::TransportKind::kTcp;
+  itask::cluster::Cluster cluster(cc);
+
+  itask::apps::AppConfig ac;
+  ac.dataset_bytes =
+      static_cast<std::uint64_t>(768.0 * itask::bench::BenchScale()) << 10;
+  ac.granularity_bytes = 64 << 10;  // Above the migration size floor.
+  ac.threads = 4;
+  ac.max_workers = 4;
+  ac.deadline_ms = 60000.0;
+  ac.fault_tolerance = true;
+
+  const auto t0 = Clock::now();
+  const auto result =
+      itask::apps::RunHyracksApp(app, cluster, ac, itask::apps::Mode::kITask);
+  row.wall_ms = MsSince(t0);
+  row.records = result.records;
+  row.checksum = result.checksum;
+  row.records_per_sec =
+      row.wall_ms > 0.0 ? static_cast<double>(result.records) * 1e3 / row.wall_ms : 0.0;
+  row.partitions_migrated = result.metrics.partitions_migrated;
+  row.migrated_bytes = result.metrics.migrated_bytes;
+  row.migrations_rejected = result.metrics.migrations_rejected;
+  row.spilled_bytes = result.metrics.spilled_bytes;
+  row.ok = result.metrics.succeeded;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = itask::bench::BenchScale();
+  // Fast detection plus knobs that favor the wire, so the migrate arm fires
+  // whenever an eligible victim appears (same recipe as the migration tests).
+  setenv("ITASK_HEARTBEAT_MS", "1", 1);
+  setenv("ITASK_SUSPECT_TIMEOUT_MS", "500", 1);
+  setenv("ITASK_MIGRATE_MIN_BYTES", "4096", 1);
+  setenv("ITASK_MIGRATE_RTT_US", "10", 1);
+  setenv("ITASK_MIGRATE_DISK_MBPS", "50", 1);
+
+  bool ok = true;
+  std::uint64_t total_migrated = 0;
+  std::string rows_json;
+  for (const char* app : {"WC", "HS"}) {
+    std::uint64_t baseline_checksum = 0;
+    double baseline_rps = 0.0;
+    // Spill-only arm first: its fingerprint is the reference.
+    for (const bool migrate_enabled : {false, true}) {
+      Row row = RunSkewed(app, migrate_enabled);
+      ok = ok && row.ok;
+      if (!migrate_enabled) {
+        baseline_checksum = row.checksum;
+        baseline_rps = row.records_per_sec;
+      } else {
+        // Worker/monitor interleaving decides whether an eligible remainder
+        // is queued at interrupt time, so a single pass may legitimately
+        // migrate nothing. Hunt a few passes for one that exercises the
+        // wire; every pass still owes fingerprint parity.
+        for (int pass = 1; pass < 6 && row.ok && row.partitions_migrated == 0 &&
+                           row.checksum == baseline_checksum;
+             ++pass) {
+          row = RunSkewed(app, migrate_enabled);
+          ok = ok && row.ok;
+        }
+        total_migrated += row.partitions_migrated;
+        if (row.checksum != baseline_checksum) {
+          std::fprintf(stderr, "bench_migration: %s fingerprint diverged\n", app);
+          ok = false;
+        }
+        // Informational, not a gate: single-run wall times are noisy.
+        if (baseline_rps > 0.0) {
+          std::printf("[migration] %s migrate/spill-only throughput ratio %.2f\n",
+                      app, row.records_per_sec / baseline_rps);
+        }
+      }
+      std::printf(
+          "[migration] %-2s %-10s wall=%7.1fms %9.0f rec/s migrated=%llu "
+          "(%llu B) rejected=%llu spilled=%llu B\n",
+          app, migrate_enabled ? "migrate" : "spill-only", row.wall_ms,
+          row.records_per_sec,
+          static_cast<unsigned long long>(row.partitions_migrated),
+          static_cast<unsigned long long>(row.migrated_bytes),
+          static_cast<unsigned long long>(row.migrations_rejected),
+          static_cast<unsigned long long>(row.spilled_bytes));
+      char buf[512];
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s{\"app\":\"%s\",\"migrate\":%s,\"wall_ms\":%.3f,"
+          "\"records_per_sec\":%.1f,\"records\":%llu,"
+          "\"partitions_migrated\":%llu,\"migrated_bytes\":%llu,"
+          "\"migrations_rejected\":%llu,\"spilled_bytes\":%llu,\"ok\":%s}",
+          rows_json.empty() ? "" : ",", app, migrate_enabled ? "true" : "false",
+          row.wall_ms, row.records_per_sec,
+          static_cast<unsigned long long>(row.records),
+          static_cast<unsigned long long>(row.partitions_migrated),
+          static_cast<unsigned long long>(row.migrated_bytes),
+          static_cast<unsigned long long>(row.migrations_rejected),
+          static_cast<unsigned long long>(row.spilled_bytes),
+          row.ok ? "true" : "false");
+      rows_json += buf;
+    }
+  }
+
+  const char* env = std::getenv("ITASK_BENCH_JSON");
+  const std::string path = env != nullptr ? env : "BENCH_migration.json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_migration: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\"bench\":\"migration\",\"scale\":%.3f,"
+               "\"total_migrated\":%llu,\"rows\":[%s],\"ok\":%s}\n",
+               scale, static_cast<unsigned long long>(total_migrated),
+               rows_json.c_str(), ok ? "true" : "false");
+  std::fclose(out);
+  std::printf("bench_migration: wrote %s (%s, %llu migrations)\n", path.c_str(),
+              ok ? "ok" : "FAILURES",
+              static_cast<unsigned long long>(total_migrated));
+  return ok ? 0 : 1;
+}

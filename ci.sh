@@ -2,9 +2,10 @@
 # CI entry point: tier-1 verify (full build + ctest), an ASan/UBSan build of
 # the concurrency-sensitive test suites (obs tracer, async spill I/O, IRS
 # core/runtime), a ThreadSanitizer pass over the same suites, a chaos-smoke
-# sweep of the schedule fuzzer (tools/chaos_run), a multi-tenant job-service
-# smoke under TSan, and release-mode bench smoke runs at a tiny scale
-# (including the two-tenant jobsvc bench, gated on its JSON artifact).
+# sweep of the schedule fuzzer (tools/chaos_run) including a skewed-heap
+# migration slice, a multi-tenant job-service smoke under TSan, and
+# release-mode bench smoke runs at a tiny scale (the jobsvc, net and
+# migration benches are each gated on their JSON artifacts).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -25,14 +26,14 @@ for t in obs_test io_test itask_core_test irs_runtime_test irs_policy_test net_t
   "./build-asan/tests/${t}"
 done
 
-echo "=== tier 3: TSan on itask core / runtime / io suites ==="
+echo "=== tier 3: TSan on itask core / runtime / partition / io suites ==="
 TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="${TSAN_FLAGS}" \
   -DCMAKE_EXE_LINKER_FLAGS="${TSAN_FLAGS}"
-cmake --build build-tsan -j --target itask_core_test irs_runtime_test io_test
-for t in itask_core_test irs_runtime_test io_test; do
+cmake --build build-tsan -j --target itask_core_test irs_runtime_test partition_test io_test
+for t in itask_core_test irs_runtime_test partition_test io_test; do
   echo "--- ${t} (tsan) ---"
   TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/${t}"
 done
@@ -62,6 +63,28 @@ ITASK_SUSPECT_TIMEOUT_MS=25 ./build/tools/chaos_run \
 # Multi-process: a driver and two node_daemon processes agree on fingerprints.
 ITASK_NET_TRANSPORT=tcp ./build/tools/net_driver \
   --daemons 2 --spawn --apps WC --dataset-kb 128
+
+echo "=== tier 4e: migration smoke (skewed heaps over TCP; migrate arm must fire) ==="
+# One node at 1/12th of its peer's heap (DESIGN.md §14): every seed must
+# reproduce the fault-free fingerprint, and across the sweep at least one
+# partition must take the migrate arm of the three-way SERIALIZE decision
+# instead of spilling. Aggregated over 4 seeds x 2 apps so a single run's
+# worker/monitor interleaving can't flake the gate.
+ITASK_MIGRATE_MIN_BYTES=16384 ITASK_MIGRATE_RTT_US=50 \
+ITASK_HEARTBEAT_MS=1 ITASK_SUSPECT_TIMEOUT_MS=500 \
+./build/tools/chaos_run --seeds 4 --start 1 --apps WC,HS --nodes 2 \
+  --skew 12 --heap-kb 320 --dataset-kb 768 --gran-kb 64 \
+  --transport=tcp --json | tee /tmp/itask_migration_smoke.out
+python3 - /tmp/itask_migration_smoke.out <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.loads(f.readlines()[-1])
+assert doc["ok"] is True, "migration smoke reported failures: %r" % doc
+migrated = sum(j.get("partitions_migrated", 0) for j in doc["per_job"].values())
+bytes_ = sum(j.get("migrated_bytes", 0) for j in doc["per_job"].values())
+assert migrated >= 1, "no partition took the migrate arm: %r" % doc
+print("migration smoke ok: %d partitions migrated (%d bytes)" % (migrated, bytes_))
+EOF
 
 echo "=== tier 4c: jobsvc smoke (two concurrent tenants under TSan) ==="
 # The multi-tenant job service exercises cross-job arbitration on shared
@@ -116,6 +139,32 @@ for row in doc["raw"]:
 apps = {row["transport"] for row in doc["apps"]}
 assert apps == {"inproc", "tcp"}, apps
 print("net bench gate ok: %d raw rows, %d app rows" % (len(doc["raw"]), len(doc["apps"])))
+EOF
+
+echo "=== tier 5d: migration bench gate (BENCH_migration.json produced + well-formed) ==="
+# Skewed spill-only vs migrate-enabled comparison (DESIGN.md §14). The hard
+# gate is structure + per-row success (which includes fingerprint parity
+# between the arms); migration liveness is gated upstream in tier 4e.
+cmake --build build-rel -j --target bench_migration
+(cd build-rel/bench && ./bench_migration)
+python3 - build-rel/bench/BENCH_migration.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "migration", doc
+assert doc["ok"] is True, "bench reported failures: %r" % doc
+assert len(doc["rows"]) == 4, doc["rows"]
+arms = {(row["app"], row["migrate"]) for row in doc["rows"]}
+assert arms == {(a, m) for a in ("WC", "HS") for m in (False, True)}, arms
+for row in doc["rows"]:
+    assert row["ok"] is True, row
+    assert row["records"] > 0 and row["records_per_sec"] > 0, row
+    if not row["migrate"]:
+        assert row["partitions_migrated"] == 0, row
+if doc["total_migrated"] == 0:
+    print("warning: migrate arm never fired this run (gated in tier 4e)")
+print("migration bench gate ok: %d migrations across %d rows" % (
+    doc["total_migrated"], len(doc["rows"])))
 EOF
 
 echo "ci.sh: all green"

@@ -17,6 +17,7 @@ void RunMetrics::AccumulateNode(const RunMetrics& node) {
   fence_interrupts += node.fence_interrupts;
   spilled_bytes += node.spilled_bytes;
   loaded_bytes += node.loaded_bytes;
+  load_retries += node.load_retries;
   released_processed_input_bytes += node.released_processed_input_bytes;
   released_final_result_bytes += node.released_final_result_bytes;
   parked_intermediate_bytes += node.parked_intermediate_bytes;

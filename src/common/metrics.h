@@ -34,6 +34,7 @@ struct RunMetrics {
   std::uint64_t fence_interrupts = 0;
   std::uint64_t spilled_bytes = 0;
   std::uint64_t loaded_bytes = 0;
+  std::uint64_t load_retries = 0;  // Spill reloads re-attempted after read faults.
 
   // Staged-release savings breakdown (paper Table 2), in bytes.
   std::uint64_t released_processed_input_bytes = 0;
@@ -69,6 +70,14 @@ struct RunMetrics {
   std::uint64_t shuffle_retries = 0;         // Delivery attempts beyond the first.
   std::uint64_t shuffle_redeliveries = 0;    // Ledger entries re-sent after a death.
   std::uint64_t duplicate_tuples_dropped = 0;  // Dedup-layer audit counter.
+
+  // Pressure-driven migration counters (zero unless the SERIALIZE action
+  // shipped partitions to a peer). Filled job-wide from the recovery
+  // context's stats like the other fault-tolerance counters above —
+  // AccumulateNode leaves them alone so the fold doesn't double-count.
+  std::uint64_t partitions_migrated = 0;   // Victims shipped to a peer instead of disk.
+  std::uint64_t migrated_bytes = 0;        // Payload bytes those victims carried.
+  std::uint64_t migrations_rejected = 0;   // Broker said no (stale/full/cost/ineligible).
 
   // framed/raw over everything written; 1.0 when nothing was written.
   double IoCompressionRatio() const {

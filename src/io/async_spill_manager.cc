@@ -279,6 +279,7 @@ serde::SpillStats AsyncSpillManager::Stats() const {
   stats.write_ms = disk.write_ms;
   stats.read_ms = disk.read_ms;
   stats.injected_failures = disk.injected_failures;
+  stats.load_retries = disk.load_retries;
   stats.live_files = entries_.size();
   stats.live_file_bytes = 0;
   for (const auto& [id, entry] : entries_) {

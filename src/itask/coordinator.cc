@@ -150,6 +150,9 @@ common::RunMetrics JobCoordinator::AggregateMetrics() const {
     total.shuffle_retries = rs.shuffle_retries;
     total.shuffle_redeliveries = rs.redeliveries;
     total.duplicate_tuples_dropped = rs.duplicates_dropped;
+    total.partitions_migrated = rs.partitions_migrated;
+    total.migrated_bytes = rs.migrated_bytes;
+    total.migrations_rejected = rs.migrations_rejected;
   }
   return total;
 }

@@ -1,5 +1,6 @@
 #include "itask/partition.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <thread>
 
@@ -26,7 +27,7 @@ std::uint64_t DataPartition::SpillIfIdle(int priority) {
 }
 
 std::uint64_t DataPartition::SpillLocked(int priority) {
-  if (!resident_.load(std::memory_order_relaxed)) {
+  if (transferring_ || !resident_.load(std::memory_order_relaxed)) {
     return 0;
   }
   common::ByteBuffer buffer;
@@ -88,6 +89,8 @@ void DataPartition::EnsureResidentLocked() {
     // times before treating the fault as fatal — without this, a single lost
     // write aborts the whole job even though nothing was actually lost.
     constexpr int kMaxLoadAttempts = 8;
+    std::chrono::microseconds backoff{50};
+    constexpr std::chrono::microseconds kBackoffCap{5000};
     for (int attempt = 1;; ++attempt) {
       try {
         buffer = spill_->LoadAndRemove(*spill_id_);
@@ -98,6 +101,12 @@ void DataPartition::EnsureResidentLocked() {
         if (attempt >= kMaxLoadAttempts) {
           throw;
         }
+        // Count the retry (chaos_run surfaces it as load_retries) and back
+        // off exponentially instead of hammering the faulting device; the
+        // cap keeps the worst case under ~10ms of lock-held wait.
+        spill_->NoteLoadRetry();
+        std::this_thread::sleep_for(backoff);
+        backoff = std::min(backoff * 2, kBackoffCap);
       }
     }
   }
@@ -147,32 +156,45 @@ void DataPartition::Purge() {
 }
 
 void DataPartition::TransferTo(memsim::ManagedHeap* heap, serde::SpillManager* spill) {
-  std::lock_guard lock(state_mu_);
-  EnsureResidentLocked();
   common::ByteBuffer buffer;
-  serde::Writer writer(&buffer);
-  SerializeTo(writer);
-  DropPayload();
-  heap_ = heap;
-  spill_ = spill;
+  {
+    std::lock_guard lock(state_mu_);
+    EnsureResidentLocked();
+    serde::Writer writer(&buffer);
+    SerializeTo(writer);
+    DropPayload();
+    heap_ = heap;
+    spill_ = spill;
+    transferring_ = true;
+  }
   // The destination heap may be under pressure; back off and retry while its
-  // IRS relieves it (models network backpressure on a shuffle channel).
+  // IRS relieves it (models network backpressure on a shuffle channel). The
+  // state lock is *released* across the sleep — a transfer can back off for
+  // seconds, and holding state_mu_ throughout would wedge every spill pass,
+  // prefetch and purge that touches this partition. transferring_ keeps
+  // those passes from spilling the empty mid-move payload in the gaps.
   constexpr int kMaxAttempts = 10000;
   for (int attempt = 0;; ++attempt) {
     try {
+      std::lock_guard lock(state_mu_);
       buffer.ResetCursor();
       serde::Reader reader(&buffer);
       DeserializeFrom(reader);
-      break;
+      cursor_ = 0;
+      transferring_ = false;
+      return;
     } catch (const memsim::OutOfMemoryError&) {
-      DropPayload();
-      if (attempt >= kMaxAttempts) {
-        throw;
+      {
+        std::lock_guard lock(state_mu_);
+        DropPayload();
+        if (attempt >= kMaxAttempts) {
+          transferring_ = false;
+          throw;
+        }
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   }
-  cursor_ = 0;
 }
 
 }  // namespace itask::core

@@ -203,6 +203,12 @@ class DataPartition {
   std::atomic<bool> requeued_{false};
   std::int64_t origin_split_ = kNoSplit;
   std::uint32_t origin_epoch_ = 0;
+  // True while TransferTo is re-charging the payload against the destination
+  // heap with state_mu_ *released* between OME retries. Spill passes that
+  // sneak in during that window see an empty payload mid-move and must skip
+  // the partition instead of spilling a zero-byte remainder (which would
+  // flip resident_/spill_id_ under the transfer loop). Guarded by state_mu_.
+  bool transferring_ = false;
   memsim::JobId job_ = memsim::CurrentJobId();
   int no_progress_ = 0;
   // Serializes Spill/EnsureResident/TransferTo against each other (the

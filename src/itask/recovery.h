@@ -45,6 +45,7 @@
 
 #include "common/byte_buffer.h"
 #include "itask/membership.h"
+#include "itask/migration.h"
 #include "itask/partition.h"
 #include "itask/types.h"
 #include "memsim/managed_heap.h"
@@ -115,6 +116,9 @@ struct RecoveryStats {
   std::uint64_t fenced_rejects = 0;   // Stages refused (dead/stale producer).
   std::uint64_t stale_commits = 0;    // Commits refused (dead producer/epoch).
   std::uint64_t sunk_tag_drops = 0;   // Deliveries refused (tag already sunk).
+  std::uint64_t partitions_migrated = 0;   // Pressure victims shipped to a peer.
+  std::uint64_t migrated_bytes = 0;        // Payload bytes those victims carried.
+  std::uint64_t migrations_rejected = 0;   // Migration attempts that fell back to spill.
 };
 
 class RecoveryContext {
@@ -145,8 +149,16 @@ class RecoveryContext {
   void SetNodeLostHook(std::function<void(int)> hook);
 
   // One heartbeat from |node|'s monitor thread, carrying its heap occupancy.
-  // Without a beat sink this is membership().Beat(node).
+  // Without a beat sink this beats membership and feeds the migration broker
+  // directly; with one, the stats ride the transport and land in
+  // NoteRemoteHeartbeat on the driver side instead.
   void Heartbeat(int node, std::uint64_t used_bytes, std::uint64_t capacity_bytes);
+
+  // Driver-side receipt of a transport-carried heartbeat: beats membership
+  // and feeds the migration broker in one step, so liveness and headroom
+  // always advance together (a broker fed from a path that skipped Beat
+  // would rank a node the detector is about to declare dead).
+  void NoteRemoteHeartbeat(int node, std::uint64_t used_bytes, std::uint64_t capacity_bytes);
 
   // Receive side of a transport delivery: rehydrates |bytes| as a partition
   // of |id.type| on |node|'s heap and pushes it into the node's queue.
@@ -202,6 +214,40 @@ class RecoveryContext {
   // later demoted) is eventually re-driven.
   void Sweep();
 
+  // ---- Pressure-driven migration (DESIGN.md §14) ----
+  // The broker ranks peers by heartbeat-carried heap headroom; the partition
+  // manager consults it before spilling a victim.
+  MigrationBroker& broker() { return broker_; }
+  const MigrationBroker& broker() const { return broker_; }
+
+  enum class MigrateOutcome : std::uint8_t {
+    kMigrated,   // Landed on the target; the caller purges its local copy.
+    kFailed,     // Definitively never landed; ownership reverted to the
+                 // source — the caller re-queues locally and spills instead.
+    kAbandoned,  // Ambiguous (acks exhausted on a live target): the frame may
+                 // or may not have landed, so reverting could double-execute.
+                 // Treated like the data dying in transit: the split's epoch
+                 // is bumped and it re-executes from durable bytes; a landed
+                 // stray copy's outputs are epoch-fenced. Caller purges.
+  };
+
+  // Ships |dp| — a victim already removed from the source queue and pinned,
+  // so the caller holds exclusive ownership — to |target|, re-keying split
+  // ownership through the same assigned_node/EffectiveOwner lineage a node
+  // death uses. Ownership is remapped *before* the frame is sent: if the
+  // target dies at any later moment, OnNodeLost(target) discards every
+  // (split, epoch) entry — including outputs the source staged before the
+  // move — and re-executes from the durable store, exactly as if the split
+  // had always lived there. Only uncommitted, still-queued input splits
+  // assigned to |source| qualify; anything else fails fast (kFailed).
+  MigrateOutcome MigratePartition(int source, int target, const PartitionPtr& dp);
+
+  // Counted when the three-way decision considered and rejected migration
+  // (no destination, cost model, ineligible victim, delivery failure).
+  void NoteMigrationRejected() {
+    migrations_rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   RecoveryStats stats() const;
 
  private:
@@ -250,6 +296,7 @@ class RecoveryContext {
 
   RecoveryConfig config_;
   Membership membership_;
+  MigrationBroker broker_;
   obs::Tracer* tracer_ = nullptr;
 
   // Net-transport hooks. Written during wiring (single-threaded), read by the
@@ -288,6 +335,13 @@ class RecoveryContext {
   std::atomic<std::uint64_t> fenced_rejects_{0};
   std::atomic<std::uint64_t> stale_commits_{0};
   std::atomic<std::uint64_t> sunk_tag_drops_{0};
+  std::atomic<std::uint64_t> partitions_migrated_{0};
+  std::atomic<std::uint64_t> migrated_bytes_{0};
+  std::atomic<std::uint64_t> migrations_rejected_{0};
+  // Migration frames dedup alongside ledger entries on the receiver's
+  // (split, epoch, seq) sets; the high bit keeps their seqs out of the
+  // ledger's per-(split, epoch) namespace.
+  std::atomic<std::uint64_t> migration_seq_{0};
 };
 
 }  // namespace itask::core

@@ -553,6 +553,7 @@ common::RunMetrics IrsRuntime::NodeMetrics() const {
   const serde::SpillStats spill = services_.spill->Stats();
   m.spilled_bytes = spill.spilled_bytes;
   m.loaded_bytes = spill.loaded_bytes;
+  m.load_retries = spill.load_retries;
 
   if (services_.async_spill != nullptr) {
     const io::IoStats io = services_.async_spill->io_stats();

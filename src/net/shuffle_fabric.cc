@@ -126,7 +126,10 @@ void ShuffleFabric::HandleDriverMessage(Message&& msg) {
       if (msg.src >= 0 && msg.src < num_nodes_) {
         heap_used_[static_cast<std::size_t>(msg.src)]->store(msg.a,
                                                              std::memory_order_relaxed);
-        recovery_->membership().Beat(msg.src);
+        // One entry point for both liveness and headroom: the migration
+        // broker must never learn about a node the detector didn't just
+        // hear from, or stale stats would outlive the staleness cutoff.
+        recovery_->NoteRemoteHeartbeat(msg.src, msg.a, msg.b);
       }
       break;
     }

@@ -51,6 +51,8 @@ enum class EventKind : std::uint8_t {
   kTenantShed,           // aux=job id, a=own overage bytes (over budget: full REDUCE)
   kNetFlush,             // aux=destination endpoint+1, a=messages in the batch, b=frame wire bytes
   kNetStall,             // aux=destination endpoint+1, a=stall_ns blocked on a full send queue, b=queue depth
+  kPartitionMigrated,    // aux=type id, a=payload bytes shipped, b=destination node
+  kMigrationRejected,    // aux=type id, a=payload bytes considered, b=reject reason (MigrationReject)
   kKindCount,            // sentinel — keep last
 };
 
@@ -128,6 +130,8 @@ constexpr const char* EventKindName(EventKind kind) {
     case EventKind::kTenantShed: return "tenant_shed";
     case EventKind::kNetFlush: return "net_flush";
     case EventKind::kNetStall: return "net_stall";
+    case EventKind::kPartitionMigrated: return "partition_migrated";
+    case EventKind::kMigrationRejected: return "migration_rejected";
     case EventKind::kKindCount: break;
   }
   return "unknown";

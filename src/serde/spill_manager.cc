@@ -192,7 +192,9 @@ std::future<common::ByteBuffer> SpillManager::LoadAsync(SpillId id, int /*priori
 
 SpillStats SpillManager::Stats() const {
   std::lock_guard lock(mu_);
-  return stats_;
+  SpillStats stats = stats_;
+  stats.load_retries = load_retries_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace itask::serde

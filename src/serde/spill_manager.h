@@ -43,6 +43,7 @@ struct SpillStats {
   std::uint64_t live_files = 0;
   std::uint64_t live_file_bytes = 0;
   std::uint64_t injected_failures = 0;  // Faults fired by the injection point.
+  std::uint64_t load_retries = 0;       // Reloads re-attempted after a read fault.
   double write_ms = 0.0;
   double read_ms = 0.0;
 };
@@ -108,6 +109,12 @@ class SpillManager {
 
   void SetFailureInjection(const SpillFailureInjection& injection);
 
+  // Called by DataPartition when a LoadAndRemove attempt failed and is being
+  // retried; surfaces injected/real read faults in stats instead of letting
+  // the retry loop burn CPU invisibly. Non-virtual on purpose: the async
+  // engine's loads funnel through the same base counter.
+  void NoteLoadRetry() { load_retries_.fetch_add(1, std::memory_order_relaxed); }
+
   const std::filesystem::path& directory() const { return dir_; }
 
   // Emits kSpillWrite/kSpillRead events (byte counts) into |tracer|, stamped
@@ -139,6 +146,7 @@ class SpillManager {
   SpillFailureInjection inject_;
   std::atomic<std::uint64_t> inject_ops_{0};
   std::atomic<std::uint64_t> inject_rng_{0};
+  std::atomic<std::uint64_t> load_retries_{0};
 };
 
 }  // namespace itask::serde

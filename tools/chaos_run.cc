@@ -29,11 +29,18 @@
 // — the fabric only exists under the recovery context. The fingerprint checks
 // then prove wire framing, batching and redelivery don't change results.
 //
+// Skew (--skew=R, R > 1, enables the fault-tolerance layer): node 0 keeps
+// --heap-kb while every peer gets R x that capacity — the Fig-11-style
+// skewed-pressure topology where node 0 interrupts constantly and its peers
+// have headroom, so SERIALIZE can migrate victims instead of spilling. The
+// JSON summary carries the migration counters CI asserts on.
+//
 // Usage:
 //   chaos_run [--seeds N] [--start S] [--apps WC,HS,HJ] [--keep-going]
-//             [--heap-kb K] [--dataset-kb K] [--nodes N] [--deadline-ms D]
+//             [--heap-kb K] [--dataset-kb K] [--gran-kb K] [--nodes N]
+//             [--deadline-ms D]
 //             [--kill-node=I@MS] [--hang-node=I@MS] [--poison-node=I@MS]
-//             [--transport=inproc|tcp|uds] [--json]
+//             [--transport=inproc|tcp|uds] [--skew R] [--json]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -56,10 +63,12 @@ struct Options {
   bool keep_going = false;
   std::uint64_t heap_kb = 1536;
   std::uint64_t dataset_kb = 256;
+  std::uint64_t gran_kb = 16;
   int nodes = 2;
   double deadline_ms = 60000.0;
   std::vector<itask::cluster::NodeFault> node_faults;
   itask::net::TransportKind transport = itask::net::TransportKind::kInproc;
+  double skew = 0.0;  // > 1 gives peers skew x node 0's heap (header comment).
   bool json = false;
 };
 
@@ -133,6 +142,10 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
         std::exit(2);
       }
       opt->transport = *kind;
+    } else if (std::strncmp(argv[i], "--skew=", 7) == 0) {
+      opt->skew = std::atof(argv[i] + 7);
+    } else if (std::strcmp(argv[i], "--skew") == 0) {
+      opt->skew = std::atof(value());
     } else if (std::strcmp(argv[i], "--json") == 0) {
       opt->json = true;
     } else if (std::strcmp(argv[i], "--seeds") == 0) {
@@ -147,6 +160,11 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
       opt->heap_kb = std::strtoull(value(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--dataset-kb") == 0) {
       opt->dataset_kb = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--gran-kb") == 0) {
+      // Split granularity. Migration's cost model only favors the wire above
+      // ~50 KB with default knobs (the RTT dominates small payloads), so
+      // skewed-pressure runs want 64 KB splits rather than the 16 KB default.
+      opt->gran_kb = std::strtoull(value(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--nodes") == 0) {
       opt->nodes = std::atoi(value());
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
@@ -164,12 +182,14 @@ itask::apps::AppConfig MakeAppConfig(const Options& opt) {
   config.dataset_bytes = opt.dataset_kb << 10;
   config.tpch_scale = 0.2;
   config.max_workers = 4;
-  config.granularity_bytes = 16 << 10;
+  config.granularity_bytes = opt.gran_kb << 10;
   config.deadline_ms = opt.deadline_ms;
   // Socket transports require the recovery context: the fabric hangs off the
   // shuffle ledger's delivery path, so every run becomes fault-tolerant.
-  config.fault_tolerance =
-      !opt.node_faults.empty() || opt.transport != itask::net::TransportKind::kInproc;
+  // Skewed-pressure runs need it too — migration ledgers through recovery.
+  config.fault_tolerance = !opt.node_faults.empty() ||
+                           opt.transport != itask::net::TransportKind::kInproc ||
+                           opt.skew > 1.0;
   return config;
 }
 
@@ -183,12 +203,21 @@ void JsonEscape(std::string* out, const std::string& s) {
 }
 
 itask::cluster::Cluster MakeCluster(const Options& opt, std::uint64_t heap_kb,
-                                    const itask::chaos::FaultPlan* plan) {
+                                    const itask::chaos::FaultPlan* plan,
+                                    bool apply_skew = true) {
   itask::cluster::ClusterConfig cc;
   cc.num_nodes = opt.nodes;
   cc.heap.capacity_bytes = heap_kb << 10;
   cc.heap.real_pauses = false;  // Pause accounting without burning CPU.
   cc.net.kind = opt.transport;
+  if (apply_skew && opt.skew > 1.0) {
+    // Node 0 keeps heap_kb; every peer gets skew x that — one pressured node
+    // surrounded by memory-rich migration destinations.
+    cc.per_node_heap_bytes.assign(
+        static_cast<std::size_t>(opt.nodes),
+        static_cast<std::uint64_t>(static_cast<double>(heap_kb << 10) * opt.skew));
+    cc.per_node_heap_bytes[0] = heap_kb << 10;
+  }
   if (plan != nullptr && plan->spill_write_fail_p > 0.0) {
     cc.io.failure.write_probability = plan->spill_write_fail_p;
     cc.io.failure.seed = plan->spill_fail_seed;
@@ -215,7 +244,7 @@ int main(int argc, char** argv) {
   itask::chaos::SetAuditEnabled(true);
   std::map<std::string, itask::apps::AppResult> reference;
   for (const std::string& app : opt.apps) {
-    auto cluster = MakeCluster(opt, /*heap_kb=*/64 << 10, nullptr);
+    auto cluster = MakeCluster(opt, /*heap_kb=*/64 << 10, nullptr, /*apply_skew=*/false);
     const auto result =
         itask::apps::RunHyracksApp(app, cluster, MakeAppConfig(opt), itask::apps::Mode::kITask);
     if (!result.metrics.succeeded || !result.audit_violations.empty() ||
@@ -248,6 +277,11 @@ int main(int argc, char** argv) {
     std::uint64_t lazy_serialized_bytes = 0;
     std::uint64_t spilled_bytes = 0;
     std::uint64_t loaded_bytes = 0;
+    std::uint64_t load_retries = 0;
+    // Three-way SERIALIZE rollup (zero without skewed pressure + recovery).
+    std::uint64_t partitions_migrated = 0;
+    std::uint64_t migrated_bytes = 0;
+    std::uint64_t migrations_rejected = 0;
     // Transport rollup (all zero on the inproc path).
     std::uint64_t net_msgs_sent = 0;
     std::uint64_t net_frames_sent = 0;
@@ -295,6 +329,10 @@ int main(int argc, char** argv) {
       jc.lazy_serialized_bytes += result.metrics.lazy_serialized_bytes;
       jc.spilled_bytes += result.metrics.spilled_bytes;
       jc.loaded_bytes += result.metrics.loaded_bytes;
+      jc.load_retries += result.metrics.load_retries;
+      jc.partitions_migrated += result.metrics.partitions_migrated;
+      jc.migrated_bytes += result.metrics.migrated_bytes;
+      jc.migrations_rejected += result.metrics.migrations_rejected;
       jc.net_msgs_sent += result.metrics.net_msgs_sent;
       jc.net_frames_sent += result.metrics.net_frames_sent;
       jc.net_bytes_sent += result.metrics.net_bytes_sent;
@@ -381,6 +419,10 @@ int main(int argc, char** argv) {
       out += ",\"lazy_serialized_bytes\":" + std::to_string(jc.lazy_serialized_bytes);
       out += ",\"spilled_bytes\":" + std::to_string(jc.spilled_bytes);
       out += ",\"loaded_bytes\":" + std::to_string(jc.loaded_bytes);
+      out += ",\"load_retries\":" + std::to_string(jc.load_retries);
+      out += ",\"partitions_migrated\":" + std::to_string(jc.partitions_migrated);
+      out += ",\"migrated_bytes\":" + std::to_string(jc.migrated_bytes);
+      out += ",\"migrations_rejected\":" + std::to_string(jc.migrations_rejected);
       out += ",\"net\":{\"msgs_sent\":" + std::to_string(jc.net_msgs_sent);
       out += ",\"frames_sent\":" + std::to_string(jc.net_frames_sent);
       out += ",\"bytes_sent\":" + std::to_string(jc.net_bytes_sent);
