@@ -3,9 +3,12 @@
 # the concurrency-sensitive test suites (obs tracer, async spill I/O, IRS
 # core/runtime), a ThreadSanitizer pass over the same suites, a chaos-smoke
 # sweep of the schedule fuzzer (tools/chaos_run) including a skewed-heap
-# migration slice, a multi-tenant job-service smoke under TSan, and
-# release-mode bench smoke runs at a tiny scale (the jobsvc, net and
-# migration benches are each gated on their JSON artifacts).
+# migration slice, a multi-process telemetry smoke (merged cross-process
+# trace must pair ctrl/shuffle/migration flows), a multi-tenant job-service
+# smoke under TSan, release-mode bench smoke runs at a tiny scale (the
+# jobsvc, net and migration benches are each gated on their JSON artifacts),
+# and the overall perf gate diffing BENCH_overall.json against the committed
+# baseline.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -85,6 +88,42 @@ bytes_ = sum(j.get("migrated_bytes", 0) for j in doc["per_job"].values())
 assert migrated >= 1, "no partition took the migrate arm: %r" % doc
 print("migration smoke ok: %d partitions migrated (%d bytes)" % (migrated, bytes_))
 EOF
+
+echo "=== tier 4f: telemetry smoke (multi-process traces merge into one timeline) ==="
+# The full telemetry plane end-to-end (DESIGN.md §15): a driver and two
+# spawned daemons run a skewed FT WordCount over TCP with --trace-dir armed,
+# each process exports its own epoch-aligned trace, and trace_dump --merge
+# must stitch them into a single timeline with the ctrl dispatch/result hops
+# paired across processes and the shuffle + migration deliveries paired
+# across lanes. The migration knobs mirror tier 4e so the migrate arm fires.
+cmake --build build -j --target net_driver node_daemon trace_dump
+TELE_DIR=$(mktemp -d)
+ITASK_NET_TRANSPORT=tcp ITASK_MIGRATE_MIN_BYTES=16384 ITASK_MIGRATE_RTT_US=50 \
+ITASK_HEARTBEAT_MS=1 ITASK_SUSPECT_TIMEOUT_MS=500 \
+./build/tools/net_driver --spawn --daemons 2 --apps WC --nodes 4 \
+  --dataset-kb 768 --heap-kb 320 --gran-kb 64 --ft --skew 12 \
+  --trace-dir "${TELE_DIR}/traces" | tee "${TELE_DIR}/driver.out"
+grep -q "2/2 daemon(s) reporting: ok" "${TELE_DIR}/driver.out"
+./build/tools/trace_dump --merge "${TELE_DIR}/merged.trace.json" \
+  "${TELE_DIR}"/traces/*.json | tee "${TELE_DIR}/merge.out"
+python3 - "${TELE_DIR}" <<'EOF'
+import json, re, sys
+d = sys.argv[1]
+stats = open(d + "/merge.out").read()
+m = re.search(r"merged (\d+) files .*?(\d+) flow pairs \((\d+) cross-process\), (\d+) unmatched", stats)
+assert m, "no merge stats line: %r" % stats
+files, pairs, cross, unmatched = map(int, m.groups())
+assert files == 5, "expected driver + 2x(ctrl,job) = 5 trace files, got %d" % files
+assert cross >= 1, "no cross-process flow pair (ctrl dispatch/result): %r" % stats
+assert unmatched == 0, "unmatched flow halves: %r" % stats
+merged = open(d + "/merged.trace.json").read()
+assert merged.count("flow_shuffle") >= 2, "no shuffle send/recv pair in merged trace"
+assert merged.count("flow_migration") >= 2, "no migration send/recv pair in merged trace"
+doc = json.loads(merged)  # The merged artifact is loadable Chrome-trace JSON.
+assert len(doc["traceEvents"]) > 0
+print("telemetry smoke ok: %d files, %d flow pairs (%d cross-process)" % (files, pairs, cross))
+EOF
+rm -rf "${TELE_DIR}"
 
 echo "=== tier 4c: jobsvc smoke (two concurrent tenants under TSan) ==="
 # The multi-tenant job service exercises cross-job arbitration on shared
@@ -166,5 +205,36 @@ if doc["total_migrated"] == 0:
 print("migration bench gate ok: %d migrations across %d rows" % (
     doc["total_migrated"], len(doc["rows"])))
 EOF
+
+echo "=== tier 5e: overall perf gate (BENCH_overall.json vs committed baseline) ==="
+# The unified per-PR perf artifact (DESIGN.md §15.4): one bench run covering
+# wall time, interrupt p99, spill volume and GC share across WC/HS inproc and
+# WC/tcp+ft, diffed row-by-row against the baseline committed at the repo
+# root. The gate's tolerances absorb machine noise (2.5x wall, 4x interrupt
+# p99, 3x spill, +0.25 gc share) but catch order-of-magnitude regressions —
+# proven below by seeding one and requiring the gate to fail.
+cmake --build build-rel -j --target bench_overall
+cmake --build build -j --target perf_gate
+(cd build-rel/bench && ./bench_overall)
+./build/tools/perf_gate BENCH_overall.json build-rel/bench/BENCH_overall.json
+python3 - build-rel/bench/BENCH_overall.json /tmp/itask_overall_regressed.json <<'EOF'
+import json, sys
+lines = open(sys.argv[1]).read().splitlines()
+out, seeded = [], False
+for ln in lines:
+    if not seeded and '"app":' in ln:
+        row = json.loads(ln.rstrip(","))
+        row["wall_ms"] *= 10  # Seed an order-of-magnitude wall regression.
+        ln = json.dumps(row, separators=(",", ":")) + ("," if ln.rstrip().endswith(",") else "")
+        seeded = True
+    out.append(ln)
+assert seeded, "no bench row found to regress"
+open(sys.argv[2], "w").write("\n".join(out) + "\n")
+EOF
+if ./build/tools/perf_gate BENCH_overall.json /tmp/itask_overall_regressed.json; then
+  echo "perf gate FAILED to catch a seeded 10x wall regression" >&2
+  exit 1
+fi
+echo "overall perf gate ok (and the seeded regression was caught)"
 
 echo "ci.sh: all green"

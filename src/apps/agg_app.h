@@ -40,6 +40,7 @@
 #include "apps/common.h"
 #include "cluster/itask_job.h"
 #include "dataflow/regular.h"
+#include "obs/span.h"
 
 namespace itask::apps {
 
@@ -219,6 +220,7 @@ class AggApp {
     core::RecoveryContext* rec = nullptr;
     if (config.fault_tolerance) {
       rec = &job.EnableFaultTolerance(&cluster.tracer());
+      rec->set_trace_id(obs::TraceIdFromSeed(config.seed));
       rec->RegisterFactory(InType(),
                            [](memsim::ManagedHeap* heap, serde::SpillManager* spill) {
                              return std::make_shared<InPartition>(InType(), heap, spill);

@@ -20,6 +20,7 @@
 #include "apps/hyracks_apps.h"
 #include "cluster/itask_job.h"
 #include "dataflow/regular.h"
+#include "obs/span.h"
 #include "workloads/tpch.h"
 
 namespace itask::apps {
@@ -221,6 +222,7 @@ AppResult RunHashJoinITask(cluster::Cluster& cluster, const AppConfig& config) {
   core::RecoveryContext* rec = nullptr;
   if (config.fault_tolerance) {
     rec = &job.EnableFaultTolerance(&cluster.tracer());
+    rec->set_trace_id(obs::TraceIdFromSeed(config.seed));
     rec->RegisterFactory(CustType(), [](memsim::ManagedHeap* heap, serde::SpillManager* spill) {
       return std::make_shared<CustomerPartition>(CustType(), heap, spill);
     });

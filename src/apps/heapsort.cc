@@ -17,6 +17,7 @@
 #include "apps/hyracks_apps.h"
 #include "cluster/itask_job.h"
 #include "dataflow/regular.h"
+#include "obs/span.h"
 #include "workloads/graph.h"
 
 namespace itask::apps {
@@ -139,6 +140,7 @@ AppResult RunHeapSortITask(cluster::Cluster& cluster, const AppConfig& config) {
   core::RecoveryContext* rec = nullptr;
   if (config.fault_tolerance) {
     rec = &job.EnableFaultTolerance(&cluster.tracer());
+    rec->set_trace_id(obs::TraceIdFromSeed(config.seed));
     rec->RegisterFactory(InType(), [](memsim::ManagedHeap* heap, serde::SpillManager* spill) {
       return std::make_shared<KeyPartition>(InType(), heap, spill);
     });

@@ -15,6 +15,7 @@
 #include "cluster/node.h"
 #include "common/env.h"
 #include "net/transport.h"
+#include "obs/flight_recorder.h"
 #include "obs/tracer.h"
 
 #if defined(_WIN32)
@@ -95,9 +96,15 @@ class Cluster {
       }
       nodes_.push_back(std::make_unique<Node>(i, heap, spill_dir, &tracer_, io));
     }
+    // Post-mortem capture source (no-op unless ITASK_FLIGHT_RECORDER=1, in
+    // which case registration also enables the tracer so a dump has data).
+    obs::FlightRecorder::Instance().Register(
+        &tracer_, "cluster-" + std::to_string(pid) + "-" +
+                      run_spill_dir_.filename().string());
   }
 
   ~Cluster() {
+    obs::FlightRecorder::Instance().Unregister(&tracer_);
     // Nodes (and their spill managers) first, then the now-empty directory.
     // A node's crash-purged frames may already be gone; remove_all is
     // best-effort by design.

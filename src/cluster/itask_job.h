@@ -165,6 +165,7 @@ class ItaskJob {
 
   common::RunMetrics Metrics() const {
     common::RunMetrics m = coordinator_->AggregateMetrics();
+    m.events_dropped = cluster_->tracer().stats().dropped;
     if (fabric_ != nullptr) {
       const net::FabricStats fs = fabric_->stats();
       m.net_msgs_sent = fs.transport.msgs_sent;

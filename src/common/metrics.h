@@ -79,6 +79,11 @@ struct RunMetrics {
   std::uint64_t migrated_bytes = 0;        // Payload bytes those victims carried.
   std::uint64_t migrations_rejected = 0;   // Broker said no (stale/full/cost/ineligible).
 
+  // Tracer ring-overflow count: events overwritten before any drain saw them.
+  // Non-zero means the trace (and anything derived from it) undercounts.
+  // Job-wide from the cluster tracer, like the net counters above.
+  std::uint64_t events_dropped = 0;
+
   // framed/raw over everything written; 1.0 when nothing was written.
   double IoCompressionRatio() const {
     return io_raw_bytes == 0
@@ -104,6 +109,13 @@ struct RunMetrics {
   // Merges per-node metrics into a job-level aggregate (sums counters, maxes
   // peaks; wall time is taken from the caller's stopwatch, not merged).
   void AccumulateNode(const RunMetrics& node);
+
+  // Folds another process's job-level metrics into a cluster-level rollup:
+  // sums every counter INCLUDING the net/migration/fault-tolerance ones that
+  // AccumulateNode skips (each input here is already a complete job-wide
+  // record from one process, so there is no double-counting), merges the
+  // histograms, maxes wall time and peak heap, and ANDs success.
+  void MergeCluster(const RunMetrics& other);
 
   std::string Summary() const;
 };

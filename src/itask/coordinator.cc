@@ -6,6 +6,7 @@
 #include "common/spin.h"
 #include "itask/recovery.h"
 #include "obs/event.h"
+#include "obs/flight_recorder.h"
 
 namespace itask::core {
 
@@ -70,6 +71,12 @@ bool JobCoordinator::Run(const std::function<void()>& feed, double deadline_ms) 
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 
+  if (aborted_) {
+    // Job failure (abort, blown deadline, or cluster death): capture the
+    // window BEFORE stopping the runtimes, while the rings still hold the
+    // events leading up to the failure.
+    obs::FlightRecorder::Instance().Trigger("job-failed");
+  }
   for (IrsRuntime* runtime : runtimes_) {
     runtime->Stop();
   }
@@ -97,6 +104,8 @@ bool JobCoordinator::DetectFailures() {
         ++nodes_draining_;
         LOG_WARN() << "coordinator: node " << node
                    << " draining (escaped OME); recovering its in-flight work";
+        obs::FlightRecorder::Instance().Trigger(
+            "ome-drain-node" + std::to_string(node));
         runtimes_[i]->Fence();
         recovery_->OnNodeLost(node);
       }
@@ -111,6 +120,7 @@ bool JobCoordinator::DetectFailures() {
                    static_cast<std::uint64_t>(silence_ms * 1e6));
       LOG_WARN() << "coordinator: node " << node << " declared dead after "
                  << silence_ms << "ms of heartbeat silence";
+      obs::FlightRecorder::Instance().Trigger("node-dead-" + std::to_string(node));
       if (!lost_handled_[i]) {
         lost_handled_[i] = true;
         runtimes_[i]->Fence();

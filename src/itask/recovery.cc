@@ -410,7 +410,7 @@ RecoveryContext::MigrateOutcome RecoveryContext::MigratePartition(
   dp->SerializeTo(writer);
 
   const std::uint64_t seq =
-      (1ULL << 63) | migration_seq_.fetch_add(1, std::memory_order_relaxed);
+      kMigrationSeqBit | migration_seq_.fetch_add(1, std::memory_order_relaxed);
   const ShuffleWireId id{split, epoch, seq, dp->type(), dp->tag()};
 
   {

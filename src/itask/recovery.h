@@ -103,6 +103,12 @@ struct ShuffleWireId {
   Tag tag = kNoTag;
 };
 
+// Migration deliveries reuse the shuffle wire but live in their own seq
+// namespace: the high bit set (plus a private counter) can never collide with
+// a ledger seq. Consumers (the fabric's flow tracing, debug dumps) test this
+// bit to tell a migrating partition from a regular ledger delivery.
+inline constexpr std::uint64_t kMigrationSeqBit = 1ULL << 63;
+
 using DeliveryChannel =
     std::function<DeliveryStatus(int target, const ShuffleWireId&, const common::ByteBuffer&)>;
 
@@ -128,6 +134,14 @@ class RecoveryContext {
   Membership& membership() { return membership_; }
   const RecoveryConfig& config() const { return config_; }
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
+  // Causal trace identity for this job (obs::TraceIdFromSeed(seed) by
+  // convention). The shuffle fabric stamps every delivery/ack it sends with
+  // span ids derived from this, so two runs with the same seed produce the
+  // same ids. 0 (the default) leaves messages unstamped.
+  void set_trace_id(std::uint64_t trace_id) { trace_id_ = trace_id; }
+  std::uint64_t trace_id() const { return trace_id_; }
 
   // ---- Wiring (before the job runs) ----
   void RegisterFactory(TypeId type, PartitionFactory factory);
@@ -298,6 +312,7 @@ class RecoveryContext {
   Membership membership_;
   MigrationBroker broker_;
   obs::Tracer* tracer_ = nullptr;
+  std::uint64_t trace_id_ = 0;
 
   // Net-transport hooks. Written during wiring (single-threaded), read by the
   // delivery path and monitor threads afterwards.

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -14,6 +15,8 @@
 #include <unistd.h>
 
 #include "common/logging.h"
+#include "net/metrics_wire.h"
+#include "obs/span.h"
 
 namespace itask::net {
 
@@ -40,6 +43,18 @@ bool RecvMessageFrame(FrameSocket& sock, Message* out) {
   frame.ResetCursor();
   *out = DecodeMessage(&frame);
   return true;
+}
+
+// One end of a control-plane hop. Unstamped messages (span == 0: heartbeats,
+// metrics ships, everything from a build that didn't trace) emit nothing, so
+// the trace only carries hops somebody asked to follow.
+void EmitFlow(obs::Tracer* tracer, obs::EventKind kind, std::uint16_t lane,
+              const Message& msg, int peer) {
+  if (tracer == nullptr || msg.span == 0) {
+    return;
+  }
+  tracer->Emit(kind, lane, msg.span, msg.payload.size(),
+               obs::FlowAux(peer, static_cast<std::uint8_t>(msg.kind)));
 }
 
 }  // namespace
@@ -125,6 +140,9 @@ void CtrlServer::AcceptLoop() {
       std::lock_guard<std::mutex> lock(mu_);
       ack.b = peers_.size();
     }
+    // Clock anchor for trace alignment: the daemon subtracts its own steady
+    // clock at receipt to learn the server-local offset (DESIGN.md §15.1).
+    ack.c = NowNs();
     SendTo(*raw, ack);
     raw->reader = std::thread([this, raw] { ReadLoop(raw); });
     cv_.notify_all();
@@ -151,8 +169,20 @@ void CtrlServer::ReadLoop(Peer* peer) {
         peer->info.last_beat_ns = NowNs();
         break;
       case MsgKind::kResult:
+        EmitFlow(tracer_, obs::EventKind::kMsgRecv,
+                 static_cast<std::uint16_t>(peer->info.id), msg, peer->info.id);
         peer->results.push_back(JobResultMsg{msg.a, msg.b, msg.c != 0});
         cv_.notify_all();
+        break;
+      case MsgKind::kMetrics:
+        try {
+          msg.payload.ResetCursor();
+          peer->metrics = DecodeRunMetrics(&msg.payload);
+          peer->has_metrics = true;
+        } catch (const std::exception& e) {
+          LOG_WARN() << "ctrl: ignoring bad metrics snapshot from node "
+                     << peer->info.id << ": " << e.what();
+        }
         break;
       case MsgKind::kBye:
         peer->info.connected = false;
@@ -197,8 +227,9 @@ CtrlNodeInfo CtrlServer::node(int id) const {
 }
 
 bool CtrlServer::Dispatch(int node, const std::string& app,
-                          const common::ByteBuffer& config) {
+                          const common::ByteBuffer& config, std::uint64_t trace_id) {
   Peer* peer = nullptr;
+  std::uint64_t dispatch_seq = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (node < 0 || node >= static_cast<int>(peers_.size()) ||
@@ -206,6 +237,7 @@ bool CtrlServer::Dispatch(int node, const std::string& app,
       return false;
     }
     peer = peers_[static_cast<std::size_t>(node)].get();
+    dispatch_seq = peer->dispatches++;
   }
   Message msg;
   msg.kind = MsgKind::kDispatch;
@@ -213,7 +245,45 @@ bool CtrlServer::Dispatch(int node, const std::string& app,
   msg.dst = node;
   msg.text = app;
   msg.payload = config;
+  if (trace_id != 0) {
+    msg.trace = trace_id;
+    msg.span = obs::SpanId(trace_id, static_cast<std::uint8_t>(MsgKind::kDispatch),
+                           kDriverEndpoint, node, /*split=*/-1, /*epoch=*/0,
+                           dispatch_seq);
+    EmitFlow(tracer_, obs::EventKind::kMsgSend, static_cast<std::uint16_t>(node),
+             msg, node);
+  }
   return SendTo(*peer, msg);
+}
+
+bool CtrlServer::NodeMetrics(int node, common::RunMetrics* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (node < 0 || node >= static_cast<int>(peers_.size()) ||
+      !peers_[static_cast<std::size_t>(node)]->has_metrics) {
+    return false;
+  }
+  *out = peers_[static_cast<std::size_t>(node)]->metrics;
+  return true;
+}
+
+common::RunMetrics CtrlServer::ClusterMetrics(int* nodes_reporting) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  common::RunMetrics rollup;
+  rollup.succeeded = true;  // Identity for the AND in MergeCluster.
+  int reporting = 0;
+  for (const auto& peer : peers_) {
+    if (peer->has_metrics) {
+      rollup.MergeCluster(peer->metrics);
+      ++reporting;
+    }
+  }
+  if (nodes_reporting != nullptr) {
+    *nodes_reporting = reporting;
+  }
+  if (reporting == 0) {
+    rollup.succeeded = false;  // "No data", not "all good".
+  }
+  return rollup;
 }
 
 bool CtrlServer::WaitResult(int node, int timeout_ms, JobResultMsg* out) {
@@ -313,12 +383,36 @@ int CtrlClient::Join(const std::string& host, int port, const std::string& name,
     return -1;
   }
   node_id_ = static_cast<int>(ack.a);
+  // The ack carries the server's steady clock at send time; sampling ours at
+  // receipt gives the offset that maps local timestamps onto the driver's
+  // timeline (off by about half the join RTT, which loopback makes
+  // negligible).
+  if (ack.c != 0) {
+    clock_offset_ns_ = static_cast<std::int64_t>(ack.c) -
+                       static_cast<std::int64_t>(NowNs());
+  }
   return node_id_;
+}
+
+void CtrlClient::SetMetricsSource(std::function<bool(common::RunMetrics*)> source) {
+  metrics_source_ = std::move(source);
 }
 
 void CtrlClient::StartHeartbeats(
     int interval_ms, std::function<std::pair<std::uint64_t, std::uint64_t>()> stats) {
   beat_thread_ = std::thread([this, interval_ms, stats = std::move(stats)] {
+    // Telemetry ships ride the heartbeat thread on their own (coarser)
+    // cadence, so a dead driver tears down both with one failed send.
+    std::uint64_t ship_interval_ns = 250ULL * 1'000'000;
+    if (const char* raw = std::getenv("ITASK_OBS_SHIP_MS");
+        raw != nullptr && *raw != '\0') {
+      char* end = nullptr;
+      const unsigned long long ms = std::strtoull(raw, &end, 10);
+      if (end != raw && ms > 0) {
+        ship_interval_ns = static_cast<std::uint64_t>(ms) * 1'000'000;
+      }
+    }
+    std::uint64_t last_ship_ns = 0;
     while (!stop_beats_.load(std::memory_order_acquire)) {
       const auto [used, cap] = stats();
       Message hb;
@@ -329,6 +423,25 @@ void CtrlClient::StartHeartbeats(
       hb.b = cap;
       if (!SendMsg(hb)) {
         return;  // Driver gone; the serve loop will notice too.
+      }
+      if (metrics_source_) {
+        const std::uint64_t now = NowNs();
+        if (now - last_ship_ns >= ship_interval_ns) {
+          last_ship_ns = now;
+          common::RunMetrics snapshot;
+          // A false return means "nothing to report yet" — ship nothing
+          // rather than a default-constructed (failed-looking) record.
+          if (metrics_source_(&snapshot)) {
+            Message ship;
+            ship.kind = MsgKind::kMetrics;
+            ship.src = node_id_;
+            ship.dst = kDriverEndpoint;
+            EncodeRunMetrics(snapshot, &ship.payload);
+            if (!SendMsg(ship)) {
+              return;
+            }
+          }
+        }
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
     }
@@ -353,6 +466,10 @@ void CtrlClient::Serve(const std::function<JobResultMsg(const std::string&,
     if (msg.kind != MsgKind::kDispatch) {
       continue;
     }
+    // Receipt end of the dispatch hop: echo the span the driver stamped, and
+    // adopt its trace id for everything this job sends back.
+    trace_id_ = msg.trace;
+    EmitFlow(tracer_, obs::EventKind::kMsgRecv, /*lane=*/0, msg, kDriverEndpoint);
     JobResultMsg result = run_job(msg.text, msg.payload);
     Message reply;
     reply.kind = MsgKind::kResult;
@@ -361,6 +478,13 @@ void CtrlClient::Serve(const std::function<JobResultMsg(const std::string&,
     reply.a = result.checksum;
     reply.b = result.records;
     reply.c = result.success ? 1 : 0;
+    if (trace_id_ != 0) {
+      reply.trace = trace_id_;
+      reply.span = obs::SpanId(trace_id_, static_cast<std::uint8_t>(MsgKind::kResult),
+                               node_id_, kDriverEndpoint, /*split=*/-1, /*epoch=*/0,
+                               result_seq_++);
+      EmitFlow(tracer_, obs::EventKind::kMsgSend, /*lane=*/0, reply, kDriverEndpoint);
+    }
     if (!SendMsg(reply)) {
       return;
     }

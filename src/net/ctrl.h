@@ -29,8 +29,10 @@
 #include <vector>
 
 #include "common/byte_buffer.h"
+#include "common/metrics.h"
 #include "net/frame_socket.h"
 #include "net/message.h"
+#include "obs/tracer.h"
 
 namespace itask::net {
 
@@ -87,11 +89,28 @@ class CtrlServer {
   int num_nodes() const;
   CtrlNodeInfo node(int id) const;
 
-  // Sends a job to |node|; the daemon replies with one kResult.
-  bool Dispatch(int node, const std::string& app, const common::ByteBuffer& config);
+  // Causal tracing for the control plane: when set, every dispatch/result hop
+  // emits paired kMsgSend/kMsgRecv events on |tracer| (driver side), with the
+  // peer's node id as the event's lane. Set before the first Dispatch.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  // Sends a job to |node|; the daemon replies with one kResult. |trace_id|
+  // (non-zero) stamps the dispatch and everything the daemon derives from it
+  // with a causal trace identity; pass obs::TraceIdFromSeed(spec.seed) so a
+  // re-run with the same seed reproduces the same span ids.
+  bool Dispatch(int node, const std::string& app, const common::ByteBuffer& config,
+                std::uint64_t trace_id = 0);
 
   // Blocks for |node|'s next result.
   bool WaitResult(int node, int timeout_ms, JobResultMsg* out);
+
+  // Latest kMetrics snapshot shipped by |node|; false if none arrived yet.
+  bool NodeMetrics(int node, common::RunMetrics* out) const;
+
+  // Cluster rollup: MergeCluster over the latest snapshot from every peer
+  // that shipped one. |nodes_reporting| (optional) says how many that was —
+  // callers should treat 0 as "telemetry off", not "cluster idle".
+  common::RunMetrics ClusterMetrics(int* nodes_reporting = nullptr) const;
 
   // Sends kBye to every connected daemon and stops accepting.
   void Shutdown();
@@ -103,6 +122,9 @@ class CtrlServer {
     std::unique_ptr<std::mutex> write_mu;
     std::thread reader;
     std::vector<JobResultMsg> results;  // FIFO of unclaimed results.
+    common::RunMetrics metrics;         // Latest shipped snapshot.
+    bool has_metrics = false;
+    std::uint64_t dispatches = 0;  // Dispatch ordinal; seeds dispatch span ids.
   };
 
   void AcceptLoop();
@@ -111,6 +133,7 @@ class CtrlServer {
 
   int listen_fd_ = -1;
   int port_ = 0;
+  obs::Tracer* tracer_ = nullptr;
   std::thread accept_thread_;
   std::atomic<bool> stop_{false};
 
@@ -136,6 +159,17 @@ class CtrlClient {
   void StartHeartbeats(int interval_ms,
                        std::function<std::pair<std::uint64_t, std::uint64_t>()> stats);
 
+  // Telemetry shipping: when set before StartHeartbeats, the heartbeat thread
+  // also serializes a snapshot into a kMetrics message every ITASK_OBS_SHIP_MS
+  // milliseconds (default 250). |source| fills the snapshot and returns true,
+  // or returns false while it has nothing to report (no job finished yet).
+  // Snapshots are cumulative, so a dropped ship only delays the server's view.
+  void SetMetricsSource(std::function<bool(common::RunMetrics*)> source);
+
+  // Causal tracing for the daemon side of the control plane: dispatch
+  // receipts and result sends are emitted on |tracer| (lane 0).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   // Serves dispatches until kBye or disconnect. |run_job| executes the named
   // app with the serialized config and returns the result fingerprint.
   void Serve(const std::function<JobResultMsg(const std::string& app,
@@ -143,12 +177,25 @@ class CtrlClient {
 
   int node_id() const { return node_id_; }
 
+  // server_steady_now - local_steady_now, sampled at the join ack. Adding it
+  // to a local steady-clock reading expresses that instant on the driver's
+  // timeline; trace files use it to compute their epoch_us alignment header.
+  // One-shot sample (no RTT averaging): good to roughly half the join RTT,
+  // which on loopback is microseconds — well under event durations of
+  // interest.
+  std::int64_t clock_offset_ns() const { return clock_offset_ns_; }
+
  private:
   bool SendMsg(const Message& msg);
 
   FrameSocket sock_;
   std::mutex write_mu_;
   int node_id_ = -1;
+  std::int64_t clock_offset_ns_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint64_t trace_id_ = 0;   // From the most recent dispatch.
+  std::uint64_t result_seq_ = 0; // Result ordinal; seeds result span ids.
+  std::function<bool(common::RunMetrics*)> metrics_source_;
   std::thread beat_thread_;
   std::atomic<bool> stop_beats_{false};
 };

@@ -20,6 +20,8 @@ void EncodeMessage(const Message& msg, common::ByteBuffer* out) {
   w.WriteVarint(msg.a);
   w.WriteVarint(msg.b);
   w.WriteVarint(msg.c);
+  w.WriteVarint(msg.trace);
+  w.WriteVarint(msg.span);
   w.WriteString(msg.text);
   w.WriteVarint(msg.payload.size());
   if (msg.payload.size() > 0) {
@@ -42,7 +44,7 @@ Message DecodeMessage(common::ByteBuffer* buf) {
   serde::Reader r(buf);
   Message msg;
   const std::uint8_t kind = r.ReadU8();
-  if (kind > static_cast<std::uint8_t>(MsgKind::kBye)) {
+  if (kind > static_cast<std::uint8_t>(MsgKind::kMetrics)) {
     throw std::runtime_error("net: unknown message kind");
   }
   msg.kind = static_cast<MsgKind>(kind);
@@ -56,6 +58,8 @@ Message DecodeMessage(common::ByteBuffer* buf) {
   msg.a = r.ReadVarint();
   msg.b = r.ReadVarint();
   msg.c = r.ReadVarint();
+  msg.trace = r.ReadVarint();
+  msg.span = r.ReadVarint();
   msg.text = r.ReadString();
   const std::uint64_t payload_len = r.ReadVarint();
   if (payload_len > buf->remaining()) {

@@ -24,11 +24,19 @@ enum class MsgKind : std::uint8_t {
   kShuffleAck,       // Receiver's delivery verdict (see AckStatus in |a|).
   kHeartbeat,        // a=heap used bytes, b=heap capacity bytes.
   kJoin,             // Control: text=node name, a=heap capacity.
-  kJoinAck,          // Control: a=assigned node id, b=cluster size.
+  kJoinAck,          // Control: a=assigned node id, b=cluster size,
+                     // c=server steady-clock now (ns) for epoch alignment.
   kDispatch,         // Control: text=app name, payload=serialized job config.
   kResult,           // Control: a=checksum, b=records, c=1 on success.
   kBye,              // Control: orderly leave.
+  kMetrics,          // Control: payload=EncodeRunMetrics snapshot (telemetry
+                     // shipping, piggybacked on the heartbeat cadence).
 };
+
+// obs::FlowEventName() in trace_export.cc names flow arrows by these numeric
+// values (obs cannot include this header); keep the two tables in lockstep.
+static_assert(static_cast<std::uint8_t>(MsgKind::kMetrics) == 8,
+              "update obs FlowEventName table when MsgKind changes");
 
 // kShuffleAck |a| values.
 enum class AckStatus : std::uint64_t {
@@ -47,6 +55,7 @@ constexpr const char* MsgKindName(MsgKind k) {
     case MsgKind::kDispatch: return "dispatch";
     case MsgKind::kResult: return "result";
     case MsgKind::kBye: return "bye";
+    case MsgKind::kMetrics: return "metrics";
   }
   return "unknown";
 }
@@ -67,6 +76,13 @@ struct Message {
   std::uint64_t a = 0;
   std::uint64_t b = 0;
   std::uint64_t c = 0;
+
+  // Causal-tracing identity (DESIGN.md §15.1). 0 = unstamped. The sender
+  // stamps both and emits a kMsgSend obs event with |span|; the receiver
+  // echoes |span| into its kMsgRecv event, pairing the two ends of the hop in
+  // a merged trace without any shared state.
+  std::uint64_t trace = 0;  // Job-level trace id (obs::TraceIdFromSeed).
+  std::uint64_t span = 0;   // Per-message span id (obs::SpanId).
 
   std::string text;              // Names (join, dispatch app).
   common::ByteBuffer payload;    // Serialized partition / config bytes.

@@ -1,0 +1,178 @@
+// Wire codec for RunMetrics snapshots (telemetry shipping, DESIGN.md §15.2).
+//
+// A node daemon serializes its live job-level RunMetrics with
+// EncodeRunMetrics and ships it inside a kMetrics message on the heartbeat
+// cadence; the ctrl server decodes and folds the latest snapshot per peer
+// into a cluster rollup with RunMetrics::MergeCluster. Snapshots are
+// absolute (cumulative since job start), not deltas — the server keeps only
+// the newest one per (peer, job), so a lost or reordered ship costs staleness,
+// never double-counting.
+//
+// Header-only on purpose: tools that want to peek at shipped metrics (bench
+// harnesses, tests) shouldn't need the whole net library's socket machinery.
+#ifndef ITASK_NET_METRICS_WIRE_H_
+#define ITASK_NET_METRICS_WIRE_H_
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/byte_buffer.h"
+#include "common/metrics.h"
+#include "obs/histogram.h"
+#include "serde/serializer.h"
+
+namespace itask::net {
+
+// Bump on any layout change; decode is strict (same policy as JobSpec).
+inline constexpr std::uint32_t kMetricsWireVersion = 1;
+
+namespace metrics_wire_detail {
+
+inline void WriteHist(serde::Writer& w, const obs::HistogramSnapshot& h) {
+  w.WriteVarint(h.bounds.size());
+  for (const std::uint64_t bound : h.bounds) {
+    w.WriteVarint(bound);
+  }
+  w.WriteVarint(h.counts.size());
+  for (const std::uint64_t count : h.counts) {
+    w.WriteVarint(count);
+  }
+  w.WriteVarint(h.count);
+  w.WriteVarint(h.sum);
+  w.WriteVarint(h.max);
+}
+
+inline obs::HistogramSnapshot ReadHist(serde::Reader& r) {
+  obs::HistogramSnapshot h;
+  h.bounds.resize(r.ReadVarint());
+  for (std::uint64_t& bound : h.bounds) {
+    bound = r.ReadVarint();
+  }
+  h.counts.resize(r.ReadVarint());
+  for (std::uint64_t& count : h.counts) {
+    count = r.ReadVarint();
+  }
+  h.count = r.ReadVarint();
+  h.sum = r.ReadVarint();
+  h.max = r.ReadVarint();
+  return h;
+}
+
+}  // namespace metrics_wire_detail
+
+inline void EncodeRunMetrics(const common::RunMetrics& m, common::ByteBuffer* out) {
+  serde::Writer w(out);
+  w.WriteVarint(kMetricsWireVersion);
+  w.WriteU8(m.succeeded ? 1 : 0);
+  w.WriteU8(m.out_of_memory ? 1 : 0);
+  w.WriteDouble(m.wall_ms);
+  w.WriteDouble(m.gc_ms);
+  w.WriteVarint(m.gc_count);
+  w.WriteVarint(m.lugc_count);
+  w.WriteVarint(m.peak_heap_bytes);
+  w.WriteVarint(m.interrupts);
+  w.WriteVarint(m.ome_interrupts);
+  w.WriteVarint(m.reactivations);
+  w.WriteVarint(m.victim_requests);
+  w.WriteVarint(m.fence_interrupts);
+  w.WriteVarint(m.spilled_bytes);
+  w.WriteVarint(m.loaded_bytes);
+  w.WriteVarint(m.load_retries);
+  w.WriteVarint(m.released_processed_input_bytes);
+  w.WriteVarint(m.released_final_result_bytes);
+  w.WriteVarint(m.parked_intermediate_bytes);
+  w.WriteVarint(m.lazy_serialized_bytes);
+  w.WriteVarint(m.io_cancelled_writes);
+  w.WriteVarint(m.io_cancelled_write_bytes);
+  w.WriteVarint(m.io_raw_bytes);
+  w.WriteVarint(m.io_framed_bytes);
+  w.WriteDouble(m.io_read_stall_ms);
+  w.WriteVarint(m.net_msgs_sent);
+  w.WriteVarint(m.net_frames_sent);
+  w.WriteVarint(m.net_bytes_sent);
+  w.WriteVarint(m.net_send_stalls);
+  w.WriteDouble(m.net_stall_ms);
+  w.WriteVarint(m.net_send_retries);
+  w.WriteVarint(m.net_ack_timeouts);
+  w.WriteVarint(m.net_dup_payloads_dropped);
+  w.WriteVarint(m.net_heartbeats_sent);
+  w.WriteVarint(m.nodes_failed);
+  w.WriteVarint(m.nodes_draining);
+  w.WriteVarint(m.splits_reexecuted);
+  w.WriteVarint(m.shuffle_retries);
+  w.WriteVarint(m.shuffle_redeliveries);
+  w.WriteVarint(m.duplicate_tuples_dropped);
+  w.WriteVarint(m.partitions_migrated);
+  w.WriteVarint(m.migrated_bytes);
+  w.WriteVarint(m.migrations_rejected);
+  w.WriteVarint(m.events_dropped);
+  w.WriteVarint(m.result_checksum);
+  w.WriteVarint(m.result_records);
+  metrics_wire_detail::WriteHist(w, m.gc_pause_hist);
+  metrics_wire_detail::WriteHist(w, m.interrupt_latency_hist);
+  metrics_wire_detail::WriteHist(w, m.io_read_stall_hist);
+  metrics_wire_detail::WriteHist(w, m.net_queue_depth_hist);
+}
+
+inline common::RunMetrics DecodeRunMetrics(common::ByteBuffer* buf) {
+  serde::Reader r(buf);
+  const std::uint64_t version = r.ReadVarint();
+  if (version != kMetricsWireVersion) {
+    throw std::runtime_error("net: unsupported metrics wire version");
+  }
+  common::RunMetrics m;
+  m.succeeded = r.ReadU8() != 0;
+  m.out_of_memory = r.ReadU8() != 0;
+  m.wall_ms = r.ReadDouble();
+  m.gc_ms = r.ReadDouble();
+  m.gc_count = r.ReadVarint();
+  m.lugc_count = r.ReadVarint();
+  m.peak_heap_bytes = r.ReadVarint();
+  m.interrupts = r.ReadVarint();
+  m.ome_interrupts = r.ReadVarint();
+  m.reactivations = r.ReadVarint();
+  m.victim_requests = r.ReadVarint();
+  m.fence_interrupts = r.ReadVarint();
+  m.spilled_bytes = r.ReadVarint();
+  m.loaded_bytes = r.ReadVarint();
+  m.load_retries = r.ReadVarint();
+  m.released_processed_input_bytes = r.ReadVarint();
+  m.released_final_result_bytes = r.ReadVarint();
+  m.parked_intermediate_bytes = r.ReadVarint();
+  m.lazy_serialized_bytes = r.ReadVarint();
+  m.io_cancelled_writes = r.ReadVarint();
+  m.io_cancelled_write_bytes = r.ReadVarint();
+  m.io_raw_bytes = r.ReadVarint();
+  m.io_framed_bytes = r.ReadVarint();
+  m.io_read_stall_ms = r.ReadDouble();
+  m.net_msgs_sent = r.ReadVarint();
+  m.net_frames_sent = r.ReadVarint();
+  m.net_bytes_sent = r.ReadVarint();
+  m.net_send_stalls = r.ReadVarint();
+  m.net_stall_ms = r.ReadDouble();
+  m.net_send_retries = r.ReadVarint();
+  m.net_ack_timeouts = r.ReadVarint();
+  m.net_dup_payloads_dropped = r.ReadVarint();
+  m.net_heartbeats_sent = r.ReadVarint();
+  m.nodes_failed = r.ReadVarint();
+  m.nodes_draining = r.ReadVarint();
+  m.splits_reexecuted = r.ReadVarint();
+  m.shuffle_retries = r.ReadVarint();
+  m.shuffle_redeliveries = r.ReadVarint();
+  m.duplicate_tuples_dropped = r.ReadVarint();
+  m.partitions_migrated = r.ReadVarint();
+  m.migrated_bytes = r.ReadVarint();
+  m.migrations_rejected = r.ReadVarint();
+  m.events_dropped = r.ReadVarint();
+  m.result_checksum = r.ReadVarint();
+  m.result_records = r.ReadVarint();
+  m.gc_pause_hist = metrics_wire_detail::ReadHist(r);
+  m.interrupt_latency_hist = metrics_wire_detail::ReadHist(r);
+  m.io_read_stall_hist = metrics_wire_detail::ReadHist(r);
+  m.net_queue_depth_hist = metrics_wire_detail::ReadHist(r);
+  return m;
+}
+
+}  // namespace itask::net
+
+#endif  // ITASK_NET_METRICS_WIRE_H_

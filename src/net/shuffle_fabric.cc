@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/span.h"
 
 namespace itask::net {
 
@@ -82,6 +83,13 @@ core::DeliveryStatus ShuffleFabric::Deliver(int target, const core::ShuffleWireI
   msg.tag = id.tag;
   msg.payload = bytes;  // Copy: the ledger keeps the original for redelivery.
   msg.payload.ResetCursor();
+  if (const std::uint64_t trace_id = recovery_->trace_id(); trace_id != 0) {
+    msg.trace = trace_id;
+    msg.span = obs::SpanId(trace_id, static_cast<std::uint8_t>(msg.kind), msg.src,
+                           msg.dst, id.split, id.epoch, id.seq);
+    EmitFlow(obs::EventKind::kMsgSend, static_cast<std::uint16_t>(num_nodes_), msg,
+             target);
+  }
   deliveries_sent_.fetch_add(1, std::memory_order_relaxed);
   if (!transport_->Send(std::move(msg))) {
     return core::DeliveryStatus::kPeerGone;
@@ -114,6 +122,8 @@ core::DeliveryStatus ShuffleFabric::Deliver(int target, const core::ShuffleWireI
 void ShuffleFabric::HandleDriverMessage(Message&& msg) {
   switch (msg.kind) {
     case MsgKind::kShuffleAck: {
+      EmitFlow(obs::EventKind::kMsgRecv, static_cast<std::uint16_t>(num_nodes_), msg,
+               msg.src);
       {
         std::lock_guard<std::mutex> lock(ack_mu_);
         ack_results_[AckKey{msg.src, msg.split, msg.epoch, msg.seq}] =
@@ -142,6 +152,8 @@ void ShuffleFabric::HandleNodeMessage(int node, Message&& msg) {
   if (msg.kind != MsgKind::kShuffleData) {
     return;
   }
+  // Receipt end of the delivery hop: echo the span the sender stamped.
+  EmitFlow(obs::EventKind::kMsgRecv, static_cast<std::uint16_t>(node), msg, msg.src);
   const core::ShuffleWireId id{msg.split, msg.epoch, msg.seq,
                                static_cast<core::TypeId>(msg.type),
                                static_cast<core::Tag>(msg.tag)};
@@ -182,7 +194,26 @@ void ShuffleFabric::HandleNodeMessage(int node, Message&& msg) {
   ack.epoch = id.epoch;
   ack.seq = id.seq;
   ack.a = static_cast<std::uint64_t>(status);
+  if (msg.trace != 0) {
+    ack.trace = msg.trace;
+    ack.span = obs::SpanId(msg.trace, static_cast<std::uint8_t>(ack.kind), ack.src,
+                           ack.dst, id.split, id.epoch, id.seq);
+    EmitFlow(obs::EventKind::kMsgSend, static_cast<std::uint16_t>(node), ack,
+             kDriverEndpoint);
+  }
   transport_->Send(std::move(ack));
+}
+
+void ShuffleFabric::EmitFlow(obs::EventKind kind, std::uint16_t lane,
+                             const Message& msg, int peer) {
+  obs::Tracer* tracer = recovery_->tracer();
+  if (tracer == nullptr || msg.span == 0) {
+    return;
+  }
+  const std::uint8_t flags =
+      (msg.seq & core::kMigrationSeqBit) != 0 ? obs::kFlagMigration : 0;
+  tracer->Emit(kind, lane, msg.span, msg.payload.size(),
+               obs::FlowAux(peer, static_cast<std::uint8_t>(msg.kind)), flags);
 }
 
 FabricStats ShuffleFabric::stats() const {

@@ -75,6 +75,12 @@ class ShuffleFabric {
   void HandleDriverMessage(Message&& msg);
   void HandleNodeMessage(int node, Message&& msg);
 
+  // Emits one end of a traced hop on the recovery context's tracer. Sends
+  // from the fabric's driver endpoint use lane num_nodes_ (a synthetic
+  // "fabric" lane past the real nodes); receipts use the receiving node.
+  // No-op while the job is unstamped (trace id 0) or untraced.
+  void EmitFlow(obs::EventKind kind, std::uint16_t lane, const Message& msg, int peer);
+
   const NetConfig config_;
   core::RecoveryContext* recovery_;
   const int num_nodes_;

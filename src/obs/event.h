@@ -53,6 +53,9 @@ enum class EventKind : std::uint8_t {
   kNetStall,             // aux=destination endpoint+1, a=stall_ns blocked on a full send queue, b=queue depth
   kPartitionMigrated,    // aux=type id, a=payload bytes shipped, b=destination node
   kMigrationRejected,    // aux=type id, a=payload bytes considered, b=reject reason (MigrationReject)
+  kMsgSend,              // aux=FlowAux(peer, msg kind), a=span id, b=payload bytes;
+                         // flags&kFlagMigration when the payload is a migrating partition
+  kMsgRecv,              // same encoding, emitted at receipt; a pairs it with its kMsgSend
   kKindCount,            // sentinel — keep last
 };
 
@@ -78,6 +81,24 @@ enum class InterruptRule : std::uint8_t {
 };
 
 inline constexpr std::uint8_t kFlagLugc = 0x1;  // kGc: the collection was useless.
+// kMsgSend/kMsgRecv: the shuffle frame carries a migrating partition (its seq
+// lives in the migration namespace), not a regular ledger delivery.
+inline constexpr std::uint8_t kFlagMigration = 0x2;
+
+// kMsgSend/kMsgRecv aux packing: low 8 bits are the wire MsgKind, the rest is
+// the remote endpoint biased by +2 so the driver endpoint (-1) stays
+// representable in an unsigned field. Exporters decode through these helpers
+// instead of hand-rolling the off-by-N arithmetic (the old kNetFlush
+// "endpoint+1" mistake).
+inline constexpr std::uint32_t FlowAux(int peer, std::uint8_t msg_kind) {
+  return (static_cast<std::uint32_t>(peer + 2) << 8) | msg_kind;
+}
+inline constexpr int FlowPeer(std::uint32_t aux) {
+  return static_cast<int>(aux >> 8) - 2;
+}
+inline constexpr std::uint8_t FlowMsgKind(std::uint32_t aux) {
+  return static_cast<std::uint8_t>(aux & 0xff);
+}
 
 struct Event {
   std::uint64_t t_ns = 0;  // Nanoseconds since the owning tracer's epoch.
@@ -132,6 +153,8 @@ constexpr const char* EventKindName(EventKind kind) {
     case EventKind::kNetStall: return "net_stall";
     case EventKind::kPartitionMigrated: return "partition_migrated";
     case EventKind::kMigrationRejected: return "migration_rejected";
+    case EventKind::kMsgSend: return "msg_send";
+    case EventKind::kMsgRecv: return "msg_recv";
     case EventKind::kKindCount: break;
   }
   return "unknown";

@@ -1,0 +1,137 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/trace_export.h"
+
+namespace itask::obs {
+
+namespace {
+
+std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  return end == raw ? fallback : static_cast<std::uint64_t>(value);
+}
+
+std::string Sanitize(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out += ok ? c : '_';
+  }
+  return out.empty() ? std::string("unnamed") : out;
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Instance() {
+  static FlightRecorder* instance = new FlightRecorder();
+  return *instance;
+}
+
+FlightRecorder::FlightRecorder()
+    : armed_([] {
+        const char* raw = std::getenv("ITASK_FLIGHT_RECORDER");
+        return raw != nullptr && *raw != '\0' && *raw != '0';
+      }()),
+      dir_([] {
+        const char* raw = std::getenv("ITASK_FLIGHT_RECORDER_DIR");
+        return std::string(raw != nullptr && *raw != '\0' ? raw : "flight_recorder");
+      }()),
+      window_ms_(EnvU64("ITASK_FLIGHT_RECORDER_WINDOW_MS", 5000)),
+      max_bundles_(EnvU64("ITASK_FLIGHT_RECORDER_MAX", 4)) {}
+
+void FlightRecorder::Register(Tracer* tracer, const std::string& label) {
+  if (tracer == nullptr) {
+    return;
+  }
+  if (armed_) {
+    tracer->set_enabled(true);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Source& source : sources_) {
+    if (source.tracer == tracer) {
+      return;
+    }
+  }
+  sources_.push_back(Source{tracer, Sanitize(label)});
+}
+
+void FlightRecorder::Unregister(Tracer* tracer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sources_.erase(std::remove_if(sources_.begin(), sources_.end(),
+                                [tracer](const Source& source) {
+                                  return source.tracer == tracer;
+                                }),
+                 sources_.end());
+}
+
+std::uint64_t FlightRecorder::trigger_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return triggers_;
+}
+
+std::string FlightRecorder::Trigger(const std::string& reason) {
+  if (!armed_) {
+    return "";
+  }
+  std::vector<Source> sources;
+  std::uint64_t bundle_index = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++triggers_;
+    if (bundles_written_ >= max_bundles_) {
+      return "";
+    }
+    bundle_index = bundles_written_++;
+    sources = sources_;
+  }
+  const std::string bundle_dir =
+      dir_ + "/" + std::to_string(bundle_index) + "-" + Sanitize(reason);
+  std::error_code ec;
+  std::filesystem::create_directories(bundle_dir, ec);
+  if (ec) {
+    return "";
+  }
+
+  std::ofstream manifest(bundle_dir + "/MANIFEST.txt");
+  manifest << "reason: " << reason << "\n"
+           << "window_ms: " << window_ms_ << "\n"
+           << "sources: " << sources.size() << "\n";
+  const std::uint64_t window_ns = window_ms_ * 1'000'000ULL;
+  std::size_t file_index = 0;
+  for (const Source& source : sources) {
+    const std::uint64_t now_ns = source.tracer->NowNs();
+    const std::uint64_t cutoff_ns = now_ns > window_ns ? now_ns - window_ns : 0;
+    std::vector<Event> events = source.tracer->Snapshot();
+    events.erase(std::remove_if(events.begin(), events.end(),
+                                [cutoff_ns](const Event& event) {
+                                  return event.t_ns < cutoff_ns;
+                                }),
+                 events.end());
+    const TracerStats stats = source.tracer->stats();
+    TraceProcessMeta meta;
+    meta.name = source.label;
+    meta.epoch_us = source.tracer->EpochSteadyNs() / 1000;
+    meta.events_dropped = stats.dropped;
+    const std::string file_name =
+        std::to_string(file_index++) + "-" + source.label + ".trace.json";
+    std::ofstream os(bundle_dir + "/" + file_name);
+    WriteChromeTrace(os, events, meta);
+    manifest << "  " << file_name << ": events=" << events.size()
+             << " dropped=" << stats.dropped << "\n";
+  }
+  return bundle_dir;
+}
+
+}  // namespace itask::obs

@@ -117,6 +117,31 @@ class Histogram {
     }
   }
 
+  // Folds a snapshot from another histogram (a remote node's shipped metrics,
+  // a bench shard) into this live one. Bucket-exact only: returns false — and
+  // changes nothing — when the bucket ladders differ, because silently
+  // misbinning a peer's counts would corrupt every quantile read afterwards.
+  // Concurrent Observe() calls stay safe; the merge is per-bucket relaxed
+  // adds, same as the observe path.
+  bool Merge(const HistogramSnapshot& other) {
+    if (other.count == 0) {
+      return true;
+    }
+    if (other.bounds != bounds_ || other.counts.size() != bounds_.size() + 1) {
+      return false;
+    }
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      counts_[i].fetch_add(other.counts[i], std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count, std::memory_order_relaxed);
+    sum_.fetch_add(other.sum, std::memory_order_relaxed);
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (other.max > prev &&
+           !max_.compare_exchange_weak(prev, other.max, std::memory_order_relaxed)) {
+    }
+    return true;
+  }
+
   HistogramSnapshot snapshot() const {
     HistogramSnapshot snap;
     snap.bounds = bounds_;

@@ -1,8 +1,15 @@
 // Exporters for tracer snapshots:
 //  - Chrome trace_event JSON (load in chrome://tracing or ui.perfetto.dev);
 //    one event per line so the companion parser and diff-based golden tests
-//    stay trivial. GC events render as duration slices ("ph":"X"), everything
-//    else as thread-scoped instants ("ph":"i").
+//    stay trivial. GC events render as duration slices ("ph":"X"), message
+//    send/recv events as flow-begin/flow-end pairs ("ph":"s"/"f") keyed by
+//    their span id, everything else as thread-scoped instants ("ph":"i").
+//    An optional per-process metadata header (name, steady-clock epoch in the
+//    cluster timeline, ring-overflow drop count) rides as "ph":"M" lines so
+//    per-node files can be merged later.
+//  - A merger that stitches per-process trace files into one cluster-wide
+//    trace: rebases timestamps onto the earliest epoch, remaps pid lanes per
+//    input file, and counts matched send->recv flow pairs.
 //  - Plain-text summary (per-kind counts + headline stats) and timeline.
 //  - A minimal parser for the exporter's own output, used by tools/trace_dump
 //    and the round-trip tests. It is not a general JSON parser.
@@ -19,12 +26,27 @@
 
 namespace itask::obs {
 
+// Identity header written into a trace file so the merger can align it with
+// its siblings. |epoch_us| is the owning tracer's epoch expressed in the
+// cluster reference timeline (the ctrl server's steady clock): local tracer
+// epoch + the join-handshake clock offset. |events_dropped| is the tracer's
+// ring-overflow count at export time.
+struct TraceProcessMeta {
+  std::string name;
+  std::uint64_t epoch_us = 0;
+  std::uint64_t events_dropped = 0;
+};
+
 void WriteChromeTrace(std::ostream& os, const std::vector<Event>& events);
-std::string ChromeTraceJson(const std::vector<Event>& events);
+void WriteChromeTrace(std::ostream& os, const std::vector<Event>& events,
+                      const TraceProcessMeta& meta);
+std::string ChromeTraceJson(const std::vector<Event>& events,
+                            const TraceProcessMeta* meta = nullptr);
 
 struct ParsedEvent {
   std::string name;
   std::string ph;
+  std::string id;  // Flow id ("0x..."), empty for non-flow events.
   double ts_us = 0.0;
   double dur_us = 0.0;
   int pid = 0;
@@ -34,12 +56,44 @@ struct ParsedEvent {
   std::uint64_t a = 0;
   std::uint64_t b = 0;
   std::uint32_t aux = 0;
+  std::uint32_t flags = 0;
+};
+
+// One parsed trace file: its events plus the "ph":"M" metadata header when
+// the file carries one.
+struct ParsedTrace {
+  std::vector<ParsedEvent> events;
+  std::string process_name;
+  std::uint64_t epoch_us = 0;
+  std::uint64_t events_dropped = 0;
+  bool has_meta = false;
 };
 
 // Parses WriteChromeTrace output. Returns false (with |error| set) on
 // structural problems: missing envelope, unbalanced braces, missing fields.
 bool ParseChromeTrace(const std::string& json, std::vector<ParsedEvent>* out,
                       std::string* error);
+bool ParseChromeTrace(const std::string& json, ParsedTrace* out, std::string* error);
+
+// Outcome of MergeChromeTraces, for the CI telemetry smoke and trace_dump's
+// header line.
+struct MergedTraceStats {
+  std::size_t files = 0;
+  std::size_t events = 0;
+  std::size_t flow_pairs = 0;           // Span ids with both a send and a recv.
+  std::size_t cross_process_pairs = 0;  // ...whose ends live in different files.
+  std::size_t unmatched_flows = 0;      // Span ids with only one end captured.
+  std::uint64_t events_dropped = 0;     // Sum of per-file ring-overflow counts.
+};
+
+// Stitches per-process trace files (each a WriteChromeTrace JSON string, in
+// input order) into one Chrome trace on |os|. Timestamps are rebased onto the
+// earliest per-file epoch; each input file gets its own pid lane block
+// (file_index * kMergePidStride + original pid) so two processes' node-0
+// lanes never collide.
+inline constexpr int kMergePidStride = 100;
+bool MergeChromeTraces(const std::vector<std::string>& jsons, std::ostream& os,
+                       MergedTraceStats* stats, std::string* error);
 
 // Per-kind counts, LUGC/interrupt/spill headline numbers, and drop accounting.
 void WriteTraceSummary(std::ostream& os, const std::vector<Event>& events,

@@ -54,6 +54,17 @@ class Tracer {
   void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_release); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  // The trace epoch itself, as steady-clock nanoseconds. Two tracers in one
+  // process subtract these to co-align their timelines; across processes the
+  // ctrl join handshake supplies the inter-process steady-clock offset
+  // (DESIGN.md §15).
+  std::uint64_t EpochSteadyNs() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            epoch_.time_since_epoch())
+            .count());
+  }
+
   // Nanoseconds since this tracer's construction (the trace epoch).
   std::uint64_t NowNs() const {
     return static_cast<std::uint64_t>(

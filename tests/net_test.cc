@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <random>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,7 +26,10 @@
 #include "net/frame_socket.h"
 #include "net/job_wire.h"
 #include "net/message.h"
+#include "net/metrics_wire.h"
 #include "net/transport.h"
+#include "obs/event.h"
+#include "obs/histogram.h"
 
 namespace itask::net {
 namespace {
@@ -670,6 +674,97 @@ TEST_F(TransportParityTest, KilledNodeOverTcpKeepsFingerprint) {
   EXPECT_EQ(faulted.records, reference.records);
   EXPECT_EQ(faulted.metrics.duplicate_tuples_dropped, 0u);
   EXPECT_GE(faulted.metrics.nodes_failed, 1u);
+}
+
+// ---- Telemetry plane (DESIGN.md §15) ----
+
+TEST(MetricsWire, RunMetricsRoundTripsWithHistograms) {
+  common::RunMetrics m;
+  m.succeeded = true;
+  m.wall_ms = 1234.5;
+  m.gc_ms = 88.25;
+  m.gc_count = 7;
+  m.interrupts = 19;
+  m.spilled_bytes = 9ull << 20;
+  m.net_msgs_sent = 41;
+  m.net_bytes_sent = 5ull << 20;
+  m.partitions_migrated = 3;
+  m.migrated_bytes = 768 << 10;
+  m.events_dropped = 11;
+  obs::Histogram interrupt_hist(obs::InterruptLatencyBoundsNs());
+  obs::Histogram gc_hist(obs::GcPauseBoundsNs());
+  for (int i = 0; i < 150; ++i) {
+    interrupt_hist.Observe(static_cast<std::uint64_t>(2000 + i * 1511));
+    gc_hist.Observe(static_cast<std::uint64_t>(1'000'000 + i * 40'013));
+  }
+  m.interrupt_latency_hist = interrupt_hist.snapshot();
+  m.gc_pause_hist = gc_hist.snapshot();
+
+  common::ByteBuffer wire;
+  EncodeRunMetrics(m, &wire);
+  const common::RunMetrics d = DecodeRunMetrics(&wire);
+  EXPECT_TRUE(d.succeeded);
+  EXPECT_DOUBLE_EQ(d.wall_ms, m.wall_ms);
+  EXPECT_DOUBLE_EQ(d.gc_ms, m.gc_ms);
+  EXPECT_EQ(d.gc_count, m.gc_count);
+  EXPECT_EQ(d.interrupts, m.interrupts);
+  EXPECT_EQ(d.spilled_bytes, m.spilled_bytes);
+  EXPECT_EQ(d.net_msgs_sent, m.net_msgs_sent);
+  EXPECT_EQ(d.net_bytes_sent, m.net_bytes_sent);
+  EXPECT_EQ(d.partitions_migrated, m.partitions_migrated);
+  EXPECT_EQ(d.migrated_bytes, m.migrated_bytes);
+  EXPECT_EQ(d.events_dropped, m.events_dropped);
+  // Histograms survive bucket-exactly, so cluster-side quantiles match the
+  // daemon's own view.
+  EXPECT_EQ(d.interrupt_latency_hist.counts, m.interrupt_latency_hist.counts);
+  EXPECT_EQ(d.interrupt_latency_hist.count, m.interrupt_latency_hist.count);
+  EXPECT_EQ(d.interrupt_latency_hist.sum, m.interrupt_latency_hist.sum);
+  EXPECT_EQ(d.interrupt_latency_hist.max, m.interrupt_latency_hist.max);
+  EXPECT_DOUBLE_EQ(d.interrupt_latency_hist.Quantile(0.99),
+                   m.interrupt_latency_hist.Quantile(0.99));
+  EXPECT_EQ(d.gc_pause_hist.counts, m.gc_pause_hist.counts);
+  EXPECT_DOUBLE_EQ(d.gc_pause_hist.Quantile(0.5), m.gc_pause_hist.Quantile(0.5));
+}
+
+TEST_F(TransportParityTest, SpanIdsStableAcrossSeededReruns) {
+  // Span ids hash ledger coordinates (trace, kind, src, dst, split, epoch,
+  // seq), not wall-clock or pointer state, so two identical seeded runs must
+  // produce the same id set even though thread interleaving differs. Resends
+  // reuse the original delivery's span, so retries don't perturb the set.
+  const auto run = [] {
+    cluster::ClusterConfig cc;
+    cc.num_nodes = 4;
+    cc.heap.capacity_bytes = 48 << 20;
+    cc.heap.real_pauses = false;
+    cc.net.kind = TransportKind::kTcp;
+    cluster::Cluster cluster(cc);
+    apps::AppConfig config;
+    config.dataset_bytes = 256 << 10;
+    config.max_workers = 4;
+    config.granularity_bytes = 8 << 10;
+    config.fault_tolerance = true;
+    config.seed = 1234;
+    config.trace_active = true;
+    return apps::RunHyracksApp("WC", cluster, config, apps::Mode::kITask);
+  };
+  const apps::AppResult first = run();
+  const apps::AppResult second = run();
+  ASSERT_TRUE(first.metrics.succeeded) << first.metrics.Summary();
+  ASSERT_TRUE(second.metrics.succeeded) << second.metrics.Summary();
+  const auto spans = [](const apps::AppResult& r) {
+    std::set<std::uint64_t> ids;
+    for (const obs::Event& e : r.events) {
+      if (e.kind == obs::EventKind::kMsgSend) {
+        EXPECT_NE(e.a, 0u);  // A stamped flow event always has a span.
+        ids.insert(e.a);
+      }
+    }
+    return ids;
+  };
+  const std::set<std::uint64_t> a = spans(first);
+  const std::set<std::uint64_t> b = spans(second);
+  ASSERT_FALSE(a.empty());  // The shuffle really crossed the wire, traced.
+  EXPECT_EQ(a, b);
 }
 
 TEST_F(TransportParityTest, HangedNodeOverTcpKeepsFingerprint) {

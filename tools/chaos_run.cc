@@ -291,6 +291,12 @@ int main(int argc, char** argv) {
     std::uint64_t net_send_retries = 0;
     std::uint64_t net_ack_timeouts = 0;
     std::uint64_t net_dup_payloads_dropped = 0;
+    // Telemetry-health rollup: tracer ring overwrites (non-zero means the
+    // event stream undercounts) plus the latency distributions, merged
+    // bucket-wise across seeds so the JSON can report cross-run quantiles.
+    std::uint64_t events_dropped = 0;
+    itask::obs::HistogramSnapshot interrupt_hist;
+    itask::obs::HistogramSnapshot gc_hist;
   };
   std::map<std::string, JobCounters> per_job;
 
@@ -341,6 +347,9 @@ int main(int argc, char** argv) {
       jc.net_send_retries += result.metrics.net_send_retries;
       jc.net_ack_timeouts += result.metrics.net_ack_timeouts;
       jc.net_dup_payloads_dropped += result.metrics.net_dup_payloads_dropped;
+      jc.events_dropped += result.metrics.events_dropped;
+      jc.interrupt_hist.Merge(result.metrics.interrupt_latency_hist);
+      jc.gc_hist.Merge(result.metrics.gc_pause_hist);
 
       std::string what;
       const auto in_path = itask::chaos::DrainViolations();
@@ -423,6 +432,15 @@ int main(int argc, char** argv) {
       out += ",\"partitions_migrated\":" + std::to_string(jc.partitions_migrated);
       out += ",\"migrated_bytes\":" + std::to_string(jc.migrated_bytes);
       out += ",\"migrations_rejected\":" + std::to_string(jc.migrations_rejected);
+      out += ",\"events_dropped\":" + std::to_string(jc.events_dropped);
+      {
+        char q[96];
+        std::snprintf(q, sizeof(q),
+                      ",\"interrupt_p99_us\":%.2f,\"gc_p99_us\":%.2f",
+                      jc.interrupt_hist.Quantile(0.99) / 1e3,
+                      jc.gc_hist.Quantile(0.99) / 1e3);
+        out += q;
+      }
       out += ",\"net\":{\"msgs_sent\":" + std::to_string(jc.net_msgs_sent);
       out += ",\"frames_sent\":" + std::to_string(jc.net_frames_sent);
       out += ",\"bytes_sent\":" + std::to_string(jc.net_bytes_sent);

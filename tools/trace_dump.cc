@@ -8,6 +8,12 @@
 //                                           per-node compression ratios
 //   trace_dump --demo [out.trace.json]      run a small traced WC job and
 //                                           write/summarize its trace
+//   trace_dump --merge out.json in1 in2...  stitch per-process trace files
+//                                           (net_driver --trace-dir output)
+//                                           into one cluster-wide Chrome
+//                                           trace: epoch-aligned timestamps,
+//                                           per-file pid lanes, flow-pair
+//                                           accounting on stdout
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -151,11 +157,18 @@ int DumpFile(const std::string& path, bool timeline, bool io) {
   }
   std::ostringstream ss;
   ss << in.rdbuf();
-  std::vector<obs::ParsedEvent> events;
+  obs::ParsedTrace trace;
   std::string error;
-  if (!obs::ParseChromeTrace(ss.str(), &events, &error)) {
+  if (!obs::ParseChromeTrace(ss.str(), &trace, &error)) {
     std::fprintf(stderr, "trace_dump: %s: %s\n", path.c_str(), error.c_str());
     return 1;
+  }
+  const std::vector<obs::ParsedEvent>& events = trace.events;
+  if (trace.has_meta) {
+    std::printf("%s: proc=%s epoch_us=%llu events_dropped=%llu\n", path.c_str(),
+                trace.process_name.empty() ? "?" : trace.process_name.c_str(),
+                static_cast<unsigned long long>(trace.epoch_us),
+                static_cast<unsigned long long>(trace.events_dropped));
   }
   if (events.empty()) {
     std::printf("%s: empty trace\n", path.c_str());
@@ -194,6 +207,41 @@ int DumpFile(const std::string& path, bool timeline, bool io) {
   return 0;
 }
 
+// Stitch N per-process trace files into one Chrome trace. Prints the merge
+// stats (flow pairing + ring drops) so scripts can assert on cross-process
+// causality without parsing JSON.
+int MergeFiles(const std::vector<std::string>& inputs, const std::string& out_path) {
+  std::vector<std::string> jsons;
+  jsons.reserve(inputs.size());
+  for (const std::string& in_path : inputs) {
+    std::ifstream in(in_path);
+    if (!in) {
+      std::fprintf(stderr, "trace_dump: cannot open %s\n", in_path.c_str());
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    jsons.push_back(ss.str());
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "trace_dump: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  obs::MergedTraceStats stats;
+  std::string error;
+  if (!obs::MergeChromeTraces(jsons, out, &stats, &error)) {
+    std::fprintf(stderr, "trace_dump: merge failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("merged %zu files -> %s: %zu events, %zu flow pairs "
+              "(%zu cross-process), %zu unmatched, events_dropped=%llu\n",
+              stats.files, out_path.c_str(), stats.events, stats.flow_pairs,
+              stats.cross_process_pairs, stats.unmatched_flows,
+              static_cast<unsigned long long>(stats.events_dropped));
+  return 0;
+}
+
 int RunDemo(const std::string& out_path) {
   cluster::Cluster cl(bench::PaperCluster());
   apps::AppConfig config;
@@ -218,7 +266,8 @@ int main(int argc, char** argv) {
   bool timeline = false;
   bool io = false;
   bool demo = false;
-  std::string path;
+  bool merge = false;
+  std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--timeline") == 0) {
       timeline = true;
@@ -226,20 +275,33 @@ int main(int argc, char** argv) {
       io = true;
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
+    } else if (std::strcmp(argv[i], "--merge") == 0) {
+      merge = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf("usage: trace_dump [--timeline|--io] <file.trace.json>\n"
-                  "       trace_dump --demo [out.trace.json]\n");
+                  "       trace_dump --demo [out.trace.json]\n"
+                  "       trace_dump --merge <out.trace.json> <in1> <in2> ...\n");
       return 0;
     } else {
-      path = argv[i];
+      paths.push_back(argv[i]);
     }
   }
-  if (demo) {
-    return RunDemo(path.empty() ? "demo.trace.json" : path);
+  if (merge) {
+    if (paths.size() < 2) {
+      std::fprintf(stderr,
+                   "usage: trace_dump --merge <out.trace.json> <in1> [in2 ...]\n");
+      return 1;
+    }
+    const std::string out_path = paths.front();
+    return MergeFiles(std::vector<std::string>(paths.begin() + 1, paths.end()),
+                      out_path);
   }
-  if (path.empty()) {
+  if (demo) {
+    return RunDemo(paths.empty() ? "demo.trace.json" : paths.front());
+  }
+  if (paths.empty()) {
     std::fprintf(stderr, "usage: trace_dump [--timeline|--io] <file.trace.json> (or --demo)\n");
     return 1;
   }
-  return DumpFile(path, timeline, io);
+  return DumpFile(paths.front(), timeline, io);
 }
