@@ -125,6 +125,34 @@ print("telemetry smoke ok: %d files, %d flow pairs (%d cross-process)" % (files,
 EOF
 rm -rf "${TELE_DIR}"
 
+echo "=== tier 4g: net-fault chaos smoke (seeded loss/delay/partition + ctrl resume) ==="
+# The seeded network-fault engine (DESIGN.md §16): drop + delay + reorder +
+# duplicate + reset plus a timed one-way partition, all over real TCP loopback
+# sockets. Every seed must reproduce the fault-free fingerprint, the engine
+# must actually fire, and the scripted ctrl-socket drop must be healed by a
+# session resume (ctrl_reconnects >= 1) — never conflated with node death.
+ITASK_HEARTBEAT_MS=5 ITASK_SUSPECT_TIMEOUT_MS=500 \
+./build/tools/chaos_run --seeds 2 --nodes 4 --apps WC,HS --transport=tcp \
+  --net-faults='seed=11,drop=0.02,reorder=0.05,dup=0.03,reset=0.005,delay=0.1:1:0.5,part=1>*@40+80,ctrldrop=0@20' \
+  --dataset-kb 256 --json | tee /tmp/itask_netfault_smoke.out
+# A bare seed derives a moderate all-of-the-above plan deterministically.
+ITASK_HEARTBEAT_MS=5 ITASK_SUSPECT_TIMEOUT_MS=500 \
+./build/tools/chaos_run --seeds 1 --nodes 4 --apps WC --transport=tcp \
+  --net-faults=7 --dataset-kb 128 --json | tee -a /tmp/itask_netfault_smoke.out
+python3 - /tmp/itask_netfault_smoke.out <<'EOF'
+import json, sys
+docs = [json.loads(l) for l in open(sys.argv[1]) if l.startswith("{")]
+assert len(docs) == 2, "expected two chaos_run JSON reports, got %d" % len(docs)
+for doc in docs:
+    assert doc["ok"] is True, "net-fault smoke reported failures: %r" % doc["failures"]
+    assert doc["net_faults_injected"] >= 1, "fault engine never fired: %r" % doc
+    assert doc["ctrl_reconnects"] >= 1, "ctrl session resume never exercised: %r" % doc
+print("net-fault smoke ok: %d faults injected, %d ctrl reconnects, %d backoff retries"
+      % (sum(d["net_faults_injected"] for d in docs),
+         sum(d["ctrl_reconnects"] for d in docs),
+         sum(d["backoff_retries"] for d in docs)))
+EOF
+
 echo "=== tier 4c: jobsvc smoke (two concurrent tenants under TSan) ==="
 # The multi-tenant job service exercises cross-job arbitration on shared
 # heaps — exactly the kind of path TSan exists for. Runs the concurrent

@@ -12,6 +12,13 @@
 //  - kOomPoison: every subsequent allocation on the node's heap throws
 //    OutOfMemoryError. The escaped-OME / zero-progress path demotes the node
 //    to draining and the job finishes on the survivors.
+//  - kDisconnect: a *known* network cut — the node's link goes down (beats
+//    suppressed, membership parked in kDisconnected) but the process stays
+//    healthy. Paired with a later kHeal the node rejoins with zero lineage
+//    re-execution; without one the disconnect grace window expires and the
+//    detector declares it dead.
+//  - kHeal: undoes a kDisconnect — beats resume and the coordinator moves
+//    the node back to kAlive (counting a healed partition).
 //
 // The schedule is applied by the coordinator's fault-poll hook (see
 // ItaskJob::EnableFaultTolerance), so faults fire between poll ticks with
@@ -28,17 +35,20 @@ enum class FaultKind {
   kKill,
   kHang,
   kOomPoison,
+  kDisconnect,
+  kHeal,
 };
 
 struct NodeFault {
   int node = 0;
   double at_ms = 0.0;
   FaultKind kind = FaultKind::kKill;
-  // kHang only: additionally age the node's last heartbeat by this much when
-  // the fault fires, as if it had already been silent that long. Tests use a
-  // value past the dead timeout to make detection deterministic — a zombie
-  // node races job completion against wall-clock silence otherwise. 0 keeps
-  // real-time hang semantics (chaos default).
+  // kHang/kDisconnect: additionally age the node's last heartbeat by this
+  // much when the fault fires, as if it had already been silent that long.
+  // Tests use a value past the dead timeout (or disconnect grace) to make
+  // detection deterministic — a zombie or unhealed cut races job completion
+  // against wall-clock silence otherwise. 0 keeps real-time semantics
+  // (chaos default).
   double silence_age_ms = 0.0;
 };
 
@@ -50,6 +60,12 @@ class FailureModel {
   }
   void SchedulePoison(int node, double at_ms) {
     Add({node, at_ms, FaultKind::kOomPoison});
+  }
+  void ScheduleDisconnect(int node, double at_ms, double silence_age_ms = 0.0) {
+    Add({node, at_ms, FaultKind::kDisconnect, silence_age_ms});
+  }
+  void ScheduleHeal(int node, double at_ms) {
+    Add({node, at_ms, FaultKind::kHeal});
   }
   void Add(NodeFault fault) {
     std::lock_guard lock(mu_);

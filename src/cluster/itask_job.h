@@ -16,6 +16,7 @@
 
 #include "cluster/cluster.h"
 #include "cluster/failure_model.h"
+#include "common/backoff.h"
 #include "itask/coordinator.h"
 #include "itask/recovery.h"
 #include "itask/runtime.h"
@@ -47,7 +48,8 @@ class ItaskJob {
   // per-node budget on each node heap. The destructor clears both again —
   // heaps outlive jobs, and a later tenant may reuse the account slot.
   ItaskJob(Cluster& cluster, const core::IrsConfig& config, const TenantBinding& tenant)
-      : state_(std::make_shared<core::JobState>()), tenant_(tenant), cluster_(&cluster) {
+      : state_(std::make_shared<core::JobState>()), tenant_(tenant), cluster_(&cluster),
+        backoff_base_(common::BackoffRegistry::Instance().snapshot()) {
     for (int i = 0; i < cluster.size(); ++i) {
       Node& node = cluster.node(i);
       core::NodeServices services{node.id(),    node.name(),  &node.heap(),
@@ -179,7 +181,15 @@ class ItaskJob {
       m.net_dup_payloads_dropped = fs.dup_payloads_dropped;
       m.net_heartbeats_sent = fs.heartbeats_sent;
       m.net_queue_depth_hist = fs.transport.queue_depth_hist;
+      m.net_faults_injected = fs.transport.faults_injected;
     }
+    // Retry/giveup counters since this job was constructed. The registry is
+    // process-global, so concurrent tenants see each other's retries — fine
+    // for a chaos gate ("did anything back off"), wrong for billing.
+    const common::BackoffRegistry::Snapshot now =
+        common::BackoffRegistry::Instance().snapshot();
+    m.backoff_retries = now.total_retries() - backoff_base_.total_retries();
+    m.backoff_giveups = now.total_giveups() - backoff_base_.total_giveups();
     return m;
   }
 
@@ -218,6 +228,26 @@ class ItaskJob {
           // via the escaped-OME / zero-progress path.
           rt.services().heap->Poison();
           break;
+        case FaultKind::kDisconnect:
+          // Known network cut: beats stop reaching the detector AND the
+          // membership learns the cause — the node parks in kDisconnected
+          // and gets the (longer) disconnect grace window instead of being
+          // walked to kDead on plain silence.
+          recovery_->NoteLinkDown(fault.node);
+          recovery_->membership().SuppressBeats(fault.node, true);
+          // Tests may age the last beat past the disconnect grace so the
+          // expiry doesn't race job completion. The aged beat predates the
+          // disconnect stamp, so it can never read as a heal.
+          if (fault.silence_age_ms > 0.0) {
+            recovery_->membership().AgeBeat(
+                fault.node, static_cast<std::uint64_t>(fault.silence_age_ms * 1e6));
+          }
+          break;
+        case FaultKind::kHeal:
+          // Partition heals: beats resume and the coordinator moves the node
+          // back to kAlive (counting a healed partition) on its next pass.
+          recovery_->membership().SuppressBeats(fault.node, false);
+          break;
       }
     }
   }
@@ -232,6 +262,8 @@ class ItaskJob {
   // recovery context they point into goes away.
   std::unique_ptr<net::ShuffleFabric> fabric_;
   FailureModel* failure_model_ = nullptr;
+  // Registry counters at construction; Metrics() reports the delta.
+  common::BackoffRegistry::Snapshot backoff_base_;
 };
 
 }  // namespace itask::cluster

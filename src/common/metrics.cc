@@ -86,6 +86,11 @@ void RunMetrics::MergeCluster(const RunMetrics& other) {
   partitions_migrated += other.partitions_migrated;
   migrated_bytes += other.migrated_bytes;
   migrations_rejected += other.migrations_rejected;
+  net_faults_injected += other.net_faults_injected;
+  ctrl_reconnects += other.ctrl_reconnects;
+  partitions_healed += other.partitions_healed;
+  backoff_retries += other.backoff_retries;
+  backoff_giveups += other.backoff_giveups;
   events_dropped += other.events_dropped;
   result_records += other.result_records;
   result_checksum ^= other.result_checksum;

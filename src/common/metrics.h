@@ -79,6 +79,15 @@ struct RunMetrics {
   std::uint64_t migrated_bytes = 0;        // Payload bytes those victims carried.
   std::uint64_t migrations_rejected = 0;   // Broker said no (stale/full/cost/ineligible).
 
+  // Network-fault / resilience counters (zero unless a NetFaultPlan is active
+  // or the ctrl plane saw disconnects). Job-wide like the net counters above —
+  // AccumulateNode leaves them alone so the fold doesn't double-count.
+  std::uint64_t net_faults_injected = 0;  // Fault-engine decisions that fired.
+  std::uint64_t ctrl_reconnects = 0;      // Ctrl sessions resumed under the old id.
+  std::uint64_t partitions_healed = 0;    // kDisconnected nodes whose beats came back.
+  std::uint64_t backoff_retries = 0;      // Retries across every BackoffUse policy.
+  std::uint64_t backoff_giveups = 0;      // Backoff sessions that exhausted budget.
+
   // Tracer ring-overflow count: events overwritten before any drain saw them.
   // Non-zero means the trace (and anything derived from it) undercounts.
   // Job-wide from the cluster tracer, like the net counters above.

@@ -88,6 +88,7 @@ bool JobCoordinator::DetectFailures() {
   Membership& membership = recovery_->membership();
   const double suspect_ms = recovery_->config().suspect_timeout_ms;
   const double dead_ms = recovery_->config().dead_timeout_ms;
+  const double grace_ms = recovery_->config().disconnect_grace_ms;
   for (std::size_t i = 0; i < runtimes_.size(); ++i) {
     const int node = static_cast<int>(i);
     const NodeLiveness state = membership.state(node);
@@ -113,18 +114,40 @@ bool JobCoordinator::DetectFailures() {
     }
     const double silence_ms =
         static_cast<double>(membership.NsSinceBeat(node)) / 1e6;
-    if (silence_ms > dead_ms) {
+    // A disconnected node has a *known* transient cause (observed partition
+    // or ctrl-socket loss), so it gets the longer grace window instead of
+    // the plain dead timeout — a healing cut must not trigger spurious
+    // lineage re-execution.
+    const bool disconnected = state == NodeLiveness::kDisconnected;
+    const double fail_ms = disconnected ? grace_ms : dead_ms;
+    if (silence_ms > fail_ms) {
       membership.SetState(node, NodeLiveness::kDead);
       ++nodes_failed_;
       tracer->Emit(obs::EventKind::kNodeDead, static_cast<std::uint16_t>(node),
                    static_cast<std::uint64_t>(silence_ms * 1e6));
       LOG_WARN() << "coordinator: node " << node << " declared dead after "
-                 << silence_ms << "ms of heartbeat silence";
+                 << silence_ms << "ms of heartbeat silence"
+                 << (disconnected ? " (disconnect grace expired)" : "");
       obs::FlightRecorder::Instance().Trigger("node-dead-" + std::to_string(node));
       if (!lost_handled_[i]) {
         lost_handled_[i] = true;
         runtimes_[i]->Fence();
         recovery_->OnNodeLost(node);
+      }
+    } else if (disconnected) {
+      if (silence_ms <= suspect_ms && membership.BeatSinceDisconnect(node)) {
+        // A beat arrived *after* the cut was noted, inside the grace window:
+        // the partition healed and the node rejoins with its state (and key
+        // range) intact. The post-mark requirement matters — at cut time the
+        // last beat is milliseconds old, and short silence alone would heal
+        // a still-partitioned node on the very next pass.
+        membership.SetState(node, NodeLiveness::kAlive);
+        ++partitions_healed_;
+        tracer->Emit(obs::EventKind::kPartitionHealed,
+                     static_cast<std::uint16_t>(node),
+                     static_cast<std::uint64_t>(silence_ms * 1e6));
+        LOG_INFO() << "coordinator: node " << node
+                   << " partition healed; rejoining without re-execution";
       }
     } else if (silence_ms > suspect_ms) {
       if (state == NodeLiveness::kAlive) {
@@ -163,6 +186,7 @@ common::RunMetrics JobCoordinator::AggregateMetrics() const {
     total.partitions_migrated = rs.partitions_migrated;
     total.migrated_bytes = rs.migrated_bytes;
     total.migrations_rejected = rs.migrations_rejected;
+    total.partitions_healed = partitions_healed_;
   }
   return total;
 }

@@ -64,6 +64,8 @@ class JobCoordinator {
   std::vector<bool> lost_handled_;
   std::uint64_t nodes_failed_ = 0;
   std::uint64_t nodes_draining_ = 0;
+  // Disconnected nodes whose beats resumed inside the grace window.
+  std::uint64_t partitions_healed_ = 0;
   double wall_ms_ = 0.0;
   bool aborted_ = false;
 };

@@ -25,15 +25,19 @@ namespace itask::core {
 
 enum class NodeLiveness : std::uint8_t {
   kAlive = 0,
-  kSuspect,   // Heartbeat silence past the suspect timeout; still serving.
-  kDraining,  // Escaped OME demoted it: serves nothing new, job continues.
-  kDead,      // Declared failed; its work re-executes on survivors.
+  kSuspect,       // Heartbeat silence past the suspect timeout; still serving.
+  kDisconnected,  // Known network partition/ctrl disconnect: held in a grace
+                  // window (longer than the dead timeout) so a transient cut
+                  // doesn't trigger spurious lineage re-execution.
+  kDraining,      // Escaped OME demoted it: serves nothing new, job continues.
+  kDead,          // Declared failed; its work re-executes on survivors.
 };
 
 constexpr const char* NodeLivenessName(NodeLiveness s) {
   switch (s) {
     case NodeLiveness::kAlive: return "alive";
     case NodeLiveness::kSuspect: return "suspect";
+    case NodeLiveness::kDisconnected: return "disconnected";
     case NodeLiveness::kDraining: return "draining";
     case NodeLiveness::kDead: return "dead";
   }
@@ -99,10 +103,14 @@ class Membership {
     return static_cast<NodeLiveness>(slot(node).state.load(std::memory_order_acquire));
   }
 
-  // Alive or merely suspected: still accepts work and owns its key range.
+  // Alive, merely suspected, or sitting out a disconnect grace window: still
+  // owns its key range. Keeping kDisconnected serving is the point of the
+  // state — remapping its keys mid-partition would redeliver its shuffle
+  // data even though the node comes back intact.
   bool Serving(int node) const {
     const NodeLiveness s = state(node);
-    return s == NodeLiveness::kAlive || s == NodeLiveness::kSuspect;
+    return s == NodeLiveness::kAlive || s == NodeLiveness::kSuspect ||
+           s == NodeLiveness::kDisconnected;
   }
 
   int ServingCount() const {
@@ -134,6 +142,26 @@ class Membership {
     slot(node).state.store(static_cast<std::uint8_t>(next), std::memory_order_release);
   }
 
+  // Parks |node| in kDisconnected and stamps the cut time. The stamp is what
+  // makes the detector's heal test sound: at cut time the last beat is only
+  // milliseconds old, so "silence is short" alone would read as "beats
+  // resumed" on the very next pass and spuriously heal a still-partitioned
+  // node. A heal additionally requires a beat *newer* than this mark.
+  void NoteDisconnected(int node) {
+    std::lock_guard lock(mu_);
+    Slot& s = slot(node);
+    s.disconnect_mark_ns.store(NowNs(), std::memory_order_relaxed);
+    s.state.store(static_cast<std::uint8_t>(NodeLiveness::kDisconnected),
+                  std::memory_order_release);
+  }
+
+  // True once a beat arrived after the most recent NoteDisconnected mark.
+  bool BeatSinceDisconnect(int node) const {
+    const Slot& s = slot(node);
+    return s.last_beat_ns.load(std::memory_order_relaxed) >
+           s.disconnect_mark_ns.load(std::memory_order_relaxed);
+  }
+
   // Atomic demotion for the escaped-OME path: succeeds only when |node| is
   // still serving and at least one *other* node would keep serving — the last
   // healthy node must abort rather than drain (nobody could take its work).
@@ -150,6 +178,7 @@ class Membership {
  private:
   struct Slot {
     std::atomic<std::uint64_t> last_beat_ns{0};
+    std::atomic<std::uint64_t> disconnect_mark_ns{0};
     std::atomic<std::uint8_t> state{static_cast<std::uint8_t>(NodeLiveness::kAlive)};
     std::atomic<bool> beat_suppressed{false};
   };

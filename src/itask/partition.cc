@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/backoff.h"
 #include "common/byte_buffer.h"
 #include "common/spin.h"
 
@@ -88,25 +89,29 @@ void DataPartition::EnsureResidentLocked() {
     // faults likewise leave the file loadable. Retry a bounded number of
     // times before treating the fault as fatal — without this, a single lost
     // write aborts the whole job even though nothing was actually lost.
-    constexpr int kMaxLoadAttempts = 8;
-    std::chrono::microseconds backoff{50};
-    constexpr std::chrono::microseconds kBackoffCap{5000};
-    for (int attempt = 1;; ++attempt) {
+    // Shared retry policy (common/backoff.h, kLoadRetry): 8 attempts, 50us
+    // base doubling to a 5ms cap, no jitter — this wait holds state_mu_, so
+    // the worst case must stay tight and deterministic.
+    common::BackoffPolicy policy;
+    policy.base_ms = 0.05;
+    policy.cap_ms = 5.0;
+    policy.jitter = 0.0;
+    policy.max_attempts = 7;
+    common::Backoff retry(common::BackoffUse::kLoadRetry, policy, /*salt=*/0);
+    for (;;) {
       try {
         buffer = spill_->LoadAndRemove(*spill_id_);
         break;
       } catch (const memsim::OutOfMemoryError&) {
         throw;  // Pressure, not an I/O fault: the interrupt machinery owns it.
       } catch (...) {
-        if (attempt >= kMaxLoadAttempts) {
+        // Back off instead of hammering the faulting device. Only an actual
+        // re-attempt counts as a load retry (chaos_run surfaces the count);
+        // the final propagating failure is not a retry.
+        if (!retry.SleepNext()) {
           throw;
         }
-        // Count the retry (chaos_run surfaces it as load_retries) and back
-        // off exponentially instead of hammering the faulting device; the
-        // cap keeps the worst case under ~10ms of lock-held wait.
         spill_->NoteLoadRetry();
-        std::this_thread::sleep_for(backoff);
-        backoff = std::min(backoff * 2, kBackoffCap);
       }
     }
   }

@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/backoff.h"
 #include "common/env.h"
 #include "common/logging.h"
 #include "obs/event.h"
@@ -33,6 +34,8 @@ RecoveryConfig RecoveryConfig::FromEnv() {
   c.suspect_timeout_ms =
       common::EnvPositiveDouble("ITASK_SUSPECT_TIMEOUT_MS", c.suspect_timeout_ms);
   c.dead_timeout_ms = 2.0 * c.suspect_timeout_ms;
+  c.disconnect_grace_ms = common::EnvPositiveDouble("ITASK_DISCONNECT_GRACE_MS",
+                                                    3.0 * c.dead_timeout_ms);
   c.shuffle_retries = std::max(0, common::EnvInt("ITASK_SHUFFLE_RETRIES", c.shuffle_retries));
   return c;
 }
@@ -96,6 +99,19 @@ void RecoveryContext::NoteRemoteHeartbeat(int node, std::uint64_t used_bytes,
                                           std::uint64_t capacity_bytes) {
   membership_.Beat(node);
   broker_.Update(node, used_bytes, capacity_bytes);
+}
+
+void RecoveryContext::NoteLinkDown(int node) {
+  if (node < 0 || node >= membership_.size()) {
+    return;
+  }
+  const NodeLiveness s = membership_.state(node);
+  if (s == NodeLiveness::kAlive || s == NodeLiveness::kSuspect) {
+    membership_.NoteDisconnected(node);
+    LOG_INFO() << "recovery: node " << node
+               << " disconnected (partition observed); grace "
+               << config_.disconnect_grace_ms << "ms";
+  }
 }
 
 DeliveryStatus RecoveryContext::RemotePush(int node, const ShuffleWireId& id,
@@ -614,15 +630,13 @@ PartitionPtr RecoveryContext::Materialize(TypeId type, int node,
 }
 
 void RecoveryContext::BackoffSleep(int attempt, std::uint64_t salt) {
-  double ms = config_.backoff_base_ms * static_cast<double>(1ULL << (attempt - 1));
-  ms = std::min(ms, config_.backoff_cap_ms);
-  // +/- 25% deterministic jitter so retry storms against one target decorrelate.
-  const double jitter =
-      (static_cast<double>(Mix64(salt + static_cast<std::uint64_t>(attempt)) & 0xffff) /
-           65535.0 -
-       0.5) *
-      0.5;
-  ms *= 1.0 + jitter;
+  // Shared backoff shape (common/backoff.h): capped exponential with +/- 25%
+  // deterministic jitter so retry storms against one target decorrelate.
+  common::BackoffPolicy policy;
+  policy.base_ms = config_.backoff_base_ms;
+  policy.cap_ms = config_.backoff_cap_ms;
+  const double ms = common::BackoffDelayMs(policy, attempt, salt);
+  common::BackoffRegistry::Instance().NoteRetry(common::BackoffUse::kLedgerDeliver);
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
 }
 

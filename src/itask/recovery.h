@@ -58,6 +58,11 @@ struct RecoveryConfig {
   double heartbeat_ms = 2.0;         // ITASK_HEARTBEAT_MS
   double suspect_timeout_ms = 150.0;  // ITASK_SUSPECT_TIMEOUT_MS
   double dead_timeout_ms = 300.0;     // 2x the suspect timeout by default.
+  // Extra silence granted to a node the transport reported as partitioned
+  // (kDisconnected) before the dead declaration. ITASK_DISCONNECT_GRACE_MS;
+  // 3x the dead timeout by default — a healed partition must not have cost
+  // any lineage re-execution.
+  double disconnect_grace_ms = 900.0;
   int shuffle_retries = 5;            // ITASK_SHUFFLE_RETRIES
   double backoff_base_ms = 1.0;       // Exponential, doubling per attempt...
   double backoff_cap_ms = 50.0;       // ...capped here, +/- jitter.
@@ -173,6 +178,14 @@ class RecoveryContext {
   // always advance together (a broker fed from a path that skipped Beat
   // would rank a node the detector is about to declare dead).
   void NoteRemoteHeartbeat(int node, std::uint64_t used_bytes, std::uint64_t capacity_bytes);
+
+  // The transport's fault engine (or the ctrl plane) observed a partition
+  // cutting |node| off. Moves it from kAlive/kSuspect into kDisconnected so
+  // the failure detector applies the disconnect grace window instead of the
+  // dead timeout. A node already draining or dead is left alone. The reverse
+  // edge needs no call: the node's own resumed heartbeats flip it back to
+  // kAlive in the coordinator's detector.
+  void NoteLinkDown(int node);
 
   // Receive side of a transport delivery: rehydrates |bytes| as a partition
   // of |id.type| on |node|'s heap and pushes it into the node's queue.

@@ -1,5 +1,6 @@
 #include "net/ctrl.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -14,6 +15,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/env.h"
 #include "common/logging.h"
 #include "net/metrics_wire.h"
 #include "obs/span.h"
@@ -72,7 +74,13 @@ CtrlServer::CtrlServer(int port) {
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  const std::string bind_host =
+      common::EnvString("ITASK_NET_BIND_HOST", "127.0.0.1");
+  if (::inet_pton(AF_INET, bind_host.c_str(), &addr.sin_addr) != 1) {
+    LOG_WARN() << "ctrl: bad ITASK_NET_BIND_HOST '" << bind_host
+               << "'; binding loopback";
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  }
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
       ::listen(listen_fd_, 64) != 0) {
@@ -118,6 +126,13 @@ void CtrlServer::AcceptLoop() {
     timeval no_timeout{0, 0};
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &no_timeout, sizeof(no_timeout));
 
+    if (join.b > 0) {
+      // Session resume: the daemon claims its previous id instead of asking
+      // for a new slot, so a transient ctrl cut never inflates the cluster.
+      ResumePeer(join, std::move(sock));
+      continue;
+    }
+
     auto peer = std::make_unique<Peer>();
     Peer* raw = peer.get();
     {
@@ -149,6 +164,73 @@ void CtrlServer::AcceptLoop() {
   }
 }
 
+CtrlServer::Peer* CtrlServer::ResumePeer(const Message& join,
+                                         std::unique_ptr<FrameSocket> sock) {
+  const int id = static_cast<int>(join.b) - 1;
+  Peer* peer = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id < 0 || id >= static_cast<int>(peers_.size())) {
+      LOG_WARN() << "ctrl: rejecting session resume for unknown node id " << id;
+      return nullptr;
+    }
+    peer = peers_[static_cast<std::size_t>(id)].get();
+  }
+  // Retire the old connection first: closing the socket unblocks the old
+  // reader, which must be joined before the slot's socket is reused.
+  peer->sock->Close();
+  if (peer->reader.joinable()) {
+    peer->reader.join();
+  }
+  std::uint64_t down_ns = 0;
+  {
+    std::lock_guard<std::mutex> wlock(*peer->write_mu);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (peer->disconnected_at_ns != 0) {
+      const std::uint64_t now = NowNs();
+      down_ns = now > peer->disconnected_at_ns ? now - peer->disconnected_at_ns : 0;
+    }
+    peer->sock = std::move(sock);
+    peer->info.name = join.text;
+    peer->info.heap_capacity = join.a;
+    peer->info.last_beat_ns = NowNs();
+    peer->info.connected = true;
+    peer->disconnected_at_ns = 0;
+  }
+  ctrl_reconnects_.fetch_add(1, std::memory_order_relaxed);
+  LOG_INFO() << "ctrl: node " << id << " resumed its session after "
+             << down_ns / 1'000'000 << "ms disconnected";
+  Message ack;
+  ack.kind = MsgKind::kJoinAck;
+  ack.src = kDriverEndpoint;
+  ack.dst = id;
+  ack.a = static_cast<std::uint64_t>(id);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ack.b = peers_.size();
+  }
+  ack.c = NowNs();
+  SendTo(*peer, ack);
+  peer->reader = std::thread([this, peer] { ReadLoop(peer); });
+  cv_.notify_all();
+  return peer;
+}
+
+void CtrlServer::DropPeer(int node) {
+  Peer* peer = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (node < 0 || node >= static_cast<int>(peers_.size())) {
+      return;
+    }
+    peer = peers_[static_cast<std::size_t>(node)].get();
+  }
+  // Closing the socket makes the reader exit, which marks the peer
+  // disconnected; the slot (and its joinable reader handle) stays behind
+  // for the daemon's session resume.
+  peer->sock->Close();
+}
+
 void CtrlServer::ReadLoop(Peer* peer) {
   Message msg;
   for (;;) {
@@ -168,12 +250,20 @@ void CtrlServer::ReadLoop(Peer* peer) {
         peer->info.heap_capacity = msg.b;
         peer->info.last_beat_ns = NowNs();
         break;
-      case MsgKind::kResult:
+      case MsgKind::kResult: {
+        // |c| packs (seq << 1) | success; re-shipped results from a session
+        // resume re-use their original seq and are dropped here.
+        const std::uint64_t seq = msg.c >> 1;
+        if (seq < peer->next_result_seq) {
+          break;
+        }
+        peer->next_result_seq = seq + 1;
         EmitFlow(tracer_, obs::EventKind::kMsgRecv,
                  static_cast<std::uint16_t>(peer->info.id), msg, peer->info.id);
-        peer->results.push_back(JobResultMsg{msg.a, msg.b, msg.c != 0});
+        peer->results.push_back(JobResultMsg{msg.a, msg.b, (msg.c & 1) != 0});
         cv_.notify_all();
         break;
+      }
       case MsgKind::kMetrics:
         try {
           msg.payload.ResetCursor();
@@ -186,6 +276,7 @@ void CtrlServer::ReadLoop(Peer* peer) {
         break;
       case MsgKind::kBye:
         peer->info.connected = false;
+        peer->disconnected_at_ns = NowNs();
         cv_.notify_all();  // Wake WaitResult/WaitForNodes blocked on this peer.
         return;
       default:
@@ -194,6 +285,7 @@ void CtrlServer::ReadLoop(Peer* peer) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   peer->info.connected = false;
+  peer->disconnected_at_ns = NowNs();
   cv_.notify_all();
 }
 
@@ -349,40 +441,64 @@ CtrlClient::~CtrlClient() {
 
 int CtrlClient::Join(const std::string& host, int port, const std::string& name,
                      std::uint64_t heap_capacity) {
+  host_ = host;
+  port_ = port;
+  name_ = name;
+  heap_capacity_ = heap_capacity;
+  reconnect_policy_ = common::BackoffPolicy::FromEnv(
+      "ITASK_CTRL_RECONNECT",
+      common::BackoffPolicy{/*base_ms=*/25.0, /*cap_ms=*/1000.0,
+                            /*multiplier=*/2.0, /*jitter=*/0.25,
+                            /*max_attempts=*/20, /*deadline_ms=*/15000.0});
+  return ConnectAndJoin(/*resume=*/false);
+}
+
+int CtrlClient::ConnectAndJoin(bool resume) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return -1;
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  const int connect_timeout_ms =
+      std::max(1, common::EnvInt("ITASK_NET_CONNECT_TIMEOUT_MS", 1000));
+  if (!ConnectWithTimeout(fd, &addr, sizeof(addr), connect_timeout_ms)) {
     ::close(fd);
     return -1;
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  sock_ = FrameSocket(fd);
+  auto sock = std::make_shared<FrameSocket>(fd);
 
   Message join;
   join.kind = MsgKind::kJoin;
-  join.text = name;
-  join.a = heap_capacity;
-  if (!SendMsg(join)) {
+  join.text = name_;
+  join.a = heap_capacity_;
+  // A resume claims the previous node id so the server re-attaches the
+  // existing peer slot instead of growing the cluster.
+  join.b = resume ? static_cast<std::uint64_t>(node_id_) + 1 : 0;
+  if (!SendMessageFrame(*sock, join)) {
     return -1;
   }
   Message ack;
   try {
-    if (!RecvMessageFrame(sock_, &ack) || ack.kind != MsgKind::kJoinAck) {
+    if (!RecvMessageFrame(*sock, &ack) || ack.kind != MsgKind::kJoinAck) {
       return -1;
     }
   } catch (const std::exception&) {
     return -1;
   }
-  node_id_ = static_cast<int>(ack.a);
+  const int id = static_cast<int>(ack.a);
+  if (resume && id != node_id_) {
+    LOG_WARN() << "ctrl: session resume handed back id " << id
+               << " instead of " << node_id_ << "; rejecting";
+    return -1;
+  }
+  node_id_ = id;
   // The ack carries the server's steady clock at send time; sampling ours at
   // receipt gives the offset that maps local timestamps onto the driver's
   // timeline (off by about half the join RTT, which loopback makes
@@ -391,7 +507,91 @@ int CtrlClient::Join(const std::string& host, int port, const std::string& name,
     clock_offset_ns_ = static_cast<std::int64_t>(ack.c) -
                        static_cast<std::int64_t>(NowNs());
   }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    sock_ = std::move(sock);
+  }
   return node_id_;
+}
+
+std::shared_ptr<FrameSocket> CtrlClient::CurrentSock() {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  return sock_;
+}
+
+bool CtrlClient::EnsureConnected(std::uint64_t failed_gen) {
+  std::lock_guard<std::mutex> lock(reconnect_mu_);
+  if (conn_gen_.load(std::memory_order_acquire) != failed_gen) {
+    // Another thread already resumed past the generation the caller saw
+    // fail; its socket is ready to use.
+    return CurrentSock() != nullptr;
+  }
+  if (node_id_ < 0) {
+    return false;  // Never joined; there is no session to resume.
+  }
+  if (auto sock = CurrentSock()) {
+    sock->Close();  // Wake anything still blocked on the dead socket.
+  }
+  common::Backoff backoff(common::BackoffUse::kCtrlReconnect, reconnect_policy_,
+                          static_cast<std::uint64_t>(node_id_) + 2);
+  for (;;) {
+    if (stop_beats_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    if (ConnectAndJoin(/*resume=*/true) >= 0) {
+      break;
+    }
+    if (!backoff.SleepNext()) {
+      LOG_WARN() << "ctrl: node " << node_id_
+                 << " gave up resuming its ctrl session after "
+                 << backoff.attempts() << " attempts";
+      return false;
+    }
+  }
+  // State resync: re-ship recent results (the server dedups by seq), then a
+  // fresh heartbeat and metrics snapshot so the driver's view of this node
+  // heals immediately instead of waiting a beat interval.
+  std::uint64_t reshipped = 0;
+  {
+    std::lock_guard<std::mutex> rlock(results_mu_);
+    for (const Message& r : recent_results_) {
+      if (SendMsg(r)) {
+        ++reshipped;
+      }
+    }
+  }
+  if (stats_fn_) {
+    const auto [used, cap] = stats_fn_();
+    Message hb;
+    hb.kind = MsgKind::kHeartbeat;
+    hb.src = node_id_;
+    hb.dst = kDriverEndpoint;
+    hb.a = used;
+    hb.b = cap;
+    SendMsg(hb);
+  }
+  if (metrics_source_) {
+    common::RunMetrics snapshot;
+    if (metrics_source_(&snapshot)) {
+      Message ship;
+      ship.kind = MsgKind::kMetrics;
+      ship.src = node_id_;
+      ship.dst = kDriverEndpoint;
+      EncodeRunMetrics(snapshot, &ship.payload);
+      SendMsg(ship);
+    }
+  }
+  reconnects_.fetch_add(1, std::memory_order_relaxed);
+  conn_gen_.fetch_add(1, std::memory_order_acq_rel);
+  if (tracer_ != nullptr) {
+    tracer_->Emit(obs::EventKind::kCtrlReconnect, /*node=*/0,
+                  static_cast<std::uint64_t>(backoff.attempts()), reshipped,
+                  static_cast<std::uint32_t>(node_id_ + 2));
+  }
+  LOG_INFO() << "ctrl: node " << node_id_ << " resumed its ctrl session ("
+             << backoff.attempts() << " dial attempts, " << reshipped
+             << " results re-shipped)";
+  return true;
 }
 
 void CtrlClient::SetMetricsSource(std::function<bool(common::RunMetrics*)> source) {
@@ -400,6 +600,7 @@ void CtrlClient::SetMetricsSource(std::function<bool(common::RunMetrics*)> sourc
 
 void CtrlClient::StartHeartbeats(
     int interval_ms, std::function<std::pair<std::uint64_t, std::uint64_t>()> stats) {
+  stats_fn_ = stats;  // Also shipped as part of a session-resume resync.
   beat_thread_ = std::thread([this, interval_ms, stats = std::move(stats)] {
     // Telemetry ships ride the heartbeat thread on their own (coarser)
     // cadence, so a dead driver tears down both with one failed send.
@@ -414,6 +615,7 @@ void CtrlClient::StartHeartbeats(
     }
     std::uint64_t last_ship_ns = 0;
     while (!stop_beats_.load(std::memory_order_acquire)) {
+      const std::uint64_t gen = conn_gen_.load(std::memory_order_acquire);
       const auto [used, cap] = stats();
       Message hb;
       hb.kind = MsgKind::kHeartbeat;
@@ -422,7 +624,12 @@ void CtrlClient::StartHeartbeats(
       hb.a = used;
       hb.b = cap;
       if (!SendMsg(hb)) {
-        return;  // Driver gone; the serve loop will notice too.
+        // Ctrl socket died: try a session resume before giving up — a
+        // transient cut must not silence heartbeats for good.
+        if (!EnsureConnected(gen)) {
+          return;  // Driver really gone; the serve loop will notice too.
+        }
+        continue;  // The resync already shipped a beat + snapshot.
       }
       if (metrics_source_) {
         const std::uint64_t now = NowNs();
@@ -437,7 +644,7 @@ void CtrlClient::StartHeartbeats(
             ship.src = node_id_;
             ship.dst = kDriverEndpoint;
             EncodeRunMetrics(snapshot, &ship.payload);
-            if (!SendMsg(ship)) {
+            if (!SendMsg(ship) && !EnsureConnected(gen)) {
               return;
             }
           }
@@ -452,13 +659,25 @@ void CtrlClient::Serve(const std::function<JobResultMsg(const std::string&,
                                                         common::ByteBuffer&)>& run_job) {
   Message msg;
   for (;;) {
+    const std::uint64_t gen = conn_gen_.load(std::memory_order_acquire);
+    auto sock = CurrentSock();
+    if (sock == nullptr) {
+      return;
+    }
+    bool ok = false;
     try {
-      if (!RecvMessageFrame(sock_, &msg)) {
+      ok = RecvMessageFrame(*sock, &msg);
+    } catch (const std::exception& e) {
+      LOG_WARN() << "ctrl: corrupt ctrl frame on daemon: " << e.what();
+      ok = false;
+    }
+    if (!ok) {
+      // Socket loss is not necessarily the driver's goodbye: try a session
+      // resume (the driver may just be on the far side of a partition).
+      if (!EnsureConnected(gen)) {
         return;
       }
-    } catch (const std::exception& e) {
-      LOG_WARN() << "ctrl: daemon exiting on corrupt frame: " << e.what();
-      return;
+      continue;
     }
     if (msg.kind == MsgKind::kBye) {
       return;
@@ -477,23 +696,42 @@ void CtrlClient::Serve(const std::function<JobResultMsg(const std::string&,
     reply.dst = kDriverEndpoint;
     reply.a = result.checksum;
     reply.b = result.records;
-    reply.c = result.success ? 1 : 0;
+    const std::uint64_t seq = result_seq_++;
+    reply.c = (seq << 1) | (result.success ? 1u : 0u);
     if (trace_id_ != 0) {
       reply.trace = trace_id_;
       reply.span = obs::SpanId(trace_id_, static_cast<std::uint8_t>(MsgKind::kResult),
                                node_id_, kDriverEndpoint, /*split=*/-1, /*epoch=*/0,
-                               result_seq_++);
+                               seq);
       EmitFlow(tracer_, obs::EventKind::kMsgSend, /*lane=*/0, reply, kDriverEndpoint);
     }
+    {
+      // Remember the reply for resume resync: a result sent just before a
+      // cut may never have been processed, so the ring is re-shipped whole
+      // and the server drops what it already saw (by seq).
+      std::lock_guard<std::mutex> rlock(results_mu_);
+      recent_results_.push_back(reply);
+      while (recent_results_.size() > 16) {
+        recent_results_.pop_front();
+      }
+    }
+    const std::uint64_t send_gen = conn_gen_.load(std::memory_order_acquire);
     if (!SendMsg(reply)) {
-      return;
+      if (!EnsureConnected(send_gen)) {
+        return;
+      }
+      // The resume's resync re-shipped the reply from the ring.
     }
   }
 }
 
 bool CtrlClient::SendMsg(const Message& msg) {
   std::lock_guard<std::mutex> lock(write_mu_);
-  return SendMessageFrame(sock_, msg);
+  auto sock = CurrentSock();
+  if (sock == nullptr) {
+    return false;
+  }
+  return SendMessageFrame(*sock, msg);
 }
 
 }  // namespace itask::net

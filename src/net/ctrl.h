@@ -14,20 +14,32 @@
 //
 // Control messages ride the same Message/FrameSocket stack as the shuffle
 // fabric: one message per checksummed frame.
+//
+// Session resume: a daemon whose ctrl socket dies reconnects with capped
+// jittered backoff (ITASK_CTRL_RECONNECT_{BASE_MS,CAP_MS,ATTEMPTS,
+// DEADLINE_MS}) and re-joins under its original node id (kJoin.b = old id
+// + 1). The server swaps the socket under the existing peer slot — results,
+// metrics and dispatch ordinals survive — and the client re-ships its
+// recent results (deduplicated server-side by the seq packed into
+// kResult.c), a fresh heartbeat, and a metrics snapshot so the driver's
+// view heals without any job re-execution.
 #ifndef ITASK_NET_CTRL_H_
 #define ITASK_NET_CTRL_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/byte_buffer.h"
 #include "common/metrics.h"
 #include "net/frame_socket.h"
@@ -74,7 +86,8 @@ struct JobResultMsg {
 
 class CtrlServer {
  public:
-  // Listens on loopback TCP |port| (0 = ephemeral; read back via port()).
+  // Listens on TCP |port| (0 = ephemeral; read back via port()) bound to
+  // ITASK_NET_BIND_HOST (default loopback).
   explicit CtrlServer(int port = 0);
   ~CtrlServer();
 
@@ -112,6 +125,17 @@ class CtrlServer {
   // callers should treat 0 as "telemetry off", not "cluster idle".
   common::RunMetrics ClusterMetrics(int* nodes_reporting = nullptr) const;
 
+  // Fault-injection hook: severs |node|'s ctrl socket server-side without
+  // forgetting the peer, as a network cut would. The daemon is expected to
+  // notice and resume its session via a re-join; until then the peer reads
+  // as disconnected.
+  void DropPeer(int node);
+
+  // Sessions resumed via re-join since startup.
+  std::uint64_t ctrl_reconnects() const {
+    return ctrl_reconnects_.load(std::memory_order_relaxed);
+  }
+
   // Sends kBye to every connected daemon and stops accepting.
   void Shutdown();
 
@@ -125,11 +149,19 @@ class CtrlServer {
     common::RunMetrics metrics;         // Latest shipped snapshot.
     bool has_metrics = false;
     std::uint64_t dispatches = 0;  // Dispatch ordinal; seeds dispatch span ids.
+    // Next kResult seq expected from this peer; anything older is a re-ship
+    // duplicate from a session resume and is dropped.
+    std::uint64_t next_result_seq = 0;
+    std::uint64_t disconnected_at_ns = 0;  // 0 while connected.
   };
 
   void AcceptLoop();
   void ReadLoop(Peer* peer);
   bool SendTo(Peer& peer, const Message& msg);
+  // Re-attaches a resumed session to its existing peer slot; returns the
+  // peer (with |sock| installed and a fresh reader started) or nullptr when
+  // the claimed id is bogus.
+  Peer* ResumePeer(const Message& join, std::unique_ptr<FrameSocket> sock);
 
   int listen_fd_ = -1;
   int port_ = 0;
@@ -140,6 +172,7 @@ class CtrlServer {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<std::unique_ptr<Peer>> peers_;
+  std::atomic<std::uint64_t> ctrl_reconnects_{0};
 };
 
 class CtrlClient {
@@ -151,7 +184,8 @@ class CtrlClient {
   CtrlClient& operator=(const CtrlClient&) = delete;
 
   // Connects to the driver and joins; returns the assigned node id (< 0 on
-  // failure).
+  // failure). The endpoint is remembered so a later ctrl-socket loss can be
+  // healed by an automatic session resume (EnsureConnected).
   int Join(const std::string& host, int port, const std::string& name,
            std::uint64_t heap_capacity);
 
@@ -177,6 +211,11 @@ class CtrlClient {
 
   int node_id() const { return node_id_; }
 
+  // Sessions resumed after a ctrl-socket loss.
+  std::uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+
   // server_steady_now - local_steady_now, sampled at the join ack. Adding it
   // to a local steady-clock reading expresses that instant on the driver's
   // timeline; trace files use it to compute their epoch_us alignment header.
@@ -187,17 +226,45 @@ class CtrlClient {
 
  private:
   bool SendMsg(const Message& msg);
+  // Snapshot of the live socket; swapped atomically (under conn_mu_) by a
+  // session resume so readers never see a half-installed socket.
+  std::shared_ptr<FrameSocket> CurrentSock();
+  // Dial + join handshake. |resume| claims the previous node id in kJoin.b.
+  // Returns the assigned id (< 0 on failure) and installs the new socket.
+  int ConnectAndJoin(bool resume);
+  // Heals a dead ctrl session: re-dials with capped jittered backoff
+  // (kCtrlReconnect policy), re-joins under the original id, then re-ships
+  // recent results, a heartbeat, and a metrics snapshot. |failed_gen| is the
+  // connection generation the caller observed the failure on — if another
+  // thread already resumed past it, returns true immediately. False when the
+  // policy's attempts/deadline are exhausted (the session is over).
+  bool EnsureConnected(std::uint64_t failed_gen);
 
-  FrameSocket sock_;
-  std::mutex write_mu_;
+  std::mutex write_mu_;           // Serializes frame writes on the socket.
+  std::mutex reconnect_mu_;       // At most one thread resumes at a time.
+  mutable std::mutex conn_mu_;    // Guards sock_ (innermost).
+  std::shared_ptr<FrameSocket> sock_;
+  std::atomic<std::uint64_t> conn_gen_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
   int node_id_ = -1;
   std::int64_t clock_offset_ns_ = 0;
   obs::Tracer* tracer_ = nullptr;
   std::uint64_t trace_id_ = 0;   // From the most recent dispatch.
   std::uint64_t result_seq_ = 0; // Result ordinal; seeds result span ids.
   std::function<bool(common::RunMetrics*)> metrics_source_;
+  std::function<std::pair<std::uint64_t, std::uint64_t>()> stats_fn_;
   std::thread beat_thread_;
   std::atomic<bool> stop_beats_{false};
+  // Join endpoint, remembered for resumes.
+  std::string host_;
+  int port_ = 0;
+  std::string name_;
+  std::uint64_t heap_capacity_ = 0;
+  common::BackoffPolicy reconnect_policy_;
+  // Recent kResult replies (bounded ring) re-shipped after a resume; the
+  // server drops duplicates by the seq packed into |c|.
+  std::mutex results_mu_;
+  std::deque<Message> recent_results_;
 };
 
 }  // namespace itask::net

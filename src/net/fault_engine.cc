@@ -1,0 +1,441 @@
+#include "net/fault_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace itask::net {
+namespace {
+
+// splitmix64, the project's standard deterministic mixer.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double UnitFrom(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+}
+
+bool ParseDoubleStrict(const std::string& s, double* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseEndpoint(const std::string& s, int* out) {
+  if (s == "*") {
+    *out = kAnyEndpoint;
+    return true;
+  }
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseProb(const std::string& value, const char* what, double* out,
+               std::string* err) {
+  double p = 0.0;
+  if (!ParseDoubleStrict(value, &p) || p < 0.0 || p > 1.0) {
+    *err = std::string("net-faults: bad ") + what + " probability '" + value +
+           "' (want [0,1])";
+    return false;
+  }
+  *out = p;
+  return true;
+}
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (const char c : s) {
+    if (c == sep) {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
+// part=A>B@START+DUR | A<>B@START+DUR
+bool ParsePartition(const std::string& value, NetPartition* out,
+                    std::string* err) {
+  const auto fail = [&] {
+    *err = "net-faults: bad partition '" + value +
+           "' (want A>B@START+DUR or A<>B@START+DUR)";
+    return false;
+  };
+  const std::size_t at = value.find('@');
+  if (at == std::string::npos) {
+    return fail();
+  }
+  const std::string link = value.substr(0, at);
+  const std::string window = value.substr(at + 1);
+
+  std::size_t arrow = link.find("<>");
+  if (arrow != std::string::npos) {
+    out->two_way = true;
+    if (!ParseEndpoint(link.substr(0, arrow), &out->a) ||
+        !ParseEndpoint(link.substr(arrow + 2), &out->b)) {
+      return fail();
+    }
+  } else {
+    arrow = link.find('>');
+    if (arrow == std::string::npos) {
+      return fail();
+    }
+    out->two_way = false;
+    if (!ParseEndpoint(link.substr(0, arrow), &out->a) ||
+        !ParseEndpoint(link.substr(arrow + 1), &out->b)) {
+      return fail();
+    }
+  }
+
+  const std::size_t plus = window.find('+');
+  if (plus == std::string::npos) {
+    return fail();
+  }
+  if (!ParseDoubleStrict(window.substr(0, plus), &out->start_ms) ||
+      !ParseDoubleStrict(window.substr(plus + 1), &out->duration_ms) ||
+      out->start_ms < 0.0 || out->duration_ms < 0.0) {
+    return fail();
+  }
+  return true;
+}
+
+}  // namespace
+
+bool NetFaultPlan::FromSpec(const std::string& spec, NetFaultPlan* out,
+                            std::string* err) {
+  NetFaultPlan plan;
+  for (const std::string& clause : SplitOn(spec, ',')) {
+    if (clause.empty()) {
+      continue;
+    }
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos) {
+      *err = "net-faults: clause '" + clause + "' has no '='";
+      return false;
+    }
+    const std::string key = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+    if (key == "seed") {
+      char* end = nullptr;
+      plan.seed = std::strtoull(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0') {
+        *err = "net-faults: bad seed '" + value + "'";
+        return false;
+      }
+    } else if (key == "drop") {
+      if (!ParseProb(value, "drop", &plan.drop, err)) return false;
+    } else if (key == "reorder") {
+      if (!ParseProb(value, "reorder", &plan.reorder, err)) return false;
+    } else if (key == "dup") {
+      if (!ParseProb(value, "dup", &plan.duplicate, err)) return false;
+    } else if (key == "corrupt") {
+      if (!ParseProb(value, "corrupt", &plan.corrupt, err)) return false;
+    } else if (key == "trunc") {
+      if (!ParseProb(value, "trunc", &plan.truncate, err)) return false;
+    } else if (key == "reset") {
+      if (!ParseProb(value, "reset", &plan.reset, err)) return false;
+    } else if (key == "delay") {
+      const std::vector<std::string> parts = SplitOn(value, ':');
+      if (parts.size() < 2 || parts.size() > 3 ||
+          !ParseProb(parts[0], "delay", &plan.delay, err)) {
+        if (err->empty()) {
+          *err = "net-faults: bad delay '" + value + "' (want P:MS[:JITTER])";
+        }
+        return false;
+      }
+      if (!ParseDoubleStrict(parts[1], &plan.delay_ms) || plan.delay_ms < 0.0) {
+        *err = "net-faults: bad delay ms '" + parts[1] + "'";
+        return false;
+      }
+      if (parts.size() == 3 &&
+          (!ParseDoubleStrict(parts[2], &plan.delay_jitter_ms) ||
+           plan.delay_jitter_ms < 0.0)) {
+        *err = "net-faults: bad delay jitter '" + parts[2] + "'";
+        return false;
+      }
+    } else if (key == "part") {
+      NetPartition part;
+      if (!ParsePartition(value, &part, err)) {
+        return false;
+      }
+      plan.partitions.push_back(part);
+    } else if (key == "ctrldrop") {
+      const std::size_t at = value.find('@');
+      CtrlDrop drop;
+      char* end = nullptr;
+      if (at == std::string::npos) {
+        *err = "net-faults: bad ctrldrop '" + value + "' (want NODE@MS)";
+        return false;
+      }
+      drop.node = static_cast<int>(std::strtol(value.c_str(), &end, 10));
+      if (end != value.c_str() + at ||
+          !ParseDoubleStrict(value.substr(at + 1), &drop.at_ms) ||
+          drop.at_ms < 0.0) {
+        *err = "net-faults: bad ctrldrop '" + value + "' (want NODE@MS)";
+        return false;
+      }
+      plan.ctrl_drops.push_back(drop);
+    } else {
+      *err = "net-faults: unknown clause '" + key + "'";
+      return false;
+    }
+  }
+  *out = plan;
+  return true;
+}
+
+NetFaultPlan NetFaultPlan::FromSeed(std::uint64_t seed) {
+  NetFaultPlan plan;
+  plan.seed = seed == 0 ? 1 : seed;
+  // Moderate chaos scaled by seed bits: each knob in a range the ledger's
+  // redelivery machinery comfortably absorbs.
+  plan.drop = 0.01 + UnitFrom(Mix64(plan.seed ^ 0x11)) * 0.04;       // 1-5%
+  plan.duplicate = 0.01 + UnitFrom(Mix64(plan.seed ^ 0x22)) * 0.04;  // 1-5%
+  plan.reorder = 0.02 + UnitFrom(Mix64(plan.seed ^ 0x33)) * 0.06;    // 2-8%
+  plan.reset = 0.002 + UnitFrom(Mix64(plan.seed ^ 0x44)) * 0.008;    // 0.2-1%
+  plan.delay = 0.05 + UnitFrom(Mix64(plan.seed ^ 0x55)) * 0.10;      // 5-15%
+  plan.delay_ms = 1.0 + UnitFrom(Mix64(plan.seed ^ 0x66)) * 4.0;     // 1-5ms
+  plan.delay_jitter_ms = plan.delay_ms * 0.5;
+  // One timed one-way partition: a random node black-holed toward everyone
+  // for a window that always heals.
+  NetPartition part;
+  part.a = static_cast<int>(Mix64(plan.seed ^ 0x77) % 4);
+  part.b = kAnyEndpoint;
+  part.two_way = false;
+  part.start_ms = 20.0 + UnitFrom(Mix64(plan.seed ^ 0x88)) * 30.0;
+  part.duration_ms = 30.0 + UnitFrom(Mix64(plan.seed ^ 0x99)) * 40.0;
+  plan.partitions.push_back(part);
+  return plan;
+}
+
+std::string NetFaultPlan::Describe() const {
+  std::ostringstream os;
+  char buf[64];
+  os << "seed=" << seed;
+  const auto prob = [&](const char* name, double p) {
+    if (p > 0.0) {
+      std::snprintf(buf, sizeof(buf), ",%s=%.4g", name, p);
+      os << buf;
+    }
+  };
+  prob("drop", drop);
+  prob("reorder", reorder);
+  prob("dup", duplicate);
+  prob("corrupt", corrupt);
+  prob("trunc", truncate);
+  prob("reset", reset);
+  if (delay > 0.0) {
+    std::snprintf(buf, sizeof(buf), ",delay=%.4g:%.4g:%.4g", delay, delay_ms,
+                  delay_jitter_ms);
+    os << buf;
+  }
+  const auto endpoint = [](int e) {
+    return e == kAnyEndpoint ? std::string("*") : std::to_string(e);
+  };
+  for (const NetPartition& part : partitions) {
+    std::snprintf(buf, sizeof(buf), "@%.4g+%.4g", part.start_ms,
+                  part.duration_ms);
+    os << ",part=" << endpoint(part.a) << (part.two_way ? "<>" : ">")
+       << endpoint(part.b) << buf;
+  }
+  for (const CtrlDrop& drop : ctrl_drops) {
+    std::snprintf(buf, sizeof(buf), ",ctrldrop=%d@%.4g", drop.node, drop.at_ms);
+    os << buf;
+  }
+  return os.str();
+}
+
+namespace {
+
+bool EndpointMatch(int rule, int endpoint) {
+  return rule == kAnyEndpoint || rule == endpoint;
+}
+
+bool PartitionBlocks(const NetPartition& part, int src, int dst) {
+  return (EndpointMatch(part.a, src) && EndpointMatch(part.b, dst)) ||
+         (part.two_way && EndpointMatch(part.a, dst) && EndpointMatch(part.b, src));
+}
+
+// The node a window cuts off: the specific `a` side (its outbound traffic is
+// black-holed), or `b` when `a` is the wildcard. Fully-wildcard rules impair
+// no one node in particular.
+int ImpairedNode(const NetPartition& part) {
+  if (part.a != kAnyEndpoint) {
+    return part.a;
+  }
+  return part.b;  // May be kAnyEndpoint; callers skip that.
+}
+
+}  // namespace
+
+NetFaultEngine::NetFaultEngine(NetFaultPlan plan)
+    : plan_(std::move(plan)), epoch_(std::chrono::steady_clock::now()) {
+  window_open_.resize(plan_.partitions.size(), false);
+}
+
+double NetFaultEngine::ElapsedMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::uint64_t NetFaultEngine::DrawFor(int dst, std::uint64_t serial,
+                                      NetFaultKind kind) const {
+  // Decision streams are keyed (seed, link, serial, kind): one link's frame
+  // count never perturbs another link's draws.
+  const std::uint64_t link = Mix64(static_cast<std::uint32_t>(dst));
+  return Mix64(plan_.seed ^ link ^ Mix64(serial * 131 + static_cast<int>(kind)));
+}
+
+bool NetFaultEngine::Hit(double p, int dst, std::uint64_t serial,
+                         NetFaultKind kind) const {
+  return p > 0.0 && UnitFrom(DrawFor(dst, serial, kind)) < p;
+}
+
+void NetFaultEngine::Count(NetFaultKind kind) {
+  counts_[static_cast<int>(kind)].fetch_add(1, std::memory_order_relaxed);
+  total_faults_.fetch_add(1, std::memory_order_relaxed);
+}
+
+NetFaultEngine::Decision NetFaultEngine::Apply(int dst,
+                                               std::size_t frame_bytes) {
+  (void)frame_bytes;
+  PollPartitions();  // Heal edges advance even when only this link has traffic.
+  Decision d;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    d.serial = serials_[dst]++;
+  }
+  d.draw = DrawFor(dst, d.serial, NetFaultKind::kKindCount);
+
+  // At most one connection/frame-destroying fault per frame, drawn in
+  // severity order; the benign shapers (delay/duplicate/reorder) stack.
+  if (Hit(plan_.reset, dst, d.serial, NetFaultKind::kReset)) {
+    d.reset = true;
+    ++d.faults;
+    Count(NetFaultKind::kReset);
+  } else if (Hit(plan_.truncate, dst, d.serial, NetFaultKind::kTruncate)) {
+    d.truncate = true;
+    ++d.faults;
+    Count(NetFaultKind::kTruncate);
+  } else if (Hit(plan_.corrupt, dst, d.serial, NetFaultKind::kCorrupt)) {
+    d.corrupt = true;
+    ++d.faults;
+    Count(NetFaultKind::kCorrupt);
+  } else if (Hit(plan_.drop, dst, d.serial, NetFaultKind::kDrop)) {
+    d.drop = true;
+    ++d.faults;
+    Count(NetFaultKind::kDrop);
+  }
+  if (!d.drop && !d.reset) {
+    if (Hit(plan_.duplicate, dst, d.serial, NetFaultKind::kDuplicate)) {
+      d.duplicate = true;
+      ++d.faults;
+      Count(NetFaultKind::kDuplicate);
+    }
+    if (Hit(plan_.reorder, dst, d.serial, NetFaultKind::kReorder)) {
+      d.reorder = true;
+      ++d.faults;
+      Count(NetFaultKind::kReorder);
+    }
+  }
+  if (Hit(plan_.delay, dst, d.serial, NetFaultKind::kDelay)) {
+    const double jitter =
+        plan_.delay_jitter_ms *
+        (UnitFrom(DrawFor(dst, d.serial, NetFaultKind::kDelay) ^ 0x5a5a) - 0.5) *
+        2.0;
+    d.delay_ms = std::max(0.0, plan_.delay_ms + jitter);
+    ++d.faults;
+    Count(NetFaultKind::kDelay);
+  }
+  return d;
+}
+
+void NetFaultEngine::PollPartitions() {
+  if (plan_.partitions.empty()) {
+    return;
+  }
+  const double now_ms = ElapsedMs();
+  // Collect edges under the lock, fire the observer outside it.
+  struct Edge {
+    int node;
+    bool blocked;
+  };
+  std::vector<Edge> edges;
+  LinkObserver observer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    observer = observer_;
+    for (std::size_t i = 0; i < plan_.partitions.size(); ++i) {
+      const bool open = plan_.partitions[i].ActiveAt(now_ms);
+      if (open == window_open_[i]) {
+        continue;
+      }
+      window_open_[i] = open;
+      const int node = ImpairedNode(plan_.partitions[i]);
+      if (node != kAnyEndpoint) {
+        edges.push_back({node, open});
+      }
+    }
+  }
+  if (observer) {
+    for (const Edge& edge : edges) {
+      observer(edge.node, edge.blocked);
+    }
+  }
+}
+
+bool NetFaultEngine::MessageBlocked(int src, int dst) {
+  PollPartitions();
+  const double now_ms = ElapsedMs();
+  for (const NetPartition& part : plan_.partitions) {
+    if (part.ActiveAt(now_ms) && PartitionBlocks(part, src, dst)) {
+      Count(NetFaultKind::kPartitionDrop);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool NetFaultEngine::ConnectAllowed(int src, int dst) {
+  PollPartitions();
+  const double now_ms = ElapsedMs();
+  for (const NetPartition& part : plan_.partitions) {
+    if (part.ActiveAt(now_ms) && PartitionBlocks(part, src, dst)) {
+      Count(NetFaultKind::kConnectRefused);
+      return false;
+    }
+  }
+  return true;
+}
+
+void NetFaultEngine::set_link_observer(LinkObserver observer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observer_ = std::move(observer);
+}
+
+}  // namespace itask::net

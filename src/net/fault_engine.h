@@ -1,0 +1,221 @@
+// Seeded, scriptable network-fault injection for the socket transport and the
+// ctrl plane (DESIGN.md §16).
+//
+// A NetFaultPlan describes per-link misbehavior — drop, delay (fixed +
+// jitter), reorder, duplicate, corrupt-frame, partial-write truncation,
+// connection reset — plus timed one-way/two-way partitions and scripted
+// ctrl-socket drops. Plans come from a spec string (env or
+// `chaos_run --net-faults=<spec>`) or are derived from a bare seed
+// (`--net-faults=<seed>`), and every probabilistic decision is a pure
+// function of (plan seed, destination, per-link frame serial), so a given
+// seed replays the same decision stream on every run.
+//
+// The engine NEVER makes the transport report a live peer as gone: faults
+// surface only as silent frame loss (recovered by the recovery ledger's
+// ack-timeout redelivery) or as transient send failures (recovered by the
+// sender's requeue/backoff path). That invariant is what lets chaos sweeps
+// demand byte-identical fingerprints under every plan.
+#ifndef ITASK_NET_FAULT_ENGINE_H_
+#define ITASK_NET_FAULT_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace itask::net {
+
+// Wildcard endpoint for partition rules ("*" in the spec). The driver
+// endpoint is -1, so the sentinel has to live far below it.
+inline constexpr int kAnyEndpoint = std::numeric_limits<int>::min();
+
+enum class NetFaultKind : std::uint8_t {
+  kDrop = 0,        // Frame silently discarded (sender believes it sent).
+  kDelay,           // Frame held for delay_ms (+/- jitter) before the write.
+  kReorder,         // Frame held back and written after its successor.
+  kDuplicate,       // Frame written twice back-to-back.
+  kCorrupt,         // One wire byte flipped post-framing (receiver discards).
+  kTruncate,        // Only a prefix written, then the connection is severed.
+  kReset,           // Connection closed before the write (sender requeues).
+  kPartitionDrop,   // Frame black-holed by an active partition window.
+  kConnectRefused,  // Dial refused while the link is partitioned.
+  kKindCount,       // Sentinel — keep last.
+};
+
+constexpr const char* NetFaultKindName(NetFaultKind kind) {
+  switch (kind) {
+    case NetFaultKind::kDrop: return "drop";
+    case NetFaultKind::kDelay: return "delay";
+    case NetFaultKind::kReorder: return "reorder";
+    case NetFaultKind::kDuplicate: return "duplicate";
+    case NetFaultKind::kCorrupt: return "corrupt";
+    case NetFaultKind::kTruncate: return "truncate";
+    case NetFaultKind::kReset: return "reset";
+    case NetFaultKind::kPartitionDrop: return "partition_drop";
+    case NetFaultKind::kConnectRefused: return "connect_refused";
+    case NetFaultKind::kKindCount: break;
+  }
+  return "unknown";
+}
+
+// A timed partition window. One-way blocks a->b traffic only; two-way blocks
+// both directions and refuses new connections while active. duration_ms <= 0
+// means the partition never heals on its own.
+struct NetPartition {
+  int a = kAnyEndpoint;
+  int b = kAnyEndpoint;
+  bool two_way = false;
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+
+  bool ActiveAt(double elapsed_ms) const {
+    if (elapsed_ms < start_ms) {
+      return false;
+    }
+    return duration_ms <= 0.0 || elapsed_ms < start_ms + duration_ms;
+  }
+};
+
+// A scripted ctrl-plane disconnect: at |at_ms| the ctrl server severs node
+// |node|'s session socket (the daemon must resume via reconnect). Applied by
+// the harness (chaos_run / tests) through CtrlServer::DropPeer, not by the
+// frame-level engine.
+struct CtrlDrop {
+  int node = 0;
+  double at_ms = 0.0;
+};
+
+struct NetFaultPlan {
+  std::uint64_t seed = 1;
+
+  // Per-frame probabilities in [0, 1].
+  double drop = 0.0;
+  double reorder = 0.0;
+  double duplicate = 0.0;
+  double corrupt = 0.0;
+  double truncate = 0.0;
+  double reset = 0.0;
+
+  // Delay: with probability |delay| hold the frame delay_ms +/- delay_jitter_ms.
+  double delay = 0.0;
+  double delay_ms = 0.0;
+  double delay_jitter_ms = 0.0;
+
+  std::vector<NetPartition> partitions;
+  std::vector<CtrlDrop> ctrl_drops;
+
+  bool active() const {
+    return drop > 0 || reorder > 0 || duplicate > 0 || corrupt > 0 ||
+           truncate > 0 || reset > 0 || delay > 0 || !partitions.empty() ||
+           !ctrl_drops.empty();
+  }
+
+  // Spec grammar (comma-separated; all clauses optional):
+  //   seed=N
+  //   drop=P  reorder=P  dup=P  corrupt=P  trunc=P  reset=P
+  //   delay=P:MS            (fixed)        delay=P:MS:JITTER_MS
+  //   part=A>B@START+DUR    (one-way)      part=A<>B@START+DUR  (two-way)
+  //   ctrldrop=NODE@MS
+  // Endpoints are node indices, -1 for the driver, * for any. DUR in ms;
+  // DUR=0 means "never heals". Returns false with *err set on a bad clause.
+  static bool FromSpec(const std::string& spec, NetFaultPlan* out,
+                       std::string* err);
+
+  // A moderate all-of-the-above plan derived deterministically from |seed|:
+  // drop/delay/reorder/duplicate/reset probabilities scaled by the seed's
+  // bits plus one timed one-way partition that heals. Never includes
+  // corrupt/truncate (those are opt-in via spec — they sever connections,
+  // which some harnesses don't want by default).
+  static NetFaultPlan FromSeed(std::uint64_t seed);
+
+  std::string Describe() const;
+};
+
+// Per-transport instance of a plan. Thread-safe; SendLoop threads (one per
+// destination) call Apply for each assembled frame and MessageBlocked for
+// each queued message, and the link observer hears partition edges so the
+// membership layer can enter/leave kDisconnected without waiting for
+// heartbeat silence.
+class NetFaultEngine {
+ public:
+  explicit NetFaultEngine(NetFaultPlan plan);
+
+  // What to do with the next outgoing frame to |dst|. At most one
+  // connection-affecting fault (reset/truncate/corrupt/drop) fires per frame;
+  // delay/duplicate/reorder may ride along with each other. Every fired fault
+  // is counted and reflected in the returned decision.
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    bool reorder = false;
+    bool corrupt = false;
+    bool truncate = false;
+    bool reset = false;
+    double delay_ms = 0.0;
+    std::uint64_t serial = 0;  // Per-link frame serial that drove the draws.
+    std::uint64_t draw = 0;    // Raw entropy for byte-position choices.
+    int faults = 0;            // Number of faults fired on this frame.
+
+    bool any() const { return faults > 0; }
+  };
+  Decision Apply(int dst, std::size_t frame_bytes);
+
+  // True while an active partition window black-holes src->dst. Counts a
+  // kPartitionDrop when it blocks. Also advances the observer (below) on any
+  // partition-window edge it notices.
+  bool MessageBlocked(int src, int dst);
+
+  // False while a partition makes dialing src->dst pointless (one-way
+  // src->dst or either direction of a two-way window). Counts a
+  // kConnectRefused fault when it refuses.
+  bool ConnectAllowed(int src, int dst);
+
+  // Re-evaluates partition windows against the clock and fires the observer
+  // for every window that opened or healed since the last look. Called
+  // internally from Apply/MessageBlocked; harnesses may call it directly to
+  // tighten edge latency.
+  void PollPartitions();
+
+  // Fired (from the caller's thread) on partition edges with the *impaired*
+  // node of the window — the specific endpoint a one-way rule cuts off (its
+  // `a`, or `b` when `a` is the wildcard). blocked=true when the window
+  // opens, false when it heals. Fully-wildcard rules have no impaired node
+  // and fire nothing.
+  using LinkObserver = std::function<void(int node, bool blocked)>;
+  void set_link_observer(LinkObserver observer);
+
+  const NetFaultPlan& plan() const { return plan_; }
+  double ElapsedMs() const;
+
+  std::uint64_t faults_injected() const {
+    return total_faults_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t FaultCount(NetFaultKind kind) const {
+    return counts_[static_cast<int>(kind)].load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool Hit(double p, int dst, std::uint64_t serial, NetFaultKind kind) const;
+  std::uint64_t DrawFor(int dst, std::uint64_t serial, NetFaultKind kind) const;
+  void Count(NetFaultKind kind);
+
+  const NetFaultPlan plan_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  std::mutex mu_;
+  std::unordered_map<int, std::uint64_t> serials_;  // dst -> next frame serial
+  std::vector<bool> window_open_;  // Last observed state per plan partition.
+  LinkObserver observer_;
+
+  std::atomic<std::uint64_t> total_faults_{0};
+  std::atomic<std::uint64_t> counts_[static_cast<int>(NetFaultKind::kKindCount)] = {};
+};
+
+}  // namespace itask::net
+
+#endif  // ITASK_NET_FAULT_ENGINE_H_

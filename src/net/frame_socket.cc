@@ -1,10 +1,13 @@
 #include "net/frame_socket.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -104,6 +107,32 @@ bool FrameSocket::SendFrame(const common::ByteBuffer& payload, bool compression)
   return true;
 }
 
+bool FrameSocket::EncodeWire(const common::ByteBuffer& payload, bool compression,
+                             std::vector<std::uint8_t>* wire) {
+  common::ByteBuffer framed;
+  io::FrameCodec::Encode(payload, &framed, compression);
+  if (framed.size() > kMaxFrameBytes) {
+    LOG_WARN() << "net: refusing to encode oversized frame (" << framed.size() << " bytes)";
+    return false;
+  }
+  const auto frame_len = static_cast<std::uint32_t>(framed.size());
+  wire->resize(4 + framed.size());
+  std::memcpy(wire->data(), &frame_len, 4);
+  std::memcpy(wire->data() + 4, framed.data(), framed.size());
+  return true;
+}
+
+bool FrameSocket::SendRaw(const std::uint8_t* data, std::size_t n) {
+  if (fd_ < 0) {
+    return false;
+  }
+  if (!WriteAll(fd_, data, n)) {
+    return false;
+  }
+  wire_bytes_sent_ += n;
+  return true;
+}
+
 bool FrameSocket::RecvFrame(common::ByteBuffer* out) {
   if (fd_ < 0) {
     return false;
@@ -129,6 +158,54 @@ bool FrameSocket::RecvFrame(common::ByteBuffer* out) {
       return true;
     }
   }
+}
+
+bool ConnectWithTimeout(int fd, const void* addr, std::uint32_t addr_len,
+                        int timeout_ms) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return false;
+  }
+  bool connected = false;
+  const int rc = ::connect(fd, static_cast<const sockaddr*>(addr),
+                           static_cast<socklen_t>(addr_len));
+  if (rc == 0) {
+    connected = true;
+  } else if (errno == EINPROGRESS || errno == EINTR) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const auto left = deadline - std::chrono::steady_clock::now();
+      const auto left_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(left).count();
+      if (left_ms <= 0) {
+        break;  // Deadline: a black-holed SYN stops here, not at the kernel's.
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(left_ms));
+      if (ready < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        break;
+      }
+      if (ready == 0) {
+        break;  // poll timeout — loop recomputes and exits on the deadline.
+      }
+      int so_error = 0;
+      socklen_t err_len = sizeof(so_error);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &err_len) == 0 &&
+          so_error == 0) {
+        connected = true;
+      }
+      break;
+    }
+  }
+  // Restore blocking mode; the frame I/O paths rely on it.
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    return false;
+  }
+  return connected;
 }
 
 }  // namespace itask::net

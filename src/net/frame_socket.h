@@ -63,6 +63,17 @@ class FrameSocket {
   // closed; other I/O errors also report false after logging.
   bool SendFrame(const common::ByteBuffer& payload, bool compression = false);
 
+  // Produces the exact wire image SendFrame would write (length prefix +
+  // checksummed frame) without sending it. The fault engine mutates this
+  // image — post-framing, so an injected bit flip is always caught by the
+  // frame checksum at the receiver, never decoded as silently-wrong payload.
+  static bool EncodeWire(const common::ByteBuffer& payload, bool compression,
+                         std::vector<std::uint8_t>* wire);
+
+  // Writes |n| pre-framed wire bytes as-is (EINTR-safe, MSG_NOSIGNAL). Same
+  // return contract as SendFrame.
+  bool SendRaw(const std::uint8_t* data, std::size_t n);
+
   // Blocks until one full frame arrives and decodes its payload into |out|.
   // Returns false on clean EOF or peer reset. Throws on a corrupt frame.
   bool RecvFrame(common::ByteBuffer* out);
@@ -81,6 +92,13 @@ class FrameSocket {
   std::uint64_t wire_bytes_sent_ = 0;
   std::uint64_t wire_bytes_received_ = 0;
 };
+
+// Connects |fd| to |addr| without ever blocking the caller past
+// |timeout_ms|: non-blocking connect, poll for writability with a deadline,
+// then SO_ERROR check. On success the fd is back in blocking mode. A
+// black-holed peer (SYN into a partition) costs the timeout, not forever.
+bool ConnectWithTimeout(int fd, const void* addr, std::uint32_t addr_len,
+                        int timeout_ms);
 
 }  // namespace itask::net
 

@@ -23,11 +23,14 @@ enum class MsgKind : std::uint8_t {
   kShuffleData = 0,  // Ledger delivery: payload = serialized partition bytes.
   kShuffleAck,       // Receiver's delivery verdict (see AckStatus in |a|).
   kHeartbeat,        // a=heap used bytes, b=heap capacity bytes.
-  kJoin,             // Control: text=node name, a=heap capacity.
+  kJoin,             // Control: text=node name, a=heap capacity,
+                     // b=previous node id + 1 for a session resume (0=fresh).
   kJoinAck,          // Control: a=assigned node id, b=cluster size,
                      // c=server steady-clock now (ns) for epoch alignment.
   kDispatch,         // Control: text=app name, payload=serialized job config.
-  kResult,           // Control: a=checksum, b=records, c=1 on success.
+  kResult,           // Control: a=checksum, b=records,
+                     // c=(result seq << 1) | success — the seq dedups
+                     // re-shipped results after a ctrl reconnect.
   kBye,              // Control: orderly leave.
   kMetrics,          // Control: payload=EncodeRunMetrics snapshot (telemetry
                      // shipping, piggybacked on the heartbeat cadence).

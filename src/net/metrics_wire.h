@@ -24,7 +24,7 @@
 namespace itask::net {
 
 // Bump on any layout change; decode is strict (same policy as JobSpec).
-inline constexpr std::uint32_t kMetricsWireVersion = 1;
+inline constexpr std::uint32_t kMetricsWireVersion = 2;
 
 namespace metrics_wire_detail {
 
@@ -108,6 +108,11 @@ inline void EncodeRunMetrics(const common::RunMetrics& m, common::ByteBuffer* ou
   w.WriteVarint(m.events_dropped);
   w.WriteVarint(m.result_checksum);
   w.WriteVarint(m.result_records);
+  w.WriteVarint(m.net_faults_injected);
+  w.WriteVarint(m.ctrl_reconnects);
+  w.WriteVarint(m.partitions_healed);
+  w.WriteVarint(m.backoff_retries);
+  w.WriteVarint(m.backoff_giveups);
   metrics_wire_detail::WriteHist(w, m.gc_pause_hist);
   metrics_wire_detail::WriteHist(w, m.interrupt_latency_hist);
   metrics_wire_detail::WriteHist(w, m.io_read_stall_hist);
@@ -166,6 +171,11 @@ inline common::RunMetrics DecodeRunMetrics(common::ByteBuffer* buf) {
   m.events_dropped = r.ReadVarint();
   m.result_checksum = r.ReadVarint();
   m.result_records = r.ReadVarint();
+  m.net_faults_injected = r.ReadVarint();
+  m.ctrl_reconnects = r.ReadVarint();
+  m.partitions_healed = r.ReadVarint();
+  m.backoff_retries = r.ReadVarint();
+  m.backoff_giveups = r.ReadVarint();
   m.gc_pause_hist = metrics_wire_detail::ReadHist(r);
   m.interrupt_latency_hist = metrics_wire_detail::ReadHist(r);
   m.io_read_stall_hist = metrics_wire_detail::ReadHist(r);

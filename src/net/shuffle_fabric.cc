@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "common/backoff.h"
 #include "common/logging.h"
 #include "obs/span.h"
 
@@ -40,6 +41,15 @@ ShuffleFabric::ShuffleFabric(const NetConfig& config, core::RecoveryContext* rec
     transport_->Send(std::move(hb));  // Droppable: never block the monitor.
   });
   recovery_->SetNodeLostHook([this](int node) { CloseNode(node); });
+  // Partition edges from the transport's fault engine feed the membership
+  // view: a blocked link parks the node in kDisconnected (grace window)
+  // instead of letting silence walk it straight to kDead. Heal needs no
+  // explicit hook — resumed heartbeats clear the state in the coordinator.
+  transport_->SetLinkObserver([this](int node, bool blocked) {
+    if (blocked) {
+      recovery_->NoteLinkDown(node);
+    }
+  });
 }
 
 ShuffleFabric::~ShuffleFabric() {
@@ -96,11 +106,18 @@ core::DeliveryStatus ShuffleFabric::Deliver(int target, const core::ShuffleWireI
   }
 
   std::unique_lock<std::mutex> lock(ack_mu_);
-  const bool acked =
-      ack_cv_.wait_for(lock, std::chrono::milliseconds(config_.ack_timeout_ms),
-                       [this, &key] { return ack_results_.count(key) != 0; });
+  // Shared deadline helper instead of one fixed wait_for: the predicate is
+  // rechecked after every wakeup, so a spurious (or unrelated-ack) wakeup
+  // never eats the rest of the timeout budget.
+  const common::Deadline deadline(static_cast<double>(config_.ack_timeout_ms));
+  bool acked = ack_results_.count(key) != 0;
+  while (!acked && !deadline.Expired()) {
+    ack_cv_.wait_until(lock, deadline.until());
+    acked = ack_results_.count(key) != 0;
+  }
   if (!acked) {
     ack_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    common::BackoffRegistry::Instance().NoteRetry(common::BackoffUse::kShuffleAck);
     return core::DeliveryStatus::kBackoff;  // Retry: dedup absorbs the resend.
   }
   const AckStatus status = ack_results_[key];

@@ -25,8 +25,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "common/backoff.h"
 #include "common/env.h"
 #include "common/logging.h"
+#include "net/fault_engine.h"
 #include "net/frame_socket.h"
 
 namespace itask::net {
@@ -68,8 +70,21 @@ NetConfig NetConfigFromEnv(NetConfig base) {
   base.flush_us = std::max(1, common::EnvInt("ITASK_NET_FLUSH_US", base.flush_us));
   base.compression = common::EnvBool("ITASK_NET_COMPRESSION", base.compression);
   base.port = common::EnvInt("ITASK_NET_PORT", base.port);
+  base.bind_host = common::EnvString("ITASK_NET_BIND_HOST", base.bind_host);
+  base.connect_timeout_ms =
+      std::max(1, common::EnvInt("ITASK_NET_CONNECT_TIMEOUT_MS", base.connect_timeout_ms));
   base.drop_rx_frame_every =
       std::max(0, common::EnvInt("ITASK_NET_DROP_RX_FRAME_EVERY", base.drop_rx_frame_every));
+  const std::string fault_spec = common::EnvString("ITASK_NET_FAULT_SPEC", "");
+  if (!fault_spec.empty()) {
+    std::string err;
+    if (!NetFaultPlan::FromSpec(fault_spec, &base.fault_plan, &err)) {
+      LOG_WARN() << "env: ignoring ITASK_NET_FAULT_SPEC: " << err;
+    }
+  } else if (const std::uint64_t fault_seed =
+                 common::EnvU64("ITASK_NET_FAULT_SEED", 0)) {
+    base.fault_plan = NetFaultPlan::FromSeed(fault_seed);
+  }
   return base;
 }
 
@@ -183,7 +198,16 @@ class SocketTransport final : public Transport {
   explicit SocketTransport(const NetConfig& config)
       : config_(config),
         serial_(g_transport_serial.fetch_add(1) + 1),
-        depth_hist_(QueueDepthBounds()) {}
+        depth_hist_(QueueDepthBounds()),
+        send_retry_policy_(common::BackoffPolicy::FromEnv(
+            "ITASK_NET_SEND_RETRY",
+            common::BackoffPolicy{/*base_ms=*/1.0, /*cap_ms=*/128.0,
+                                  /*multiplier=*/2.0, /*jitter=*/0.25,
+                                  /*max_attempts=*/-1, /*deadline_ms=*/0.0})) {
+    if (config_.fault_plan.active()) {
+      faults_ = std::make_unique<NetFaultEngine>(config_.fault_plan);
+    }
+  }
 
   ~SocketTransport() override {
     {
@@ -334,11 +358,22 @@ class SocketTransport final : public Transport {
     }
   }
 
-  TransportStats Stats() const override { return counters_.Snapshot(depth_hist_); }
+  TransportStats Stats() const override {
+    TransportStats s = counters_.Snapshot(depth_hist_);
+    if (faults_) {
+      s.faults_injected = faults_->faults_injected();
+    }
+    return s;
+  }
   TransportKind kind() const override { return config_.kind; }
   void SetEventSink(EventSink sink) override {
     std::lock_guard<std::mutex> lock(mu_);
     sink_ = std::move(sink);
+  }
+  void SetLinkObserver(LinkObserver observer) override {
+    if (faults_) {
+      faults_->set_link_observer(std::move(observer));
+    }
   }
 
  private:
@@ -373,6 +408,18 @@ class SocketTransport final : public Transport {
     if (sink) {
       sink(endpoint, kind, a, b);
     }
+  }
+
+  // Resolves config_.bind_host (IPv4 dotted quad) in network byte order;
+  // falls back to loopback, loudly, on a host the parser rejects.
+  in_addr_t BindAddr() const {
+    in_addr parsed{};
+    if (::inet_pton(AF_INET, config_.bind_host.c_str(), &parsed) == 1) {
+      return parsed.s_addr;
+    }
+    LOG_WARN() << "net: bad bind host \"" << config_.bind_host
+               << "\"; using loopback";
+    return htonl(INADDR_LOOPBACK);
   }
 
   std::string UdsPath(int endpoint) const {
@@ -411,7 +458,7 @@ class SocketTransport final : public Transport {
     ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_addr.s_addr = BindAddr();
     // With a configured base port, endpoints bind base+index; otherwise the
     // kernel hands out ephemeral ports (collision-free across tenants).
     addr.sin_port =
@@ -453,7 +500,7 @@ class SocketTransport final : public Transport {
       sockaddr_un addr{};
       addr.sun_family = AF_UNIX;
       std::strncpy(addr.sun_path, uds_path.c_str(), sizeof(addr.sun_path) - 1);
-      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      if (!ConnectWithTimeout(fd, &addr, sizeof(addr), config_.connect_timeout_ms)) {
         ::close(fd);
         return -1;
       }
@@ -465,9 +512,9 @@ class SocketTransport final : public Transport {
     }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_addr.s_addr = BindAddr();
     addr.sin_port = htons(static_cast<std::uint16_t>(port));
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (!ConnectWithTimeout(fd, &addr, sizeof(addr), config_.connect_timeout_ms)) {
       ::close(fd);
       return -1;
     }
@@ -497,6 +544,19 @@ class SocketTransport final : public Transport {
            receivers_.find(endpoint) == receivers_.end();
   }
 
+  // Writes |wire| (a pre-framed image) and updates the frame counters.
+  bool SendWire(FrameSocket& conn, SendQueue* q, const std::vector<std::uint8_t>& wire,
+                std::size_t batch_msgs) {
+    if (!conn.SendRaw(wire.data(), wire.size())) {
+      return false;
+    }
+    counters_.frames_sent.fetch_add(1, std::memory_order_relaxed);
+    counters_.bytes_sent.fetch_add(wire.size(), std::memory_order_relaxed);
+    counters_.flushes.fetch_add(1, std::memory_order_relaxed);
+    EmitEvent(q->dst, obs::EventKind::kNetFlush, batch_msgs, wire.size());
+    return true;
+  }
+
   // Sender thread: drain the queue into batches of <= batch_bytes, one
   // checksummed frame per batch. A failed connect/send to a still-registered
   // endpoint is transient — the receiver sheds connections on corrupt frames
@@ -504,15 +564,26 @@ class SocketTransport final : public Transport {
   // and retried after a capped backoff. Only an endpoint that is actually
   // closed (or transport shutdown) kills the queue: Send() returning false
   // is treated as peer-gone by the shuffle fabric, and a false peer-gone for
-  // a live node would silently lose committed shuffle data.
+  // a live node would silently lose committed shuffle data. The fault engine
+  // honors the same contract: every injected fault lands either here (silent
+  // loss, recovered by the ledger's ack-timeout redelivery) or on the requeue
+  // path below — never as a fabricated peer-gone.
   void SendLoop(SendQueue* q) {
     FrameSocket conn;
-    int failures = 0;
+    std::optional<common::Backoff> retry;
+    // Reorder injection parks one wire frame here; it goes out after its
+    // successor, or on the next idle tick if no successor shows up.
+    std::vector<std::uint8_t> held;
     for (;;) {
       std::vector<Message> batch;
       {
         std::unique_lock<std::mutex> qlock(q->mu);
-        q->not_empty.wait(qlock, [q] { return q->dead || !q->msgs.empty(); });
+        if (held.empty()) {
+          q->not_empty.wait(qlock, [q] { return q->dead || !q->msgs.empty(); });
+        } else {
+          q->not_empty.wait_for(qlock, std::chrono::microseconds(config_.flush_us),
+                                [q] { return q->dead || !q->msgs.empty(); });
+        }
         if (q->dead && q->msgs.empty()) {
           return;
         }
@@ -529,6 +600,24 @@ class SocketTransport final : public Transport {
         q->not_full.notify_all();
       }
 
+      // Partition black-hole: drop blocked messages on the floor, silently.
+      // The sender "succeeds" — only heartbeat silence and ledger ack
+      // timeouts reveal the hole, exactly like a real partition.
+      if (faults_ && !batch.empty()) {
+        std::vector<Message> kept;
+        kept.reserve(batch.size());
+        for (Message& m : batch) {
+          if (faults_->MessageBlocked(m.src, q->dst)) {
+            EmitEvent(q->dst, obs::EventKind::kNetFaultInjected,
+                      static_cast<std::uint64_t>(NetFaultKind::kPartitionDrop),
+                      m.payload.size());
+          } else {
+            kept.push_back(std::move(m));
+          }
+        }
+        batch = std::move(kept);
+      }
+
       if (!conn.valid()) {
         const int fd = ConnectTo(q->dst);
         if (fd >= 0) {
@@ -536,20 +625,87 @@ class SocketTransport final : public Transport {
         }
       }
       bool ok = conn.valid();
-      if (ok) {
-        common::ByteBuffer wire;
+      bool parked_this_round = false;
+      if (ok && !batch.empty()) {
+        common::ByteBuffer payload;
         for (const Message& m : batch) {
-          EncodeMessage(m, &wire);
+          EncodeMessage(m, &payload);
         }
-        const std::uint64_t before = conn.wire_bytes_sent();
-        ok = conn.SendFrame(wire, config_.compression);
-        if (ok) {
-          const std::uint64_t frame_bytes = conn.wire_bytes_sent() - before;
-          counters_.frames_sent.fetch_add(1, std::memory_order_relaxed);
-          counters_.bytes_sent.fetch_add(frame_bytes, std::memory_order_relaxed);
-          counters_.flushes.fetch_add(1, std::memory_order_relaxed);
-          EmitEvent(q->dst, obs::EventKind::kNetFlush, batch.size(), frame_bytes);
+        NetFaultEngine::Decision d;
+        if (faults_) {
+          d = faults_->Apply(q->dst, payload.size());
+          if (d.any()) {
+            EmitEvent(q->dst, obs::EventKind::kNetFaultInjected, d.serial,
+                      static_cast<std::uint64_t>(d.faults));
+          }
+          if (d.delay_ms > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(d.delay_ms));
+          }
         }
+        if (d.reset) {
+          // Connection torn down before the write: the batch requeues below
+          // and the reconnect path retries it.
+          conn.Close();
+          ok = false;
+        } else if (d.drop) {
+          // Silent loss: the sender believes it sent. Ledger recovers.
+          ok = true;
+        } else if (!faults_) {
+          const std::uint64_t before = conn.wire_bytes_sent();
+          ok = conn.SendFrame(payload, config_.compression);
+          if (ok) {
+            const std::uint64_t frame_bytes = conn.wire_bytes_sent() - before;
+            counters_.frames_sent.fetch_add(1, std::memory_order_relaxed);
+            counters_.bytes_sent.fetch_add(frame_bytes, std::memory_order_relaxed);
+            counters_.flushes.fetch_add(1, std::memory_order_relaxed);
+            EmitEvent(q->dst, obs::EventKind::kNetFlush, batch.size(), frame_bytes);
+          }
+        } else {
+          std::vector<std::uint8_t> wire;
+          if (!FrameSocket::EncodeWire(payload, config_.compression, &wire)) {
+            ok = false;
+          } else if (d.truncate && wire.size() > 1) {
+            // Partial write then sever: the receiver holds an incomplete
+            // frame, sees EOF, and discards it; the batch requeues below.
+            const std::size_t prefix = 1 + d.draw % (wire.size() - 1);
+            conn.SendRaw(wire.data(), prefix);
+            conn.Close();
+            ok = false;
+          } else {
+            if (d.corrupt && wire.size() > 4) {
+              // Post-framing bit flip (past the length prefix): the frame
+              // checksum catches it at the receiver, which sheds the
+              // connection — injected corruption can cost delivery, never
+              // payload integrity.
+              wire[4 + d.draw % (wire.size() - 4)] ^= 0x20;
+            }
+            if (d.reorder && held.empty()) {
+              held = std::move(wire);
+              parked_this_round = true;
+              ok = true;
+            } else {
+              ok = SendWire(conn, q, wire, batch.size());
+              if (ok && d.duplicate) {
+                // Second copy of the same frame: receiver-side (node, split,
+                // epoch, seq) dedup must absorb it. A failed dup write only
+                // breaks the connection — the original already landed.
+                if (!conn.SendRaw(wire.data(), wire.size())) {
+                  conn.Close();
+                }
+              }
+            }
+          }
+        }
+      }
+      // Release any parked frame once its successor went out (or on an idle
+      // tick with nothing else to send). A failure here is silent loss of an
+      // already-acknowledged-to-producer frame — the ledger recovers it.
+      if (ok && !held.empty() && !parked_this_round && conn.valid()) {
+        if (!conn.SendRaw(held.data(), held.size())) {
+          conn.Close();
+        }
+        held.clear();
       }
 
       if (!ok) {
@@ -572,18 +728,25 @@ class SocketTransport final : public Transport {
           q->drained.notify_all();
           return;
         }
-        // Still registered: requeue the batch in order and reconnect after
-        // a capped exponential backoff (cut short if the queue is stopped).
+        // Still registered: requeue the batch in order and reconnect after a
+        // jittered capped backoff (cut short if the queue is stopped). The
+        // policy is unlimited — only real endpoint closure ends the loop.
         counters_.send_retries.fetch_add(1, std::memory_order_relaxed);
         for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
           q->msgs.push_front(std::move(*it));
         }
-        failures = std::min(failures + 1, 7);
-        q->not_empty.wait_for(qlock, std::chrono::milliseconds(1 << failures),
+        if (!retry) {
+          retry.emplace(common::BackoffUse::kSendRetry, send_retry_policy_,
+                        static_cast<std::uint64_t>(q->dst + 2));
+        }
+        double delay_ms = 1.0;
+        retry->Next(&delay_ms);
+        q->not_empty.wait_for(qlock,
+                              std::chrono::duration<double, std::milli>(delay_ms),
                               [q] { return q->dead; });
         continue;
       }
-      failures = 0;
+      retry.reset();
 
       std::unique_lock<std::mutex> qlock(q->mu);
       q->sending = false;
@@ -683,6 +846,7 @@ class SocketTransport final : public Transport {
 
   const NetConfig config_;
   const std::uint64_t serial_;
+  std::unique_ptr<NetFaultEngine> faults_;  // Null when the plan is inactive.
   mutable std::mutex mu_;
   std::map<int, std::unique_ptr<Receiver>> receivers_;
   std::map<int, std::shared_ptr<SendQueue>> senders_;
@@ -691,6 +855,7 @@ class SocketTransport final : public Transport {
   EventSink sink_;
   StatCounters counters_;
   obs::Histogram depth_hist_;
+  common::BackoffPolicy send_retry_policy_;
   // Decoded-frame serial across all receivers, for drop_rx_frame_every.
   std::atomic<std::uint64_t> rx_frame_serial_{0};
 };

@@ -31,6 +31,7 @@
 #include <string>
 #include <string_view>
 
+#include "net/fault_engine.h"
 #include "net/message.h"
 #include "obs/event.h"
 #include "obs/histogram.h"
@@ -62,18 +63,29 @@ struct NetConfig {
   int flush_us = 200;                   // Sender wait granularity when idle.
   bool compression = false;             // RLE-compress frames on the wire.
   int port = 0;                         // TCP base port; 0 = ephemeral.
+  // TCP bind/connect host for cross-host operation; loopback by default.
+  std::string bind_host = "127.0.0.1";
+  // Ceiling on one dial attempt: a black-holed SYN costs this much, not
+  // forever (non-blocking connect + poll; see ConnectWithTimeout).
+  int connect_timeout_ms = 1000;
   // Fault injection (tests/chaos): the receiver discards every Nth decoded
   // frame and sheds its connection, exactly like the corrupt-frame path —
   // senders must reconnect and the shuffle ledger must recover the loss.
   // 0 disables.
   int drop_rx_frame_every = 0;
+  // Seeded sender-side fault plan (drop/delay/reorder/dup/corrupt/truncate/
+  // reset + timed partitions). Inactive by default; see net/fault_engine.h.
+  NetFaultPlan fault_plan;
 };
 
 // Reads the ITASK_NET_* knob family (strict parsing via common/env.h):
 //   ITASK_NET_TRANSPORT   inproc|tcp|uds
 //   ITASK_NET_BATCH_BYTES ITASK_NET_QUEUE_CAP ITASK_NET_ACK_TIMEOUT_MS
 //   ITASK_NET_FLUSH_US    ITASK_NET_COMPRESSION ITASK_NET_PORT
+//   ITASK_NET_BIND_HOST   ITASK_NET_CONNECT_TIMEOUT_MS
 //   ITASK_NET_DROP_RX_FRAME_EVERY (fault injection; 0 = off)
+//   ITASK_NET_FAULT_SPEC  (NetFaultPlan spec string; see net/fault_engine.h)
+//   ITASK_NET_FAULT_SEED  (derive a plan from a bare seed; 0 = off)
 NetConfig NetConfigFromEnv(NetConfig base = NetConfig{});
 
 // Mechanical counters; semantic counters (dup payloads dropped, redeliveries)
@@ -92,6 +104,7 @@ struct TransportStats {
   std::uint64_t heartbeats_dropped = 0;  // Probes shed instead of blocking.
   std::uint64_t peer_gone_drops = 0;  // Sends to closed/unknown endpoints.
   std::uint64_t checksum_failures = 0;  // Corrupt frames (connection dropped).
+  std::uint64_t faults_injected = 0;  // Fault-engine decisions that fired.
   obs::HistogramSnapshot queue_depth_hist;  // Depth observed at each enqueue.
 };
 
@@ -136,6 +149,13 @@ class Transport {
   virtual TransportKind kind() const = 0;
 
   virtual void SetEventSink(EventSink sink) = 0;
+
+  // Partition-edge hook: fired with (node, blocked) when the fault plan opens
+  // or heals a partition window impairing |node|. Lets the membership layer
+  // enter/leave kDisconnected without waiting out heartbeat silence. Default
+  // no-op — only fault-injecting backends report link state.
+  using LinkObserver = std::function<void(int, bool)>;
+  virtual void SetLinkObserver(LinkObserver observer) { (void)observer; }
 };
 
 std::unique_ptr<Transport> MakeTransport(const NetConfig& config);

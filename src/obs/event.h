@@ -56,6 +56,9 @@ enum class EventKind : std::uint8_t {
   kMsgSend,              // aux=FlowAux(peer, msg kind), a=span id, b=payload bytes;
                          // flags&kFlagMigration when the payload is a migrating partition
   kMsgRecv,              // same encoding, emitted at receipt; a pairs it with its kMsgSend
+  kNetFaultInjected,     // aux=FaultAux(dst, fault kind), a=frame serial, b=payload bytes affected
+  kCtrlReconnect,        // aux=node id, a=attempts used, b=results re-shipped on resume
+  kPartitionHealed,      // aux=node id, a=disconnected_ns before the heal
   kKindCount,            // sentinel — keep last
 };
 
@@ -155,6 +158,9 @@ constexpr const char* EventKindName(EventKind kind) {
     case EventKind::kMigrationRejected: return "migration_rejected";
     case EventKind::kMsgSend: return "msg_send";
     case EventKind::kMsgRecv: return "msg_recv";
+    case EventKind::kNetFaultInjected: return "net_fault_injected";
+    case EventKind::kCtrlReconnect: return "ctrl_reconnect";
+    case EventKind::kPartitionHealed: return "partition_healed";
     case EventKind::kKindCount: break;
   }
   return "unknown";

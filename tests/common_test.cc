@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/blocking_queue.h"
 #include "common/byte_buffer.h"
 #include "common/env.h"
@@ -283,6 +284,121 @@ TEST(EnvParseTest, EnvHelpersFallBackOnGarbageAndUnset) {
   setenv("ITASK_TEST_ENV_KNOB", "  ", 1);  // Whitespace-only = unset.
   EXPECT_EQ(EnvInt("ITASK_TEST_ENV_KNOB", 5), 5);
   unsetenv("ITASK_TEST_ENV_KNOB");
+}
+
+// ---- Unified retry/deadline policy (common/backoff.h) ----
+
+TEST(BackoffTest, DelayIsDeterministicAndWithinJitterBounds) {
+  BackoffPolicy policy;
+  policy.base_ms = 2.0;
+  policy.cap_ms = 64.0;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.25;
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    const double ms = BackoffDelayMs(policy, attempt, /*salt=*/42);
+    // Pure function: same (policy, attempt, salt) -> same delay.
+    EXPECT_DOUBLE_EQ(ms, BackoffDelayMs(policy, attempt, 42)) << attempt;
+    // Within +/- jitter of the capped exponential.
+    double nominal = policy.base_ms;
+    for (int i = 1; i < attempt; ++i) {
+      nominal = std::min(nominal * policy.multiplier, policy.cap_ms);
+    }
+    EXPECT_GE(ms, nominal * (1.0 - policy.jitter)) << attempt;
+    EXPECT_LE(ms, nominal * (1.0 + policy.jitter)) << attempt;
+  }
+  // Late attempts saturate at the cap (modulo jitter), never beyond.
+  EXPECT_LE(BackoffDelayMs(policy, 50, 42), policy.cap_ms * (1.0 + policy.jitter));
+}
+
+TEST(BackoffTest, ZeroJitterFollowsExactExponential) {
+  BackoffPolicy policy;
+  policy.base_ms = 1.0;
+  policy.cap_ms = 8.0;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 2, 0), 2.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 3, 0), 4.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 4, 0), 8.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 9, 0), 8.0);  // Capped.
+}
+
+TEST(BackoffTest, SaltsDecorrelateJitterStreams) {
+  BackoffPolicy policy;  // Default 25% jitter.
+  int differing = 0;
+  for (int attempt = 1; attempt <= 20; ++attempt) {
+    if (BackoffDelayMs(policy, attempt, 1) != BackoffDelayMs(policy, attempt, 2)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 10);  // Two salts share at most a few collisions.
+}
+
+TEST(BackoffTest, SessionExhaustsAfterMaxAttemptsWithSingleGiveup) {
+  const auto use = static_cast<int>(BackoffUse::kSendRetry);
+  const BackoffRegistry::Snapshot before = BackoffRegistry::Instance().snapshot();
+  BackoffPolicy policy;
+  policy.base_ms = 0.01;
+  policy.cap_ms = 0.02;
+  policy.jitter = 0.0;
+  policy.max_attempts = 3;
+  Backoff session(BackoffUse::kSendRetry, policy, /*salt=*/7);
+  double ms = 0.0;
+  EXPECT_TRUE(session.Next(&ms));
+  EXPECT_TRUE(session.Next(&ms));
+  EXPECT_TRUE(session.Next(&ms));
+  EXPECT_EQ(session.attempts(), 3);
+  // Exhausted: false now and forever, but the giveup is counted exactly once.
+  EXPECT_FALSE(session.Next(&ms));
+  EXPECT_FALSE(session.Next(&ms));
+  const BackoffRegistry::Snapshot after = BackoffRegistry::Instance().snapshot();
+  EXPECT_EQ(after.retries[use] - before.retries[use], 3u);
+  EXPECT_EQ(after.giveups[use] - before.giveups[use], 1u);
+  EXPECT_GE(after.total_retries(), before.total_retries() + 3);
+}
+
+TEST(BackoffTest, DeadlineBudgetExpiresAndEndsTheSession) {
+  const Deadline unlimited;
+  EXPECT_TRUE(unlimited.unlimited());
+  EXPECT_FALSE(unlimited.Expired());
+
+  Deadline tight(3.0);
+  EXPECT_FALSE(tight.unlimited());
+  EXPECT_LE(tight.RemainingMs(), 3.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(tight.Expired());
+  EXPECT_DOUBLE_EQ(tight.RemainingMs(), 0.0);
+
+  // A session under a blown deadline gives up even with unlimited attempts.
+  BackoffPolicy policy;
+  policy.base_ms = 0.01;
+  policy.max_attempts = -1;
+  policy.deadline_ms = 2.0;
+  Backoff session(BackoffUse::kLoadRetry, policy, /*salt=*/1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(4));
+  double ms = 0.0;
+  EXPECT_FALSE(session.Next(&ms));
+}
+
+TEST(BackoffTest, PolicyFromEnvOverridesEachKnob) {
+  setenv("ITASK_TEST_BACKOFF_BASE_MS", "9.5", 1);
+  setenv("ITASK_TEST_BACKOFF_CAP_MS", "77", 1);
+  setenv("ITASK_TEST_BACKOFF_ATTEMPTS", "11", 1);
+  setenv("ITASK_TEST_BACKOFF_DEADLINE_MS", "1234", 1);
+  const BackoffPolicy p = BackoffPolicy::FromEnv("ITASK_TEST_BACKOFF", BackoffPolicy{});
+  EXPECT_DOUBLE_EQ(p.base_ms, 9.5);
+  EXPECT_DOUBLE_EQ(p.cap_ms, 77.0);
+  EXPECT_EQ(p.max_attempts, 11);
+  EXPECT_DOUBLE_EQ(p.deadline_ms, 1234.0);
+  unsetenv("ITASK_TEST_BACKOFF_BASE_MS");
+  unsetenv("ITASK_TEST_BACKOFF_CAP_MS");
+  unsetenv("ITASK_TEST_BACKOFF_ATTEMPTS");
+  unsetenv("ITASK_TEST_BACKOFF_DEADLINE_MS");
+  // Absent env: the base policy passes through untouched.
+  const BackoffPolicy untouched =
+      BackoffPolicy::FromEnv("ITASK_TEST_BACKOFF", BackoffPolicy{});
+  EXPECT_DOUBLE_EQ(untouched.base_ms, BackoffPolicy{}.base_ms);
+  EXPECT_EQ(untouched.max_attempts, BackoffPolicy{}.max_attempts);
 }
 
 }  // namespace

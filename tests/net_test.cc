@@ -23,6 +23,7 @@
 #include "cluster/failure_model.h"
 #include "io/frame_codec.h"
 #include "net/ctrl.h"
+#include "net/fault_engine.h"
 #include "net/frame_socket.h"
 #include "net/job_wire.h"
 #include "net/message.h"
@@ -477,6 +478,176 @@ INSTANTIATE_TEST_SUITE_P(Backends, SocketTransportTest,
                            return std::string(TransportKindName(info.param));
                          });
 
+// ---- Seeded network-fault engine (DESIGN.md §16) ----
+
+TEST(NetFaultPlan, SpecRoundTripsEveryClause) {
+  NetFaultPlan plan;
+  std::string err;
+  ASSERT_TRUE(NetFaultPlan::FromSpec(
+      "seed=42,drop=0.01,reorder=0.02,dup=0.03,corrupt=0.004,trunc=0.005,"
+      "reset=0.006,delay=0.1:2:1,part=0>2@50+100,part=*<>3@10+0,ctrldrop=1@75",
+      &plan, &err))
+      << err;
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_DOUBLE_EQ(plan.drop, 0.01);
+  EXPECT_DOUBLE_EQ(plan.reorder, 0.02);
+  EXPECT_DOUBLE_EQ(plan.duplicate, 0.03);
+  EXPECT_DOUBLE_EQ(plan.corrupt, 0.004);
+  EXPECT_DOUBLE_EQ(plan.truncate, 0.005);
+  EXPECT_DOUBLE_EQ(plan.reset, 0.006);
+  EXPECT_DOUBLE_EQ(plan.delay, 0.1);
+  EXPECT_DOUBLE_EQ(plan.delay_ms, 2.0);
+  EXPECT_DOUBLE_EQ(plan.delay_jitter_ms, 1.0);
+  ASSERT_EQ(plan.partitions.size(), 2u);
+  EXPECT_EQ(plan.partitions[0].a, 0);
+  EXPECT_EQ(plan.partitions[0].b, 2);
+  EXPECT_FALSE(plan.partitions[0].two_way);
+  EXPECT_DOUBLE_EQ(plan.partitions[0].start_ms, 50.0);
+  EXPECT_DOUBLE_EQ(plan.partitions[0].duration_ms, 100.0);
+  EXPECT_EQ(plan.partitions[1].a, kAnyEndpoint);
+  EXPECT_EQ(plan.partitions[1].b, 3);
+  EXPECT_TRUE(plan.partitions[1].two_way);
+  EXPECT_DOUBLE_EQ(plan.partitions[1].duration_ms, 0.0);  // Never heals.
+  ASSERT_EQ(plan.ctrl_drops.size(), 1u);
+  EXPECT_EQ(plan.ctrl_drops[0].node, 1);
+  EXPECT_DOUBLE_EQ(plan.ctrl_drops[0].at_ms, 75.0);
+  EXPECT_TRUE(plan.active());
+
+  // Describe() emits a spec that parses back into the identical plan.
+  NetFaultPlan back;
+  ASSERT_TRUE(NetFaultPlan::FromSpec(plan.Describe(), &back, &err)) << err;
+  EXPECT_EQ(back.Describe(), plan.Describe());
+}
+
+TEST(NetFaultPlan, RejectsMalformedClauses) {
+  NetFaultPlan plan;
+  std::string err;
+  EXPECT_FALSE(NetFaultPlan::FromSpec("drop=1.5", &plan, &err));  // P > 1.
+  EXPECT_FALSE(NetFaultPlan::FromSpec("drop=x", &plan, &err));
+  EXPECT_FALSE(NetFaultPlan::FromSpec("bogus=1", &plan, &err));
+  EXPECT_FALSE(NetFaultPlan::FromSpec("noequals", &plan, &err));
+  EXPECT_FALSE(NetFaultPlan::FromSpec("delay=0.1", &plan, &err));  // No MS.
+  EXPECT_FALSE(NetFaultPlan::FromSpec("part=0-2@5+5", &plan, &err));
+  EXPECT_FALSE(NetFaultPlan::FromSpec("part=0>2@5", &plan, &err));  // No +DUR.
+  EXPECT_FALSE(NetFaultPlan::FromSpec("ctrldrop=1", &plan, &err));
+  EXPECT_FALSE(NetFaultPlan::FromSpec("seed=", &plan, &err));
+  EXPECT_FALSE(err.empty());
+  // An empty spec is a valid no-op plan.
+  ASSERT_TRUE(NetFaultPlan::FromSpec("", &plan, &err));
+  EXPECT_FALSE(plan.active());
+}
+
+TEST(NetFaultPlan, FromSeedIsDeterministicAndModerate) {
+  const NetFaultPlan a = NetFaultPlan::FromSeed(7);
+  EXPECT_EQ(a.Describe(), NetFaultPlan::FromSeed(7).Describe());
+  EXPECT_NE(a.Describe(), NetFaultPlan::FromSeed(8).Describe());
+  EXPECT_TRUE(a.active());
+  // Seeded plans never sever connections via corrupt/truncate — those are
+  // opt-in through an explicit spec.
+  EXPECT_DOUBLE_EQ(a.corrupt, 0.0);
+  EXPECT_DOUBLE_EQ(a.truncate, 0.0);
+  // Probabilities stay inside the moderate bands the ledger absorbs.
+  EXPECT_GE(a.drop, 0.01);
+  EXPECT_LE(a.drop, 0.05);
+  EXPECT_GE(a.duplicate, 0.01);
+  EXPECT_LE(a.duplicate, 0.05);
+  EXPECT_GE(a.reorder, 0.02);
+  EXPECT_LE(a.reorder, 0.08);
+  EXPECT_GT(a.reset, 0.0);
+  EXPECT_LE(a.reset, 0.01);
+  ASSERT_EQ(a.partitions.size(), 1u);
+  EXPECT_FALSE(a.partitions[0].two_way);
+  EXPECT_GT(a.partitions[0].duration_ms, 0.0);  // Always heals.
+  // Seed 0 clamps to the seed-1 plan instead of a degenerate all-zeros one.
+  EXPECT_EQ(NetFaultPlan::FromSeed(0).Describe(), NetFaultPlan::FromSeed(1).Describe());
+}
+
+TEST(NetFaultEngine, DecisionStreamIsSeedDeterministicPerLink) {
+  NetFaultPlan plan;
+  std::string err;
+  ASSERT_TRUE(NetFaultPlan::FromSpec(
+      "seed=99,drop=0.2,reorder=0.2,dup=0.2,corrupt=0.1,trunc=0.1,reset=0.1,"
+      "delay=0.3:1:0.5",
+      &plan, &err))
+      << err;
+  NetFaultEngine x(plan);
+  NetFaultEngine y(plan);
+  const int dsts[] = {0, 1, 2, -1};
+  std::vector<NetFaultEngine::Decision> per_dst1;
+  for (int round = 0; round < 200; ++round) {
+    for (const int dst : dsts) {
+      const auto dx = x.Apply(dst, 128);
+      const auto dy = y.Apply(dst, 128);
+      EXPECT_EQ(dx.serial, dy.serial);
+      EXPECT_EQ(dx.drop, dy.drop);
+      EXPECT_EQ(dx.duplicate, dy.duplicate);
+      EXPECT_EQ(dx.reorder, dy.reorder);
+      EXPECT_EQ(dx.corrupt, dy.corrupt);
+      EXPECT_EQ(dx.truncate, dy.truncate);
+      EXPECT_EQ(dx.reset, dy.reset);
+      EXPECT_DOUBLE_EQ(dx.delay_ms, dy.delay_ms);
+      // At most one connection/frame-destroying fault per frame, and a
+      // destroyed frame is never also duplicated/reordered — a dropped
+      // duplicate would corrupt the ledger's delivery accounting.
+      EXPECT_LE(static_cast<int>(dx.drop) + static_cast<int>(dx.corrupt) +
+                    static_cast<int>(dx.truncate) + static_cast<int>(dx.reset),
+                1);
+      if (dx.drop || dx.reset) {
+        EXPECT_FALSE(dx.duplicate);
+        EXPECT_FALSE(dx.reorder);
+      }
+      if (dst == 1) {
+        per_dst1.push_back(dx);
+      }
+    }
+  }
+  EXPECT_EQ(x.faults_injected(), y.faults_injected());
+  EXPECT_GT(x.faults_injected(), 0u);
+
+  // One link's frame count never perturbs another link's draws: an engine
+  // that only ever serves dst=1 replays dst=1's exact stream.
+  NetFaultEngine solo(plan);
+  for (const auto& expect : per_dst1) {
+    const auto got = solo.Apply(1, 128);
+    EXPECT_EQ(got.serial, expect.serial);
+    EXPECT_EQ(got.drop, expect.drop);
+    EXPECT_EQ(got.duplicate, expect.duplicate);
+    EXPECT_EQ(got.reorder, expect.reorder);
+    EXPECT_EQ(got.reset, expect.reset);
+    EXPECT_DOUBLE_EQ(got.delay_ms, expect.delay_ms);
+  }
+}
+
+TEST(NetFaultEngine, PartitionWindowBlocksHealsAndFiresObserverEdges) {
+  NetFaultPlan plan;
+  std::string err;
+  // Node 1's outbound traffic black-holed from t=0 for 50ms.
+  ASSERT_TRUE(NetFaultPlan::FromSpec("part=1>*@0+50", &plan, &err)) << err;
+  NetFaultEngine engine(plan);
+  std::vector<std::pair<int, bool>> edges;
+  engine.set_link_observer(
+      [&edges](int node, bool blocked) { edges.emplace_back(node, blocked); });
+
+  EXPECT_TRUE(engine.MessageBlocked(1, 2));   // 1 -> anyone is cut.
+  EXPECT_FALSE(engine.MessageBlocked(2, 1));  // One-way: reverse flows.
+  EXPECT_FALSE(engine.ConnectAllowed(1, 3));
+  EXPECT_TRUE(engine.ConnectAllowed(3, 1));
+  EXPECT_GE(engine.FaultCount(NetFaultKind::kPartitionDrop), 1u);
+  EXPECT_GE(engine.FaultCount(NetFaultKind::kConnectRefused), 1u);
+
+  // The window heals on its own; traffic resumes and the observer hears the
+  // closing edge.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (engine.MessageBlocked(1, 2) && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_FALSE(engine.MessageBlocked(1, 2));
+  EXPECT_TRUE(engine.ConnectAllowed(1, 3));
+  ASSERT_GE(edges.size(), 2u);
+  EXPECT_EQ(edges.front(), (std::pair<int, bool>{1, true}));
+  EXPECT_EQ(edges.back(), (std::pair<int, bool>{1, false}));
+}
+
 // ---- Control plane ----
 
 TEST(CtrlPlane, JoinDispatchResultShutdown) {
@@ -578,6 +749,68 @@ TEST(CtrlPlane, ByeWakesResultWaiters) {
   server.Shutdown();
 }
 
+// ---- Ctrl-plane session resume ----
+
+TEST(CtrlPlane, DroppedPeerResumesUnderSameIdWithoutDuplicateResults) {
+  CtrlServer server(0);
+  ASSERT_GT(server.port(), 0);
+
+  CtrlClient client;
+  const int id = client.Join("127.0.0.1", server.port(), "resume-me", 1 << 20);
+  ASSERT_EQ(id, 0);
+  client.StartHeartbeats(2, [] {
+    return std::make_pair(std::uint64_t(1) << 10, std::uint64_t(1) << 20);
+  });
+  std::atomic<int> jobs{0};
+  std::thread serve([&client, &jobs] {
+    client.Serve([&jobs](const std::string&, common::ByteBuffer&) {
+      JobResultMsg r;
+      r.checksum = 0x1111u + static_cast<std::uint64_t>(jobs.fetch_add(1));
+      r.records = 1;
+      r.success = true;
+      return r;
+    });
+  });
+
+  // One job before the cut, so the client holds a recent result to re-ship.
+  JobSpec spec;
+  common::ByteBuffer cfg;
+  EncodeJobSpec(spec, &cfg);
+  ASSERT_TRUE(server.Dispatch(id, "WC", cfg));
+  JobResultMsg first;
+  ASSERT_TRUE(server.WaitResult(id, 10000, &first));
+  EXPECT_EQ(first.checksum, 0x1111u);
+
+  // Sever the ctrl socket server-side, as a network cut would. The daemon
+  // must resume the session under its original node id — same slot, no
+  // ghost peer.
+  server.DropPeer(id);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  while ((client.reconnects() == 0 || !server.node(id).connected) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(client.reconnects(), 1u);
+  EXPECT_GE(server.ctrl_reconnects(), 1u);
+  EXPECT_TRUE(server.node(id).connected);
+  EXPECT_EQ(server.num_nodes(), 1);
+  EXPECT_EQ(server.node(id).name, "resume-me");
+
+  // The resync re-shipped the pre-cut result; the server must dedup it by
+  // its wire seq instead of surfacing a duplicate.
+  JobResultMsg dup;
+  EXPECT_FALSE(server.WaitResult(id, 250, &dup));
+
+  // And the resumed session still serves jobs end-to-end.
+  ASSERT_TRUE(server.Dispatch(id, "WC", cfg));
+  JobResultMsg second;
+  ASSERT_TRUE(server.WaitResult(id, 10000, &second));
+  EXPECT_EQ(second.checksum, 0x1112u);
+
+  server.Shutdown();  // kBye ends the Serve loop.
+  serve.join();
+}
+
 // ---- End-to-end: socket shuffle reproduces inproc fingerprints ----
 
 class TransportParityTest : public ::testing::Test {
@@ -594,7 +827,8 @@ class TransportParityTest : public ::testing::Test {
   static apps::AppResult RunOver(const char* app, TransportKind kind,
                                  cluster::FailureModel* model = nullptr,
                                  int drop_rx_frame_every = 0, int ack_timeout_ms = 0,
-                                 std::size_t dataset_bytes = 512 << 10) {
+                                 std::size_t dataset_bytes = 512 << 10,
+                                 const NetFaultPlan* fault_plan = nullptr) {
     cluster::ClusterConfig cc;
     cc.num_nodes = 4;
     cc.heap.capacity_bytes = 48 << 20;
@@ -603,6 +837,9 @@ class TransportParityTest : public ::testing::Test {
     cc.net.drop_rx_frame_every = drop_rx_frame_every;
     if (ack_timeout_ms > 0) {
       cc.net.ack_timeout_ms = ack_timeout_ms;
+    }
+    if (fault_plan != nullptr) {
+      cc.net.fault_plan = *fault_plan;
     }
     cluster::Cluster cluster(cc);
     apps::AppConfig config;
@@ -660,6 +897,64 @@ TEST_F(TransportParityTest, LossyTcpKeepsFingerprint) {
   EXPECT_GT(lossy.metrics.net_send_retries + lossy.metrics.net_ack_timeouts +
                 lossy.metrics.net_dup_payloads_dropped,
             0u);
+}
+
+TEST_F(TransportParityTest, SeededChaosPlanTcpKeepsFingerprint) {
+  // Drop + reorder + duplicate + delay + reset, all riding one seeded plan:
+  // the ledger's (node,split,epoch,seq) dedup and ack-timeout redelivery must
+  // absorb every one of them without perturbing the fingerprint. Widen the
+  // suspect window so injected loss exercises the ledger, not the detector.
+  setenv("ITASK_SUSPECT_TIMEOUT_MS", "10000", 1);
+  setenv("ITASK_HEARTBEAT_MS", "50", 1);
+  constexpr std::size_t kDataset = 128 << 10;
+  const apps::AppResult reference =
+      RunOver("WC", TransportKind::kInproc, /*model=*/nullptr,
+              /*drop_rx_frame_every=*/0, /*ack_timeout_ms=*/0, kDataset);
+  ASSERT_TRUE(reference.metrics.succeeded);
+
+  NetFaultPlan plan;
+  std::string err;
+  ASSERT_TRUE(NetFaultPlan::FromSpec(
+      "seed=7,drop=0.02,reorder=0.05,dup=0.03,reset=0.005,delay=0.1:1:0.5",
+      &plan, &err))
+      << err;
+  const apps::AppResult chaotic =
+      RunOver("WC", TransportKind::kTcp, /*model=*/nullptr,
+              /*drop_rx_frame_every=*/0, /*ack_timeout_ms=*/100, kDataset, &plan);
+  ASSERT_TRUE(chaotic.metrics.succeeded) << chaotic.metrics.Summary();
+  EXPECT_EQ(chaotic.checksum, reference.checksum);
+  EXPECT_EQ(chaotic.records, reference.records);
+  EXPECT_EQ(chaotic.metrics.duplicate_tuples_dropped, 0u);
+  // The plan really fired (seeded probabilities over thousands of frames).
+  EXPECT_GT(chaotic.metrics.net_faults_injected, 0u);
+}
+
+TEST_F(TransportParityTest, TimedPartitionHealsWithoutReexecution) {
+  // A one-way partition black-holes node 1's outbound traffic (shuffle data
+  // AND heartbeats) for 150ms mid-job. The link observer parks the node in
+  // kDisconnected, the grace window outlasts the cut, and after the heal the
+  // job finishes with zero lineage re-execution and nobody declared dead.
+  setenv("ITASK_HEARTBEAT_MS", "5", 1);
+  setenv("ITASK_SUSPECT_TIMEOUT_MS", "200", 1);
+  setenv("ITASK_DISCONNECT_GRACE_MS", "60000", 1);
+  const apps::AppResult reference = RunOver("WC", TransportKind::kInproc);
+  ASSERT_TRUE(reference.metrics.succeeded);
+
+  NetFaultPlan plan;
+  std::string err;
+  ASSERT_TRUE(NetFaultPlan::FromSpec("part=1>*@50+150", &plan, &err)) << err;
+  const apps::AppResult cut =
+      RunOver("WC", TransportKind::kTcp, /*model=*/nullptr,
+              /*drop_rx_frame_every=*/0, /*ack_timeout_ms=*/100, 512 << 10, &plan);
+  unsetenv("ITASK_DISCONNECT_GRACE_MS");
+  ASSERT_TRUE(cut.metrics.succeeded) << cut.metrics.Summary();
+  EXPECT_EQ(cut.checksum, reference.checksum);
+  EXPECT_EQ(cut.records, reference.records);
+  EXPECT_EQ(cut.metrics.duplicate_tuples_dropped, 0u);
+  // Zero re-executions attributable to the healed cut.
+  EXPECT_EQ(cut.metrics.splits_reexecuted, 0u);
+  EXPECT_EQ(cut.metrics.nodes_failed, 0u);
+  EXPECT_GT(cut.metrics.net_faults_injected, 0u);  // Partition drops counted.
 }
 
 TEST_F(TransportParityTest, KilledNodeOverTcpKeepsFingerprint) {

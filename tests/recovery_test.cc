@@ -6,8 +6,10 @@
 // duplicates observed by the ledger's dedup counter.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <thread>
 
 #include "apps/hyracks_apps.h"
 #include "cluster/failure_model.h"
@@ -144,6 +146,50 @@ TEST_F(RecoveryTest, HangedNodeIsDetectedAndFenced) {
   EXPECT_GE(faulted.metrics.nodes_failed, 1u);
 }
 
+// ---- Disconnects: transient cuts must not be conflated with death ----
+
+TEST_F(RecoveryTest, HealedDisconnectCausesNoReexecution) {
+  // Grace far past this fixture's dead timeout: only an unhealed cut dies.
+  setenv("ITASK_DISCONNECT_GRACE_MS", "60000", 1);
+  const AppResult reference = RunFt("WC", FtConfig());
+  ASSERT_TRUE(reference.metrics.succeeded);
+
+  cluster::FailureModel model;
+  model.ScheduleDisconnect(1, 2.0);
+  model.ScheduleHeal(1, 12.0);
+  const AppResult faulted = RunFt("WC", FtConfig(), &model);
+  unsetenv("ITASK_DISCONNECT_GRACE_MS");
+  ASSERT_TRUE(faulted.metrics.succeeded) << faulted.metrics.Summary();
+  EXPECT_EQ(faulted.checksum, reference.checksum);
+  EXPECT_EQ(faulted.records, reference.records);
+  // The whole point of kDisconnected: a cut that heals re-executes nothing
+  // and kills nobody.
+  EXPECT_EQ(faulted.metrics.splits_reexecuted, 0u);
+  EXPECT_EQ(faulted.metrics.nodes_failed, 0u);
+  EXPECT_EQ(faulted.metrics.duplicate_tuples_dropped, 0u);
+  EXPECT_GE(faulted.metrics.partitions_healed, 1u);
+}
+
+TEST_F(RecoveryTest, UnhealedDisconnectExpiresGraceAndPromotesToDead) {
+  // Tight grace so the expiry fires well inside the job.
+  setenv("ITASK_DISCONNECT_GRACE_MS", "40", 1);
+  const AppResult reference = RunFt("WC", FtConfig());
+  ASSERT_TRUE(reference.metrics.succeeded);
+
+  cluster::FailureModel model;
+  // Never heals; age the beat past the grace so expiry doesn't race a fast
+  // job (same determinism trick as HangedNodeIsDetectedAndFenced).
+  model.ScheduleDisconnect(2, 2.0, /*silence_age_ms=*/10000.0);
+  const AppResult faulted = RunFt("WC", FtConfig(), &model);
+  unsetenv("ITASK_DISCONNECT_GRACE_MS");
+  ASSERT_TRUE(faulted.metrics.succeeded) << faulted.metrics.Summary();
+  EXPECT_EQ(faulted.checksum, reference.checksum);
+  EXPECT_EQ(faulted.records, reference.records);
+  EXPECT_EQ(faulted.metrics.duplicate_tuples_dropped, 0u);
+  EXPECT_GE(faulted.metrics.nodes_failed, 1u);  // Grace expired -> dead.
+  EXPECT_EQ(faulted.metrics.partitions_healed, 0u);
+}
+
 }  // namespace
 }  // namespace itask::apps
 
@@ -170,6 +216,35 @@ TEST(MembershipTest, EffectiveOwnerMovesOnlyTheDeadNodesKeys) {
   EXPECT_EQ(m.EffectiveOwner(0), 0);
   EXPECT_EQ(m.EffectiveOwner(1), 1);
   EXPECT_EQ(m.ServingCount(), 2);
+}
+
+TEST(MembershipTest, DisconnectedNodeKeepsServingAndHealNeedsAFreshBeat) {
+  Membership m(3);
+  m.NoteDisconnected(1);
+  EXPECT_EQ(m.state(1), NodeLiveness::kDisconnected);
+  // Mid-partition the node still owns its key range — remapping it would
+  // redeliver its shuffle data even though it comes back intact.
+  EXPECT_TRUE(m.Serving(1));
+  EXPECT_EQ(m.EffectiveOwner(1), 1);
+  EXPECT_EQ(m.ServingCount(), 3);
+  // The pre-cut beat (stamped at construction) must not read as a heal:
+  // only a beat that *postdates* the disconnect mark counts.
+  EXPECT_FALSE(m.BeatSinceDisconnect(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  m.Beat(1);
+  EXPECT_TRUE(m.BeatSinceDisconnect(1));
+}
+
+TEST(MembershipTest, SuppressedBeatsNeverReadAsAHeal) {
+  Membership m(2);
+  m.SuppressBeats(0, true);
+  m.NoteDisconnected(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  m.Beat(0);  // Dropped: the link is down.
+  EXPECT_FALSE(m.BeatSinceDisconnect(0));
+  m.SuppressBeats(0, false);
+  m.Beat(0);
+  EXPECT_TRUE(m.BeatSinceDisconnect(0));
 }
 
 TEST(MembershipTest, DrainingStopsServingButDemotionNeedsSurvivors) {

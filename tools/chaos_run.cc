@@ -17,11 +17,27 @@
 // its fault plan so the failure replays:  chaos_run --start <seed> --seeds 1
 //
 // Node faults (enables the fault-tolerance layer for every run):
-//   --kill-node=<id>@<ms>    crash node <id> at <ms> into each job
-//   --hang-node=<id>@<ms>    stop node <id>'s heartbeats (zombie)
-//   --poison-node=<id>@<ms>  every allocation on node <id> throws OME
+//   --kill-node=<id>@<ms>       crash node <id> at <ms> into each job
+//   --hang-node=<id>@<ms>       stop node <id>'s heartbeats (zombie)
+//   --poison-node=<id>@<ms>     every allocation on node <id> throws OME
+//   --disconnect-node=<id>@<ms> known network cut: node parks in the
+//                               kDisconnected grace window (pair with heal)
+//   --heal-node=<id>@<ms>       heals an earlier disconnect; the node rejoins
+//                               with zero lineage re-execution
 // Each fault-injected run must still reproduce the fault-free fingerprint and
 // the ledger's duplicate counter must stay zero (exactly-once delivery).
+//
+// Network faults (--net-faults=<spec|seed>, socket transports): installs a
+// seeded NetFaultEngine on every link — drop/delay/reorder/duplicate/corrupt/
+// truncate/reset probabilities plus timed partitions (see
+// net/fault_engine.h for the spec grammar; a bare integer derives a moderate
+// always-healing plan from that seed). The run must still reproduce the
+// fault-free fingerprint: loss is recovered by ledger ack-timeout
+// redelivery, resets by the send-retry backoff, partitions by the
+// kDisconnected grace window. When a plan is active the sweep also runs a
+// ctrl-plane resume slice (an in-process CtrlServer/CtrlClient pair whose
+// socket is severed per the plan's ctrldrop entries, or once by default) and
+// reports the resume count as ctrl_reconnects in the JSON summary.
 //
 // Transport (--transport=inproc|tcp|uds): socket transports route every
 // fault-injected run's shuffle deliveries, acks and heartbeats over loopback
@@ -40,18 +56,26 @@
 //             [--heap-kb K] [--dataset-kb K] [--gran-kb K] [--nodes N]
 //             [--deadline-ms D]
 //             [--kill-node=I@MS] [--hang-node=I@MS] [--poison-node=I@MS]
+//             [--disconnect-node=I@MS] [--heal-node=I@MS]
+//             [--net-faults=SPEC|SEED]
 //             [--transport=inproc|tcp|uds] [--skew R] [--json]
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "apps/hyracks_apps.h"
 #include "chaos/chaos.h"
 #include "cluster/cluster.h"
 #include "cluster/failure_model.h"
+#include "net/ctrl.h"
+#include "net/fault_engine.h"
 #include "net/transport.h"
 
 namespace {
@@ -70,6 +94,7 @@ struct Options {
   itask::net::TransportKind transport = itask::net::TransportKind::kInproc;
   double skew = 0.0;  // > 1 gives peers skew x node 0's heap (header comment).
   bool json = false;
+  itask::net::NetFaultPlan net_fault_plan;  // Inactive unless --net-faults.
 };
 
 std::vector<std::string> SplitCsv(const char* s) {
@@ -129,7 +154,28 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
     };
     if (fault_flag("--kill-node", itask::cluster::FaultKind::kKill) ||
         fault_flag("--hang-node", itask::cluster::FaultKind::kHang) ||
-        fault_flag("--poison-node", itask::cluster::FaultKind::kOomPoison)) {
+        fault_flag("--poison-node", itask::cluster::FaultKind::kOomPoison) ||
+        fault_flag("--disconnect-node", itask::cluster::FaultKind::kDisconnect) ||
+        fault_flag("--heal-node", itask::cluster::FaultKind::kHeal)) {
+      continue;
+    }
+    if (std::strncmp(argv[i], "--net-faults=", 13) == 0 ||
+        std::strcmp(argv[i], "--net-faults") == 0) {
+      const char* spec = argv[i][12] == '=' ? argv[i] + 13 : value();
+      bool all_digits = *spec != '\0';
+      for (const char* p = spec; *p != '\0'; ++p) {
+        all_digits = all_digits && std::isdigit(static_cast<unsigned char>(*p)) != 0;
+      }
+      if (all_digits) {
+        opt->net_fault_plan =
+            itask::net::NetFaultPlan::FromSeed(std::strtoull(spec, nullptr, 10));
+      } else {
+        std::string err;
+        if (!itask::net::NetFaultPlan::FromSpec(spec, &opt->net_fault_plan, &err)) {
+          std::fprintf(stderr, "chaos_run: %s\n", err.c_str());
+          std::exit(2);
+        }
+      }
       continue;
     }
     if (std::strncmp(argv[i], "--transport=", 12) == 0 ||
@@ -189,7 +235,7 @@ itask::apps::AppConfig MakeAppConfig(const Options& opt) {
   // Skewed-pressure runs need it too — migration ledgers through recovery.
   config.fault_tolerance = !opt.node_faults.empty() ||
                            opt.transport != itask::net::TransportKind::kInproc ||
-                           opt.skew > 1.0;
+                           opt.skew > 1.0 || opt.net_fault_plan.active();
   return config;
 }
 
@@ -222,7 +268,50 @@ itask::cluster::Cluster MakeCluster(const Options& opt, std::uint64_t heap_kb,
     cc.io.failure.write_probability = plan->spill_write_fail_p;
     cc.io.failure.seed = plan->spill_fail_seed;
   }
+  // Network faults apply to chaos runs only (plan != nullptr), never to the
+  // fault-free reference runs the fingerprints come from.
+  if (plan != nullptr) {
+    cc.net.fault_plan = opt.net_fault_plan;
+  }
   return itask::cluster::Cluster(cc);
+}
+
+// Ctrl-plane resume slice: an in-process driver + daemon pair whose ctrl
+// socket is severed server-side per the plan's ctrldrop entries (once, at
+// elapsed 0, when the plan has none). The daemon's heartbeat thread must
+// notice each cut and resume its session under the original node id; the
+// return value is how many resumes completed (the JSON gate asserts >= 1).
+std::uint64_t RunCtrlResumeSlice(const itask::net::NetFaultPlan& plan) {
+  itask::net::CtrlServer server(0);
+  itask::net::CtrlClient client;
+  const int id = client.Join("127.0.0.1", server.port(), "chaos-resume-probe",
+                             /*heap_capacity=*/1ULL << 20);
+  if (id < 0) {
+    std::fprintf(stderr, "chaos_run: ctrl resume slice failed to join\n");
+    return 0;
+  }
+  client.StartHeartbeats(/*interval_ms=*/5,
+                         [] { return std::make_pair(std::uint64_t{0},
+                                                    std::uint64_t{1} << 20); });
+  std::size_t drops = plan.ctrl_drops.empty() ? 1 : plan.ctrl_drops.size();
+  for (std::size_t i = 0; i < drops; ++i) {
+    const std::uint64_t target = client.reconnects() + 1;
+    server.DropPeer(id);
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (client.reconnects() < target &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const std::uint64_t resumed = client.reconnects();
+  if (resumed != server.ctrl_reconnects()) {
+    std::fprintf(stderr,
+                 "chaos_run: ctrl resume count mismatch (client %llu, server %llu)\n",
+                 static_cast<unsigned long long>(resumed),
+                 static_cast<unsigned long long>(server.ctrl_reconnects()));
+  }
+  server.Shutdown();
+  return resumed;
 }
 
 struct Failure {
@@ -291,6 +380,11 @@ int main(int argc, char** argv) {
     std::uint64_t net_send_retries = 0;
     std::uint64_t net_ack_timeouts = 0;
     std::uint64_t net_dup_payloads_dropped = 0;
+    // Fault-engine / resilience rollup (zero without --net-faults).
+    std::uint64_t net_faults_injected = 0;
+    std::uint64_t partitions_healed = 0;
+    std::uint64_t backoff_retries = 0;
+    std::uint64_t backoff_giveups = 0;
     // Telemetry-health rollup: tracer ring overwrites (non-zero means the
     // event stream undercounts) plus the latency distributions, merged
     // bucket-wise across seeds so the JSON can report cross-run quantiles.
@@ -303,6 +397,14 @@ int main(int argc, char** argv) {
   std::vector<Failure> failures;
   std::uint64_t runs = 0;
   std::uint64_t last_points = 0;
+  // When every scheduled node fault is a disconnect/heal pair, the grace
+  // window must absorb all of them: any lineage re-execution is spurious.
+  bool only_link_faults = !opt.node_faults.empty();
+  for (const auto& fault : opt.node_faults) {
+    only_link_faults = only_link_faults &&
+                       (fault.kind == itask::cluster::FaultKind::kDisconnect ||
+                        fault.kind == itask::cluster::FaultKind::kHeal);
+  }
   for (std::uint64_t seed = opt.start; seed < opt.start + opt.seeds; ++seed) {
     const itask::chaos::FaultPlan plan = itask::chaos::FaultPlan::FromSeed(seed);
     for (const std::string& app : opt.apps) {
@@ -347,6 +449,10 @@ int main(int argc, char** argv) {
       jc.net_send_retries += result.metrics.net_send_retries;
       jc.net_ack_timeouts += result.metrics.net_ack_timeouts;
       jc.net_dup_payloads_dropped += result.metrics.net_dup_payloads_dropped;
+      jc.net_faults_injected += result.metrics.net_faults_injected;
+      jc.partitions_healed += result.metrics.partitions_healed;
+      jc.backoff_retries += result.metrics.backoff_retries;
+      jc.backoff_giveups += result.metrics.backoff_giveups;
       jc.events_dropped += result.metrics.events_dropped;
       jc.interrupt_hist.Merge(result.metrics.interrupt_latency_hist);
       jc.gc_hist.Merge(result.metrics.gc_pause_hist);
@@ -372,6 +478,10 @@ int main(int argc, char** argv) {
         what = "dedup audit: " +
                std::to_string(result.metrics.duplicate_tuples_dropped) +
                " duplicate tuples dropped";
+      } else if (only_link_faults && result.metrics.splits_reexecuted != 0) {
+        what = "spurious lineage re-execution: " +
+               std::to_string(result.metrics.splits_reexecuted) +
+               " splits re-executed under disconnects that healed";
       }
       if (!what.empty()) {
         failures.push_back({seed, app, what});
@@ -397,6 +507,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Ctrl-plane resume slice: exercised whenever a network-fault plan is
+  // active, so the chaos gate can assert reconnects happened even though the
+  // in-process sweep itself has no daemon sockets to sever.
+  std::uint64_t ctrl_reconnects = 0;
+  if (opt.net_fault_plan.active()) {
+    ctrl_reconnects = RunCtrlResumeSlice(opt.net_fault_plan);
+    if (ctrl_reconnects == 0) {
+      failures.push_back({0, "ctrl", "ctrl resume slice completed no reconnects"});
+    }
+  }
+
   if (opt.json) {
     // Machine-readable summary (one object on stdout) for CI scrapers.
     std::string out = "{\"runs\":" + std::to_string(runs);
@@ -405,6 +526,23 @@ int main(int argc, char** argv) {
     out += ",\"node_faults\":" + std::to_string(opt.node_faults.size());
     out += std::string(",\"transport\":\"") +
            itask::net::TransportKindName(opt.transport) + "\"";
+    out += ",\"net_fault_plan\":\"";
+    JsonEscape(&out, opt.net_fault_plan.active() ? opt.net_fault_plan.Describe() : "");
+    out += "\"";
+    out += ",\"ctrl_reconnects\":" + std::to_string(ctrl_reconnects);
+    {
+      std::uint64_t faults = 0, healed = 0, retries = 0, giveups = 0;
+      for (const auto& [app, jc] : per_job) {
+        faults += jc.net_faults_injected;
+        healed += jc.partitions_healed;
+        retries += jc.backoff_retries;
+        giveups += jc.backoff_giveups;
+      }
+      out += ",\"net_faults_injected\":" + std::to_string(faults);
+      out += ",\"partitions_healed\":" + std::to_string(healed);
+      out += ",\"backoff_retries\":" + std::to_string(retries);
+      out += ",\"backoff_giveups\":" + std::to_string(giveups);
+    }
     out += ",\"apps\":[";
     for (std::size_t i = 0; i < opt.apps.size(); ++i) {
       out += (i > 0 ? ",\"" : "\"") + opt.apps[i] + "\"";
@@ -449,7 +587,12 @@ int main(int argc, char** argv) {
       out += ",\"send_retries\":" + std::to_string(jc.net_send_retries);
       out += ",\"ack_timeouts\":" + std::to_string(jc.net_ack_timeouts);
       out += ",\"dup_payloads_dropped\":" + std::to_string(jc.net_dup_payloads_dropped);
-      out += "}}";
+      out += ",\"faults_injected\":" + std::to_string(jc.net_faults_injected);
+      out += "}";
+      out += ",\"partitions_healed\":" + std::to_string(jc.partitions_healed);
+      out += ",\"backoff_retries\":" + std::to_string(jc.backoff_retries);
+      out += ",\"backoff_giveups\":" + std::to_string(jc.backoff_giveups);
+      out += "}";
     }
     out += "},\"failures\":[";
     for (std::size_t i = 0; i < failures.size(); ++i) {

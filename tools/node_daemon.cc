@@ -7,6 +7,12 @@
 // replies with the order-independent result fingerprint, which the driver
 // checks against its own reference run.
 //
+// A lost ctrl socket is not a death sentence: CtrlClient resumes the session
+// under the original node id with capped jittered backoff
+// (ITASK_CTRL_RECONNECT_* knobs), re-shipping pending results, a heartbeat
+// and a metrics snapshot. The daemon only exits on the driver's kBye or when
+// the reconnect policy is exhausted.
+//
 // Usage:
 //   node_daemon --port P [--host 127.0.0.1] [--name worker-0] [--heap-kb K]
 //               [--trace-dir DIR]
@@ -210,6 +216,7 @@ int main(int argc, char** argv) {
     itask::obs::WriteChromeTrace(out, ctrl_tracer.Snapshot(), meta);
   }
 
-  std::fprintf(stderr, "node_daemon[%d]: bye\n", id);
+  std::fprintf(stderr, "node_daemon[%d]: bye (%llu ctrl reconnects)\n", id,
+               static_cast<unsigned long long>(client.reconnects()));
   return 0;
 }
